@@ -1,0 +1,69 @@
+"""Ablation: rate-aware adaptive re-optimization (§VI future work).
+
+Replays rate traces against the static / adaptive / oracle policies and
+reports total plan cost.  Shape: adaptive ≈ oracle ≤ static, with the
+gap growing as the trace's rate dynamic range widens.
+"""
+
+import pytest
+
+from repro.aggregates.registry import MIN
+from repro.bench.reporting import format_table
+from repro.core.adaptive import simulate_adaptive
+from repro.windows.window import Window, WindowSet
+
+#: The demonstration set whose optimal plan flips at η = 2
+#: (factor-window benefit 36η − 70; see tests/core/test_adaptive.py).
+WINDOWS = WindowSet([Window(6, 3), Window(8, 4)])
+
+TRACES = {
+    "steady-low": [1] * 16,
+    "steady-high": [100] * 16,
+    "burst": [1] * 6 + [120] * 4 + [1] * 6,
+    "ramp": [1, 2, 4, 8, 16, 32, 64, 128, 64, 32, 16, 8, 4, 2, 1, 1],
+}
+
+
+def test_adaptive_ablation_report(benchmark, report_sink):
+    def run():
+        rows = []
+        for name, trace in TRACES.items():
+            outcome = simulate_adaptive(
+                WINDOWS, MIN, trace, hysteresis=0.2, alpha=1.0
+            )
+            rows.append(
+                (
+                    name,
+                    f"{outcome.static_cost:,}",
+                    f"{outcome.adaptive_cost:,}",
+                    f"{outcome.oracle_cost:,}",
+                    len(outcome.switches),
+                    f"{outcome.savings_vs_static:.1%}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["Trace", "Static", "Adaptive", "Oracle", "Switches", "Saved"],
+        rows,
+        title="Ablation: adaptive re-optimization under rate drift",
+    )
+    report_sink("ablation_adaptive", text)
+
+    by_name = {row[0]: row for row in rows}
+    # Bursty/ramping traces must show real savings over static.
+    for name in ("burst", "ramp"):
+        saved = float(by_name[name][5].rstrip("%"))
+        assert saved > 0
+
+
+@pytest.mark.parametrize("trace", ["burst", "ramp"])
+def test_adaptive_simulation_time(benchmark, trace):
+    benchmark.pedantic(
+        simulate_adaptive,
+        args=(WINDOWS, MIN, TRACES[trace]),
+        kwargs=dict(hysteresis=0.2, alpha=1.0),
+        rounds=3,
+        iterations=1,
+    )

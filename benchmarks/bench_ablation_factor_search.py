@@ -1,0 +1,80 @@
+"""Ablation: factor-window search quality and cost (beyond the paper).
+
+Two questions the paper leaves open (Section IV, footnote 3):
+
+1. How far is the heuristic factor search (Algorithm 3) from the true
+   optimum?  We compare against the exhaustive Steiner-style search on
+   small window sets.
+2. What do the two search strategies cost?  We time Algorithm 1,
+   Algorithm 3, and the exhaustive search.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.cost import CostModel
+from repro.core.exhaustive import exhaustive_min_cost, optimality_gap
+from repro.core.optimizer import min_cost_wcg, min_cost_wcg_with_factors
+from repro.windows.coverage import CoverageSemantics
+from repro.windows.window import Window, WindowSet
+from repro.workloads.generators import RandomGen
+
+PART = CoverageSemantics.PARTITIONED_BY
+
+
+def _small_sets(count=8):
+    gen = RandomGen(seed_ranges=(2, 5), kr=12)
+    return [
+        gen.generate(3, tumbling=True, seed=200 + i) for i in range(count)
+    ]
+
+
+def test_ablation_heuristic_vs_optimal(benchmark, report_sink):
+    def run():
+        rows = []
+        for i, windows in enumerate(_small_sets()):
+            baseline = CostModel().baseline_cost(windows)
+            plain = min_cost_wcg(windows, PART).total_cost
+            heuristic, _ = min_cost_wcg_with_factors(windows, PART)
+            optimal = exhaustive_min_cost(
+                windows, PART, max_factors=2, max_candidates=128
+            )
+            rows.append(
+                (
+                    f"set-{i + 1}",
+                    baseline,
+                    plain,
+                    heuristic.total_cost,
+                    optimal.total_cost,
+                    f"{optimality_gap(heuristic.total_cost, optimal.total_cost):.1%}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["Window set", "Baseline", "Alg 1", "Alg 3", "Exhaustive", "Gap"],
+        rows,
+        title="Ablation: heuristic factor search vs exhaustive optimum",
+    )
+    report_sink("ablation_factor_search", text)
+
+    for _, baseline, plain, heuristic, optimal, _gap in rows:
+        assert optimal <= heuristic <= plain <= baseline
+
+
+@pytest.mark.parametrize("search", ["alg1", "alg3", "exhaustive"])
+def test_ablation_search_time(benchmark, search):
+    windows = WindowSet([Window(8, 8), Window(12, 12), Window(20, 20)])
+    if search == "alg1":
+        benchmark(min_cost_wcg, windows, PART)
+    elif search == "alg3":
+        benchmark(min_cost_wcg_with_factors, windows, PART)
+    else:
+        benchmark.pedantic(
+            exhaustive_min_cost,
+            args=(windows, PART),
+            kwargs=dict(max_factors=2, max_candidates=128),
+            rounds=3,
+            iterations=1,
+        )

@@ -1,0 +1,64 @@
+"""Ablation: cross-query sharing (the Section-I IoT workload, beyond
+the paper's single-query optimizer).
+
+Compares three deployment strategies for a workload of N dashboard
+queries over one stream: naive (every window from raw events), per-
+query optimization (the paper), and shared workload optimization
+(repro.core.multiquery).  Shape: shared ≤ per-query ≤ naive, with the
+sharing gain growing with the number of concurrent queries.
+"""
+
+from repro.aggregates.registry import MIN
+from repro.bench.reporting import format_table
+from repro.core.multiquery import Query, optimize_workload
+from repro.workloads.generators import SequentialGen
+
+
+def _workload(num_queries: int, seed: int = 300) -> list[Query]:
+    gen = SequentialGen()
+    return [
+        Query(
+            name=f"q{i}",
+            windows=gen.generate(3, tumbling=True, seed=seed + i),
+            aggregate=MIN,
+        )
+        for i in range(num_queries)
+    ]
+
+
+def test_multiquery_sharing_report(benchmark, report_sink):
+    def run():
+        rows = []
+        for num_queries in (2, 4, 6, 8, 10):
+            plan = optimize_workload(_workload(num_queries))
+            rows.append(
+                (
+                    num_queries,
+                    f"{plan.baseline_cost:,}",
+                    f"{plan.independent_cost:,}",
+                    f"{plan.shared_cost:,}",
+                    f"{plan.sharing_gain:.2f}x",
+                    f"{plan.total_speedup:.2f}x",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["Queries", "Naive", "Per-query", "Shared", "Sharing gain", "Total"],
+        rows,
+        title="Ablation: cross-query workload sharing",
+    )
+    report_sink("ablation_multiquery", text)
+
+    gains = [float(row[4].rstrip("x")) for row in rows]
+    assert all(g >= 1.0 for g in gains)
+    # More concurrent queries → more overlap → larger sharing gain.
+    assert gains[-1] >= gains[0]
+
+
+def test_multiquery_optimize_time(benchmark):
+    queries = _workload(10)
+    benchmark.pedantic(
+        optimize_workload, args=(queries,), rounds=3, iterations=1
+    )

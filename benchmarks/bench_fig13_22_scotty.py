@@ -1,0 +1,59 @@
+"""Figures 13 and 22: comparison with window slicing (Scotty).
+
+Three series per panel: the default plan ("Flink"), the eager-slicing
+baseline ("Scotty"), and our factor-window plans.  Paper shape: both
+Scotty and factor windows beat the default plan decisively; factor
+windows match Scotty and often exceed it (paper: up to 5.7×), because
+slicing re-assembles every window from the shared slice store while
+factor-window plans reuse whole sub-aggregate streams across windows.
+"""
+
+import pytest
+
+from repro.aggregates.registry import MIN
+from repro.bench.experiments import scotty_comparison
+from repro.core.optimizer import optimize
+from repro.core.rewrite import rewrite_plan
+from repro.engine.executor import execute_plan
+from repro.plans.builder import original_plan
+from repro.slicing.slicer import execute_sliced
+from repro.workloads.generators import SequentialGen
+from conftest import BENCH_EVENTS, BENCH_RUNS
+
+
+@pytest.mark.parametrize("variant", ["flink", "scotty", "factor-windows"])
+def test_fig13_variant_throughput(benchmark, synthetic_stream, variant):
+    windows = SequentialGen().generate(10, tumbling=True, seed=101)
+    if variant == "flink":
+        plan = original_plan(windows, MIN)
+        result = benchmark(execute_plan, plan, synthetic_stream)
+        benchmark.extra_info["pairs"] = result.stats.total_pairs
+    elif variant == "scotty":
+        result = benchmark(execute_sliced, windows, MIN, synthetic_stream)
+        benchmark.extra_info["pairs"] = result.stats.total_pairs
+    else:
+        optimized = optimize(windows, MIN)
+        plan = rewrite_plan(optimized.with_factors, MIN)
+        result = benchmark(execute_plan, plan, synthetic_stream)
+        benchmark.extra_info["pairs"] = result.stats.total_pairs
+
+
+def _report(set_size, runs):
+    panels = scotty_comparison(
+        set_size=set_size, events=BENCH_EVENTS, runs=runs
+    )
+    return "\n\n".join(p.render(include_scotty=True) for p in panels)
+
+
+def test_fig13_report(benchmark, report_sink):
+    text = benchmark.pedantic(
+        lambda: _report(10, BENCH_RUNS), rounds=1, iterations=1
+    )
+    report_sink("fig13_scotty_w10", "Figure 13 (|W|=10)\n" + text)
+
+
+def test_fig22_report(benchmark, report_sink):
+    text = benchmark.pedantic(
+        lambda: _report(5, BENCH_RUNS), rounds=1, iterations=1
+    )
+    report_sink("fig22_scotty_w5", "Figure 22 (|W|=5)\n" + text)

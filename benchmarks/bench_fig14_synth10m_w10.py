@@ -1,0 +1,63 @@
+"""Figure 14: throughput on Synthetic-10M window sets, |W| = 10.
+
+Same four panels as Figure 11 with larger window sets.  Paper shape:
+sharing opportunities grow with |W|, so boosts exceed the |W| = 5 case
+(Table I: up to 3.4× RandomGen-tumbling, 6.2× RandomGen-hopping, 9.4×
+SequentialGen-tumbling).
+"""
+
+import pytest
+
+from repro.aggregates.registry import MIN
+from repro.bench.experiments import run_panel
+from repro.core.optimizer import optimize
+from repro.core.rewrite import rewrite_plan
+from repro.engine.executor import execute_plan
+from repro.plans.builder import original_plan
+from repro.windows.coverage import CoverageSemantics
+from repro.workloads.generators import SequentialGen
+
+SET_SIZE = 10
+
+
+@pytest.mark.parametrize("variant", ["original", "rewritten", "factors"])
+def test_fig14_sequential_tumbling_throughput(
+    benchmark, synthetic_stream, variant
+):
+    """The panel with the paper's largest gap (S-10-tumbling)."""
+    windows = SequentialGen().generate(SET_SIZE, tumbling=True, seed=101)
+    if variant == "original":
+        plan = original_plan(windows, MIN)
+    else:
+        result = optimize(
+            windows,
+            MIN,
+            semantics_override=CoverageSemantics.PARTITIONED_BY,
+        )
+        gmin = (
+            result.without_factors
+            if variant == "rewritten"
+            else result.with_factors
+        )
+        plan = rewrite_plan(gmin, MIN)
+    result = benchmark(execute_plan, plan, synthetic_stream)
+    benchmark.extra_info["pairs"] = result.stats.total_pairs
+
+
+def test_fig14_report(benchmark, synthetic_stream, bench_runs, report_sink):
+    def run():
+        sections = []
+        for generator in ("random", "sequential"):
+            for tumbling in (True, False):
+                panel = run_panel(
+                    generator,
+                    tumbling,
+                    SET_SIZE,
+                    synthetic_stream,
+                    runs=bench_runs,
+                )
+                sections.append(panel.render())
+        return "\n\n".join(sections)
+
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_sink("fig14_synth10m_w10", "Figure 14 (|W|=10, synthetic)\n" + text)

@@ -1,0 +1,52 @@
+"""Figures 15 and 16: throughput on the smaller Synthetic-1M stream,
+|W| = 5 and |W| = 10.
+
+Paper shape (Table IV): same ordering as Synthetic-10M with slightly
+smaller boosts — fixed per-plan overheads amortize over fewer events.
+"""
+
+from repro.bench.experiments import run_panel
+
+
+def test_fig15_report(
+    benchmark, synthetic_small_stream, bench_runs, report_sink
+):
+    def run():
+        sections = []
+        for generator in ("random", "sequential"):
+            for tumbling in (True, False):
+                panel = run_panel(
+                    generator,
+                    tumbling,
+                    5,
+                    synthetic_small_stream,
+                    runs=bench_runs,
+                )
+                sections.append(panel.render())
+        return "\n\n".join(sections)
+
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_sink("fig15_synth1m_w5", "Figure 15 (|W|=5, small synthetic)\n" + text)
+
+
+def test_fig16_report(
+    benchmark, synthetic_small_stream, bench_runs, report_sink
+):
+    def run():
+        sections = []
+        for generator in ("random", "sequential"):
+            for tumbling in (True, False):
+                panel = run_panel(
+                    generator,
+                    tumbling,
+                    10,
+                    synthetic_small_stream,
+                    runs=bench_runs,
+                )
+                sections.append(panel.render())
+        return "\n\n".join(sections)
+
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_sink(
+        "fig16_synth1m_w10", "Figure 16 (|W|=10, small synthetic)\n" + text
+    )

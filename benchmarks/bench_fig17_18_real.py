@@ -1,0 +1,59 @@
+"""Figures 17 and 18: throughput on the Real-32M (DEBS-like) stream,
+|W| = 5 and |W| = 10.
+
+Paper shape (Table II): rewritten plans beat the original plans; factor
+windows add the largest boosts on SequentialGen-tumbling sets (up to
+9.1×).  Aggregation cost depends on event timing only, so the DEBS-like
+value process exercises the identical code paths as the real trace
+(DESIGN.md §2).
+"""
+
+import pytest
+
+from repro.aggregates.registry import MIN
+from repro.bench.experiments import run_panel
+from repro.core.optimizer import optimize
+from repro.core.rewrite import rewrite_plan
+from repro.engine.executor import execute_plan
+from repro.plans.builder import original_plan
+from repro.windows.coverage import CoverageSemantics
+from repro.workloads.generators import SequentialGen
+
+
+@pytest.mark.parametrize("variant", ["original", "factors"])
+def test_fig17_real_throughput(benchmark, real_stream, variant):
+    windows = SequentialGen().generate(5, tumbling=True, seed=101)
+    if variant == "original":
+        plan = original_plan(windows, MIN)
+    else:
+        result = optimize(
+            windows, MIN, semantics_override=CoverageSemantics.PARTITIONED_BY
+        )
+        plan = rewrite_plan(result.with_factors, MIN)
+    result = benchmark(execute_plan, plan, real_stream)
+    benchmark.extra_info["pairs"] = result.stats.total_pairs
+
+
+def _panels(stream, set_size, runs):
+    sections = []
+    for generator in ("random", "sequential"):
+        for tumbling in (True, False):
+            panel = run_panel(
+                generator, tumbling, set_size, stream, runs=runs
+            )
+            sections.append(panel.render())
+    return "\n\n".join(sections)
+
+
+def test_fig17_report(benchmark, real_stream, bench_runs, report_sink):
+    text = benchmark.pedantic(
+        lambda: _panels(real_stream, 5, bench_runs), rounds=1, iterations=1
+    )
+    report_sink("fig17_real_w5", "Figure 17 (|W|=5, DEBS-like)\n" + text)
+
+
+def test_fig18_report(benchmark, real_stream, bench_runs, report_sink):
+    text = benchmark.pedantic(
+        lambda: _panels(real_stream, 10, bench_runs), rounds=1, iterations=1
+    )
+    report_sink("fig18_real_w10", "Figure 18 (|W|=10, DEBS-like)\n" + text)

@@ -1,0 +1,45 @@
+"""Figure 19: correlation between the cost model's predicted speedup
+(γ_C) and the observed speedup (γ_T), factor plans over no-factor plans.
+
+Paper shape: Pearson r >= 0.94 on every panel.  We report both the
+wall-clock correlation (subject to timing noise on small streams) and
+the deterministic processed-pair correlation, which isolates the cost
+model's fidelity from scheduler jitter; the latter must be ~1.
+"""
+
+from repro.bench.analysis import pearson_r
+from repro.bench.experiments import cost_model_correlation, render_correlation
+from conftest import BENCH_EVENTS, BENCH_RUNS
+
+
+def test_fig19_report(benchmark, report_sink):
+    def run():
+        wall = cost_model_correlation(
+            set_sizes=(5, 10),
+            events=BENCH_EVENTS,
+            runs=BENCH_RUNS,
+            use_pairs=False,
+        )
+        pairs = cost_model_correlation(
+            set_sizes=(5, 10),
+            events=BENCH_EVENTS,
+            runs=BENCH_RUNS,
+            use_pairs=True,
+        )
+        return wall, pairs
+
+    wall, pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "Figure 19 (γ_C vs γ_T; wall-clock)\n"
+        + render_correlation(wall)
+        + "\n\nFigure 19 (γ_C vs work; deterministic)\n"
+        + render_correlation(pairs)
+    )
+    report_sink("fig19_cost_model_correlation", text)
+
+    # Shape: the deterministic work metric tracks the cost model almost
+    # perfectly (paper's r >= 0.94; ours is exact modulo hopping-window
+    # stream-boundary effects).
+    for panel in pairs:
+        if len(panel.predicted) >= 2:
+            assert panel.r >= 0.94

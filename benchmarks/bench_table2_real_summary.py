@@ -1,0 +1,33 @@
+"""Table II: mean/max throughput boosts on the Real-32M (DEBS-like)
+stream, same eight setups as Table I.
+
+Paper shape: same ordering as Table I with slightly smaller numbers
+(the real trace's values do not change aggregation cost; boosts track
+the window-set structure).
+"""
+
+from repro.bench.experiments import boost_summary_table
+from repro.bench.reporting import format_boost_summary_table
+from conftest import BENCH_EVENTS, BENCH_RUNS
+
+
+def test_table2_report(benchmark, report_sink):
+    summaries = benchmark.pedantic(
+        boost_summary_table,
+        kwargs=dict(
+            dataset="real",
+            set_sizes=(5, 10),
+            events=BENCH_EVENTS,
+            runs=BENCH_RUNS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_boost_summary_table(
+        summaries, title="Table II: throughput boosts on DEBS-like stream"
+    )
+    report_sink("table2_real_summary", text)
+
+    for summary in summaries:
+        assert summary.max_with >= summary.max_without
+        assert summary.mean_with > 0

@@ -1,0 +1,58 @@
+"""Table III + Figures 20/21: scalability tests, |W| ∈ {15, 20}.
+
+Paper shape: plans keep scaling smoothly as the window set grows;
+boosts increase with |W| (paper: up to 16.8× for S-20-tumbling), and
+SequentialGen-tumbling remains the most factor-window-friendly setup.
+"""
+
+from repro.bench.experiments import boost_summary_table, run_panel
+from repro.bench.reporting import format_boost_summary_table
+from conftest import BENCH_EVENTS, BENCH_RUNS
+
+
+def test_table3_report(benchmark, report_sink):
+    summaries = benchmark.pedantic(
+        boost_summary_table,
+        kwargs=dict(
+            dataset="synthetic",
+            set_sizes=(15, 20),
+            events=BENCH_EVENTS,
+            runs=BENCH_RUNS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_boost_summary_table(
+        summaries, title="Table III: scalability (|W| in {15, 20})"
+    )
+    report_sink("table3_scalability", text)
+
+    by_setup = {s.setup: s for s in summaries}
+    for summary in summaries:
+        assert summary.max_with >= summary.max_without
+    assert (
+        by_setup["S-20-tumbling"].mean_with
+        >= by_setup["R-20-tumbling"].mean_with
+    )
+
+
+def test_fig20_21_report(benchmark, synthetic_stream, bench_runs, report_sink):
+    """Per-run series for |W| = 15 (Fig 20) and |W| = 20 (Fig 21)."""
+
+    def run():
+        sections = []
+        for set_size, figure in ((15, "Figure 20"), (20, "Figure 21")):
+            for generator in ("random", "sequential"):
+                for tumbling in (True, False):
+                    panel = run_panel(
+                        generator,
+                        tumbling,
+                        set_size,
+                        synthetic_stream,
+                        runs=bench_runs,
+                    )
+                    sections.append(f"{figure}: {panel.render()}")
+        return "\n\n".join(sections)
+
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_sink("fig20_21_scalability_series", text)

@@ -1,0 +1,30 @@
+"""Table IV: mean/max throughput boosts on the Synthetic-1M stream.
+
+Paper shape: same ordering as Table I; a smaller stream slightly
+compresses the boosts because fixed costs amortize over fewer events.
+"""
+
+from repro.bench.experiments import boost_summary_table
+from repro.bench.reporting import format_boost_summary_table
+from conftest import BENCH_EVENTS, BENCH_RUNS
+
+
+def test_table4_report(benchmark, report_sink):
+    summaries = benchmark.pedantic(
+        boost_summary_table,
+        kwargs=dict(
+            dataset="synthetic",
+            set_sizes=(5, 10),
+            events=max(BENCH_EVENTS // 4, 2_000),
+            runs=BENCH_RUNS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_boost_summary_table(
+        summaries, title="Table IV: throughput boosts on small synthetic stream"
+    )
+    report_sink("table4_synth1m_summary", text)
+
+    for summary in summaries:
+        assert summary.max_with >= summary.max_without

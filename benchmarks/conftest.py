@@ -1,0 +1,65 @@
+"""Shared benchmark configuration.
+
+Stream sizes and run counts are scaled down from the paper's (1M-32M
+events, 10 runs) so the suite finishes in CI time; set the environment
+variables ``REPRO_BENCH_EVENTS`` and ``REPRO_BENCH_RUNS`` to scale back
+up.  Every figure/table module writes its rendered report to
+``benchmarks/results/<name>.txt`` (and stdout when ``-s`` is given), so
+the regenerated rows/series survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.workloads.debs import debs_like_stream
+from repro.workloads.streams import constant_rate_stream
+
+BENCH_EVENTS = int(os.environ.get("REPRO_BENCH_EVENTS", "30000"))
+BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "4"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_events() -> int:
+    return BENCH_EVENTS
+
+
+@pytest.fixture(scope="session")
+def bench_runs() -> int:
+    return BENCH_RUNS
+
+
+@pytest.fixture(scope="session")
+def synthetic_stream():
+    """Stand-in for Synthetic-10M (scaled; see module docstring)."""
+    return constant_rate_stream(BENCH_EVENTS, seed=1)
+
+
+@pytest.fixture(scope="session")
+def synthetic_small_stream():
+    """Stand-in for Synthetic-1M (1/4 of the main stream)."""
+    return constant_rate_stream(max(BENCH_EVENTS // 4, 2_000), seed=1)
+
+
+@pytest.fixture(scope="session")
+def real_stream():
+    """Stand-in for Real-32M (DEBS-like trace, scaled)."""
+    return debs_like_stream(BENCH_EVENTS, seed=7)
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Write a named report to benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return write

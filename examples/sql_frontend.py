@@ -1,0 +1,59 @@
+"""SQL front-end tour: parse, inspect, optimize, and render queries.
+
+Demonstrates the ASA-like dialect end to end, including how the
+optimizer's decision changes with the aggregate function: MIN can use
+the general covered-by relation; SUM is restricted to partitioned-by;
+MEDIAN (holistic) cannot share at all and keeps the original plan.
+
+Run with:  python examples/sql_frontend.py
+"""
+
+from repro import parse, plan_query, to_flink, to_tree, to_trill
+
+TEMPLATE = """
+SELECT DeviceID, {agg}(Reading) AS Value
+FROM Sensors TIMESTAMP BY EventTime
+GROUP BY DeviceID, WINDOWS(
+    WINDOW('fast',   HOPPING(second, 120, 60)),
+    WINDOW('medium', HOPPING(second, 240, 60)),
+    WINDOW('slow',   HOPPING(second, 480, 120)))
+"""
+
+
+def show_ast() -> None:
+    print("=== Parsed AST (MIN variant) ===")
+    query = parse(TEMPLATE.format(agg="MIN"))
+    print(f"source      : {query.source}")
+    print(f"timestamp by: {query.timestamp_column}")
+    print(f"group keys  : {[str(k) for k in query.group_keys]}")
+    for definition in query.window_defs:
+        print(f"window      : {definition}")
+    print()
+
+
+def show_optimizations() -> None:
+    for agg in ("MIN", "SUM", "MEDIAN"):
+        print(f"=== {agg} ===")
+        planned = plan_query(TEMPLATE.format(agg=agg))
+        print(planned.optimization.summary())
+        print(to_tree(planned.best_plan))
+        print()
+
+
+def show_renderings() -> None:
+    planned = plan_query(TEMPLATE.format(agg="MIN"))
+    print("=== Trill-style rendering of the best plan ===")
+    print(to_trill(planned.best_plan))
+    print()
+    print("=== Flink DataStream-style rendering ===")
+    print(to_flink(planned.best_plan))
+
+
+def main() -> None:
+    show_ast()
+    show_optimizations()
+    show_renderings()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy setup shim: this offline environment lacks the `wheel`
+package, so PEP 660 editable installs fail; `pip install -e .
+--no-use-pep517` (or plain `pip install -e .` on modern toolchains)
+uses this file instead.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

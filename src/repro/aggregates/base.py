@@ -1,0 +1,220 @@
+"""Aggregate-function protocol and the Gray et al. taxonomy.
+
+Section III-A of the paper classifies aggregate functions as
+*distributive*, *algebraic* or *holistic* (Gray et al., Data Cube) and
+derives which window-coverage relation each may exploit:
+
+* distributive/algebraic + ``partitioned_by`` — always sound (Thm 5);
+* MIN/MAX + ``covered_by`` — sound because they stay distributive over
+  overlapping partitions (Thm 6);
+* holistic — no sub-aggregate sharing; every window reads raw events.
+
+The computational protocol mirrors the classic ``(g, h)`` decomposition:
+an aggregate is described by *partial components* (a tuple of numbers),
+with four operations:
+
+``lift``      raw value → partial components
+``combine``   merge two partial component tuples (one NumPy ufunc per
+              component, so the same code path is vectorized over whole
+              instance arrays or applied to scalars)
+``finalize``  partial components → final answer (the paper's ``h``)
+``identity``  the neutral partial for an empty instance
+
+The streaming engines move *partials* between windows and finalize only
+at the plan's union/sink, which is what makes a user-facing window able
+to simultaneously feed downstream windows in a rewritten plan.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import UnsupportedAggregateError
+from ..windows.coverage import CoverageSemantics
+
+
+class Taxonomy(str, Enum):
+    """Gray et al.'s classification of aggregate functions."""
+
+    DISTRIBUTIVE = "distributive"
+    ALGEBRAIC = "algebraic"
+    HOLISTIC = "holistic"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+Components = tuple  # tuple of scalars, or tuple of ndarrays (vectorized)
+
+
+class AggregateFunction(ABC):
+    """Base class for window aggregate functions.
+
+    Subclasses define the partial-aggregate decomposition; this base
+    class supplies generic combine/reduce helpers on top of the
+    per-component ufuncs.
+    """
+
+    #: Lower-case canonical name (``"min"``, ``"avg"``, ...).
+    name: str = ""
+
+    #: Gray et al. classification.
+    taxonomy: Taxonomy = Taxonomy.DISTRIBUTIVE
+
+    # ------------------------------------------------------------------
+    # Sharing capabilities
+    # ------------------------------------------------------------------
+    @property
+    def supports_overlapping_merge(self) -> bool:
+        """True when partials may be merged over *overlapping* inputs.
+
+        Theorem 6 establishes this for MIN and MAX; it is what licenses
+        the general ``covered_by`` semantics.
+        """
+        return False
+
+    @property
+    def mergeable(self) -> bool:
+        """True when the aggregate can be computed from sub-aggregates
+        at all (i.e. it is not holistic)."""
+        return self.taxonomy is not Taxonomy.HOLISTIC
+
+    @property
+    def semantics(self) -> "CoverageSemantics | None":
+        """Coverage semantics the optimizer may use for this aggregate.
+
+        Per the paper's implementation note (footnote 2): ``covered_by``
+        for MIN/MAX, ``partitioned_by`` for other distributive/algebraic
+        functions, ``None`` for holistic ones (no sharing).
+        """
+        if not self.mergeable:
+            return None
+        if self.supports_overlapping_merge:
+            return CoverageSemantics.COVERED_BY
+        return CoverageSemantics.PARTITIONED_BY
+
+    # ------------------------------------------------------------------
+    # Partial-aggregate protocol
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def component_ufuncs(self) -> "tuple[np.ufunc, ...]":
+        """One commutative/associative ufunc per partial component."""
+
+    @property
+    @abstractmethod
+    def identity_components(self) -> Components:
+        """Neutral partial (the value of an empty instance)."""
+
+    @abstractmethod
+    def lift(self, values: np.ndarray) -> Components:
+        """Map raw values to per-value partial components.
+
+        ``values`` may be a scalar or an ndarray; components come back
+        with matching shape.
+        """
+
+    @abstractmethod
+    def finalize(self, components: Components):
+        """Partial components → final aggregate value(s).
+
+        Works element-wise on ndarray components; empty instances (the
+        identity partial) finalize to the aggregate's empty result
+        (NaN for MIN/MAX/AVG/STDEV/SUM, 0 for COUNT).
+        """
+
+    @property
+    def num_components(self) -> int:
+        return len(self.component_ufuncs)
+
+    # ------------------------------------------------------------------
+    # Generic helpers built on the protocol
+    # ------------------------------------------------------------------
+    def combine(self, left: Components, right: Components) -> Components:
+        """Merge two partials component-wise (vectorized)."""
+        self._require_mergeable("combine")
+        return tuple(
+            ufunc(a, b)
+            for ufunc, a, b in zip(self.component_ufuncs, left, right)
+        )
+
+    def reduce_stack(self, stacks: Components, axis: int = 0) -> Components:
+        """Reduce stacked partial components along ``axis``.
+
+        Each element of ``stacks`` is an ndarray whose ``axis`` dimension
+        enumerates the partials being merged (e.g. the ``M`` provider
+        instances feeding one consumer instance).
+        """
+        self._require_mergeable("reduce")
+        return tuple(
+            ufunc.reduce(stack, axis=axis)
+            for ufunc, stack in zip(self.component_ufuncs, stacks)
+        )
+
+    def segment_reduce(
+        self,
+        codes: np.ndarray,
+        values: np.ndarray,
+        num_segments: int,
+    ) -> Components:
+        """Aggregate ``values`` grouped by integer ``codes``.
+
+        Returns identity-filled component arrays of length
+        ``num_segments`` with segment aggregates scattered in.  This is
+        the raw-event aggregation primitive of the columnar engine; the
+        sort makes it O(P log P) in the number of (event, instance)
+        pairs P, uniformly across all plans.
+        """
+        components = self.lift(np.asarray(values))
+        out = tuple(
+            np.full(num_segments, ident, dtype=np.float64)
+            for ident in self.identity_components
+        )
+        if codes.size == 0:
+            return out
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+        starts = np.concatenate(([0], boundaries))
+        segment_ids = sorted_codes[starts]
+        for ufunc, comp, slot in zip(self.component_ufuncs, components, out):
+            reduced = ufunc.reduceat(np.asarray(comp)[order], starts)
+            slot[segment_ids] = reduced
+        return out
+
+    def compute(self, values: Sequence) -> float:
+        """Directly aggregate a collection of raw values.
+
+        This is the only computation path available to holistic
+        aggregates; mergeable aggregates implement it via lift/finalize
+        so tests can cross-check both paths.
+        """
+        array = np.asarray(list(values), dtype=np.float64)
+        if array.size == 0:
+            return self.finalize(self.identity_components)
+        components = self.lift(array)
+        reduced = tuple(
+            ufunc.reduce(comp)
+            for ufunc, comp in zip(self.component_ufuncs, components)
+        )
+        return float(self.finalize(reduced))
+
+    def _require_mergeable(self, operation: str) -> None:
+        if not self.mergeable:
+            raise UnsupportedAggregateError(
+                f"{self.name} is holistic: sub-aggregates cannot be "
+                f"{operation}d; it must read raw events"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name} ({self.taxonomy})>"
+
+
+def empty_result_is_nan(value: float) -> bool:
+    """Helper for tests: does ``value`` denote an empty-instance result?"""
+    return isinstance(value, float) and math.isnan(value)

@@ -1,0 +1,230 @@
+"""Built-in aggregate functions.
+
+Covers every aggregate the paper names: MIN, MAX, COUNT, SUM
+(distributive), AVG, STDEV (algebraic), MEDIAN (holistic), plus a
+generic QUANTILE as a second holistic example.
+
+Empty-instance conventions (documented, consistent across all engines
+and plans): MIN/MAX/AVG/STDEV/MEDIAN of an empty window instance is
+NaN; SUM is 0.0; COUNT is 0.  On the constant-rate streams used by the
+paper's evaluation no instance is ever empty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import UnsupportedAggregateError
+from .base import AggregateFunction, Components, Taxonomy
+
+
+def _as_result(value):
+    """Return a float for 0-d results, the ndarray otherwise."""
+    array = np.asarray(value)
+    if array.ndim == 0:
+        return float(array)
+    return array
+
+
+class Min(AggregateFunction):
+    """MIN — distributive, merge-safe over overlapping partitions."""
+
+    name = "min"
+    taxonomy = Taxonomy.DISTRIBUTIVE
+
+    @property
+    def supports_overlapping_merge(self) -> bool:
+        return True
+
+    @property
+    def component_ufuncs(self):
+        return (np.minimum,)
+
+    @property
+    def identity_components(self) -> Components:
+        return (np.inf,)
+
+    def lift(self, values) -> Components:
+        return (np.asarray(values, dtype=np.float64),)
+
+    def finalize(self, components: Components):
+        comp = np.asarray(components[0], dtype=np.float64)
+        return _as_result(np.where(comp == np.inf, np.nan, comp))
+
+
+class Max(AggregateFunction):
+    """MAX — distributive, merge-safe over overlapping partitions."""
+
+    name = "max"
+    taxonomy = Taxonomy.DISTRIBUTIVE
+
+    @property
+    def supports_overlapping_merge(self) -> bool:
+        return True
+
+    @property
+    def component_ufuncs(self):
+        return (np.maximum,)
+
+    @property
+    def identity_components(self) -> Components:
+        return (-np.inf,)
+
+    def lift(self, values) -> Components:
+        return (np.asarray(values, dtype=np.float64),)
+
+    def finalize(self, components: Components):
+        comp = np.asarray(components[0], dtype=np.float64)
+        return _as_result(np.where(comp == -np.inf, np.nan, comp))
+
+
+class Sum(AggregateFunction):
+    """SUM — distributive; requires disjoint partitions (partitioned-by)."""
+
+    name = "sum"
+    taxonomy = Taxonomy.DISTRIBUTIVE
+
+    @property
+    def component_ufuncs(self):
+        return (np.add,)
+
+    @property
+    def identity_components(self) -> Components:
+        return (0.0,)
+
+    def lift(self, values) -> Components:
+        return (np.asarray(values, dtype=np.float64),)
+
+    def finalize(self, components: Components):
+        return _as_result(np.asarray(components[0], dtype=np.float64))
+
+
+class Count(AggregateFunction):
+    """COUNT — distributive with ``g = COUNT`` but ``f`` merged by SUM."""
+
+    name = "count"
+    taxonomy = Taxonomy.DISTRIBUTIVE
+
+    @property
+    def component_ufuncs(self):
+        return (np.add,)
+
+    @property
+    def identity_components(self) -> Components:
+        return (0.0,)
+
+    def lift(self, values) -> Components:
+        return (np.ones_like(np.asarray(values, dtype=np.float64)),)
+
+    def finalize(self, components: Components):
+        return _as_result(np.asarray(components[0], dtype=np.float64))
+
+
+class Avg(AggregateFunction):
+    """AVG — algebraic: ``g`` records (sum, count); ``h`` divides."""
+
+    name = "avg"
+    taxonomy = Taxonomy.ALGEBRAIC
+
+    @property
+    def component_ufuncs(self):
+        return (np.add, np.add)
+
+    @property
+    def identity_components(self) -> Components:
+        return (0.0, 0.0)
+
+    def lift(self, values) -> Components:
+        array = np.asarray(values, dtype=np.float64)
+        return (array, np.ones_like(array))
+
+    def finalize(self, components: Components):
+        total = np.asarray(components[0], dtype=np.float64)
+        count = np.asarray(components[1], dtype=np.float64)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            result = np.where(count > 0, total / np.where(count > 0, count, 1), np.nan)
+        return _as_result(result)
+
+
+class Stdev(AggregateFunction):
+    """STDEV — algebraic: ``g`` records (sum, sum of squares, count).
+
+    Sample standard deviation (``ddof = 1``, the SQL STDEV convention);
+    instances with fewer than two events finalize to NaN.
+    """
+
+    name = "stdev"
+    taxonomy = Taxonomy.ALGEBRAIC
+
+    @property
+    def component_ufuncs(self):
+        return (np.add, np.add, np.add)
+
+    @property
+    def identity_components(self) -> Components:
+        return (0.0, 0.0, 0.0)
+
+    def lift(self, values) -> Components:
+        array = np.asarray(values, dtype=np.float64)
+        return (array, array * array, np.ones_like(array))
+
+    def finalize(self, components: Components):
+        total = np.asarray(components[0], dtype=np.float64)
+        squares = np.asarray(components[1], dtype=np.float64)
+        count = np.asarray(components[2], dtype=np.float64)
+        safe = np.where(count > 1, count, 2.0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            variance = (squares - total * total / safe) / (safe - 1.0)
+            variance = np.maximum(variance, 0.0)  # guard FP cancellation
+            result = np.where(count > 1, np.sqrt(variance), np.nan)
+        return _as_result(result)
+
+
+class _Holistic(AggregateFunction):
+    """Shared plumbing for holistic aggregates (no merge path)."""
+
+    taxonomy = Taxonomy.HOLISTIC
+
+    @property
+    def component_ufuncs(self):
+        return ()
+
+    @property
+    def identity_components(self) -> Components:
+        return ()
+
+    def lift(self, values) -> Components:
+        raise UnsupportedAggregateError(
+            f"{self.name} is holistic and has no partial-aggregate form"
+        )
+
+    def finalize(self, components: Components):
+        return float("nan")
+
+
+class Median(_Holistic):
+    """MEDIAN — holistic; only computable from raw events."""
+
+    name = "median"
+
+    def compute(self, values) -> float:
+        array = np.asarray(list(values), dtype=np.float64)
+        if array.size == 0:
+            return float("nan")
+        return float(np.median(array))
+
+
+class Quantile(_Holistic):
+    """QUANTILE(q) — holistic; generalizes MEDIAN (``q = 0.5``)."""
+
+    def __init__(self, q: float = 0.5):
+        if not 0.0 <= q <= 1.0:
+            raise UnsupportedAggregateError(f"quantile q must be in [0, 1], got {q}")
+        self.q = q
+        self.name = f"quantile({q:g})"
+
+    def compute(self, values) -> float:
+        array = np.asarray(list(values), dtype=np.float64)
+        if array.size == 0:
+            return float("nan")
+        return float(np.quantile(array, self.q))

@@ -1,0 +1,68 @@
+"""Name-based lookup of aggregate functions.
+
+The SQL front end and the benchmark harness refer to aggregates by
+name; this registry maps names to singleton instances and allows
+libraries built on top to register their own aggregates.
+"""
+
+from __future__ import annotations
+
+from ..errors import UnsupportedAggregateError
+from .base import AggregateFunction
+from .builtin import Avg, Count, Max, Median, Min, Stdev, Sum
+from .extra import CountDistinct, GeometricMean, Range, SumOfSquares
+
+_REGISTRY: dict[str, AggregateFunction] = {}
+
+
+def register_aggregate(aggregate: AggregateFunction, *aliases: str) -> None:
+    """Register ``aggregate`` under its name and optional ``aliases``.
+
+    Re-registering an existing name replaces it; names are
+    case-insensitive.
+    """
+    for key in (aggregate.name, *aliases):
+        _REGISTRY[key.lower()] = aggregate
+
+
+def get_aggregate(name: str) -> AggregateFunction:
+    """Look up an aggregate function by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.strip().lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnsupportedAggregateError(
+            f"unknown aggregate function {name!r}; known: {known}"
+        ) from None
+
+
+def known_aggregates() -> tuple[str, ...]:
+    """All registered aggregate names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+MIN = Min()
+MAX = Max()
+SUM = Sum()
+COUNT = Count()
+AVG = Avg()
+STDEV = Stdev()
+MEDIAN = Median()
+
+register_aggregate(MIN)
+register_aggregate(MAX)
+register_aggregate(SUM)
+register_aggregate(COUNT)
+register_aggregate(AVG, "average", "mean")
+register_aggregate(STDEV, "stddev", "std")
+register_aggregate(MEDIAN)
+
+RANGE = Range()
+GEOMEAN = GeometricMean()
+SUMSQ = SumOfSquares()
+COUNT_DISTINCT = CountDistinct()
+
+register_aggregate(RANGE)
+register_aggregate(GEOMEAN, "geometric_mean")
+register_aggregate(SUMSQ, "sum_of_squares")
+register_aggregate(COUNT_DISTINCT, "countdistinct")

@@ -1,0 +1,66 @@
+"""Statistical helpers for the evaluation: correlation and summaries.
+
+Self-contained (NumPy only) so the benchmark harness has no SciPy
+dependency; tests cross-check :func:`pearson_r` against
+``scipy.stats.pearsonr``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def pearson_r(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length samples."""
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.shape != y.shape or x.size < 2:
+        raise ValueError("pearson_r needs two equal samples of size >= 2")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = math.sqrt(float(xc @ xc) * float(yc @ yc))
+    if denom == 0.0:
+        return float("nan")
+    return float(xc @ yc) / denom
+
+
+def best_fit_line(
+    xs: Sequence[float], ys: Sequence[float]
+) -> tuple[float, float]:
+    """Least-squares slope and intercept (for Figure-19-style plots)."""
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    slope, intercept = np.polyfit(x, y, 1)
+    return float(slope), float(intercept)
+
+
+@dataclass
+class SampleStats:
+    """Mean and (population) standard deviation of a sample."""
+
+    mean: float
+    std: float
+    count: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "SampleStats":
+        array = np.asarray(list(values), dtype=np.float64)
+        if array.size == 0:
+            return cls(mean=0.0, std=0.0, count=0)
+        return cls(
+            mean=float(array.mean()),
+            std=float(array.std()),
+            count=int(array.size),
+        )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean — the right average for speedup ratios."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0 or np.any(array <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))

@@ -1,0 +1,99 @@
+"""ASCII charts for figure-style benchmark output.
+
+The paper's figures are grouped bar charts (throughput per run, one bar
+per plan variant) and one scatter plot (Figure 19).  These renderers
+produce terminal-friendly equivalents so a benchmark run's shape is
+visible at a glance, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+_BAR = "█"
+_SCATTER_MARKS = "ox+*#"
+
+
+def bar_chart(
+    series: "dict[str, Sequence[float]]",
+    title: str = "",
+    width: int = 50,
+    value_format: str = "{:,.0f}",
+) -> str:
+    """Grouped horizontal bar chart: one group per x-position, one bar
+    per series (the shape of the paper's Figures 11-18, 20-22)."""
+    if not series:
+        return title
+    peak = max(
+        (v for values in series.values() for v in values if v == v),
+        default=0.0,
+    )
+    label_width = max(len(name) for name in series)
+    length = max((len(v) for v in series.values()), default=0)
+    lines = [title] if title else []
+    for index in range(length):
+        lines.append(f"run {index + 1}")
+        for name, values in series.items():
+            value = values[index] if index < len(values) else float("nan")
+            if math.isnan(value):
+                bar, shown = "(n/a)", ""
+            else:
+                filled = 0 if peak <= 0 else round(width * value / peak)
+                bar = _BAR * max(filled, 1 if value > 0 else 0)
+                shown = " " + value_format.format(value)
+            lines.append(f"  {name.ljust(label_width)} |{bar}{shown}")
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    title: str = "",
+    width: int = 55,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    diagonal: bool = True,
+) -> str:
+    """ASCII scatter plot with an optional y=x reference line — the
+    shape of Figure 19 (predicted vs observed speedup)."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("scatter_plot needs equal, non-empty samples")
+    x_max = max(max(xs), 1e-9)
+    y_max = max(max(ys), 1e-9)
+    if diagonal:
+        x_max = y_max = max(x_max, y_max)
+    grid = [[" "] * width for _ in range(height)]
+    if diagonal:
+        for col in range(width):
+            row = height - 1 - round((height - 1) * col / (width - 1))
+            grid[row][col] = "."
+    for x, y in zip(xs, ys):
+        col = min(width - 1, round((width - 1) * max(x, 0.0) / x_max))
+        row = height - 1 - min(
+            height - 1, round((height - 1) * max(y, 0.0) / y_max)
+        )
+        grid[row][col] = "o"
+    lines = [title] if title else []
+    lines.append(f"{y_label} (max {y_max:.2f})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} (max {x_max:.2f})")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend (used for rate traces in the adaptive demo)."""
+    blocks = "▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return blocks[0] * len(values)
+    out = []
+    for value in values:
+        level = round((len(blocks) - 1) * (value - lo) / (hi - lo))
+        out.append(blocks[level])
+    return "".join(out)

@@ -1,0 +1,147 @@
+"""Command-line interface: ``factor-windows <command>``.
+
+Commands
+--------
+``optimize``      optimize an ASA-like SQL query and print the plans.
+``experiment``    regenerate one of the paper's tables/figures.
+``list``          list available experiment ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..plans.render import to_tree, to_trill
+from ..sql.compile import plan_query
+from . import experiments
+from .reporting import format_boost_summary_table
+
+EXPERIMENTS = {
+    "fig11": "throughput panels, synthetic, |W|=5",
+    "fig12": "optimizer overhead vs |W|",
+    "fig13": "Flink vs Scotty vs factor windows, |W|=10",
+    "fig14": "throughput panels, synthetic, |W|=10",
+    "fig17": "throughput panels, real (DEBS-like), |W|=5",
+    "fig18": "throughput panels, real (DEBS-like), |W|=10",
+    "fig19": "cost-model correlation",
+    "fig20": "throughput panels, synthetic, |W|=15",
+    "fig21": "throughput panels, synthetic, |W|=20",
+    "fig22": "Flink vs Scotty vs factor windows, |W|=5",
+    "table1": "boost summary, synthetic",
+    "table2": "boost summary, real (DEBS-like)",
+    "table3": "boost summary, scalability |W| in {15,20}",
+    "table4": "boost summary, synthetic small stream",
+}
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    planned = plan_query(args.query, enable_factor_windows=not args.no_factors)
+    print(planned.optimization.summary())
+    print()
+    print(to_tree(planned.best_plan))
+    if args.trill:
+        print()
+        print("Trill expression:")
+        print(to_trill(planned.best_plan))
+    return 0
+
+
+def _panel_experiment(args, dataset: str, size: int) -> int:
+    panels = experiments.throughput_panels(
+        dataset=dataset, set_size=size, events=args.events, runs=args.runs
+    )
+    for panel in panels:
+        print(panel.render())
+        print()
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "fig11":
+        return _panel_experiment(args, "synthetic", 5)
+    if name == "fig14":
+        return _panel_experiment(args, "synthetic", 10)
+    if name == "fig17":
+        return _panel_experiment(args, "real", 5)
+    if name == "fig18":
+        return _panel_experiment(args, "real", 10)
+    if name == "fig20":
+        return _panel_experiment(args, "synthetic", 15)
+    if name == "fig21":
+        return _panel_experiment(args, "synthetic", 20)
+    if name == "fig12":
+        points = experiments.optimizer_overhead(runs=args.runs)
+        print(experiments.render_overhead(points))
+        return 0
+    if name in ("fig13", "fig22"):
+        size = 10 if name == "fig13" else 5
+        panels = experiments.scotty_comparison(
+            set_size=size, events=args.events, runs=args.runs
+        )
+        for panel in panels:
+            print(panel.render(include_scotty=True))
+            print()
+        return 0
+    if name == "fig19":
+        panels = experiments.cost_model_correlation(
+            events=args.events, runs=args.runs
+        )
+        print(experiments.render_correlation(panels))
+        return 0
+    if name in ("table1", "table2", "table3", "table4"):
+        dataset = "real" if name == "table2" else "synthetic"
+        sizes = (15, 20) if name == "table3" else (5, 10)
+        events = args.events // 4 if name == "table4" else args.events
+        summaries = experiments.boost_summary_table(
+            dataset=dataset, set_sizes=sizes, events=events, runs=args.runs
+        )
+        print(
+            format_boost_summary_table(
+                summaries, title=f"{name}: throughput boosts ({dataset})"
+            )
+        )
+        return 0
+    print(f"unknown experiment {name!r}; try: factor-windows list", file=sys.stderr)
+    return 2
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name, description in sorted(EXPERIMENTS.items()):
+        print(f"{name:8s} {description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="factor-windows",
+        description="Factor Windows: cost-based multi-window aggregate "
+        "optimization (ICDE 2022 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_opt = sub.add_parser("optimize", help="optimize an ASA-like SQL query")
+    p_opt.add_argument("query", help="the query text")
+    p_opt.add_argument("--no-factors", action="store_true")
+    p_opt.add_argument("--trill", action="store_true", help="print Trill form")
+    p_opt.set_defaults(func=_cmd_optimize)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
+    p_exp.add_argument("name", help="experiment id (see: factor-windows list)")
+    p_exp.add_argument("--events", type=int, default=experiments.DEFAULT_EVENTS)
+    p_exp.add_argument("--runs", type=int, default=experiments.DEFAULT_RUNS)
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_list = sub.add_parser("list", help="list experiment ids")
+    p_list.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,211 @@
+"""The cost model and Algorithm 1 (min-cost WCG) — Section III-B.
+
+Costs are counted in *processed inputs* over one hyper-period
+``R = lcm(r1, ..., rn)`` of the user windows, assuming a steady input
+event rate ``η``:
+
+* reading raw events costs ``η * r`` per window instance;
+* reading a provider's sub-aggregates costs ``M(Wi, W')`` per instance
+  (Observation 1), where ``M`` is the covering multiplier;
+* a window fires ``n = 1 + (R - r)/s`` instances per hyper-period.
+
+The virtual root ``S`` stands for the raw stream: edges from ``S``
+price as raw reads and ``S`` itself costs nothing (Example 7 counts
+``C' = c2 + c3 + c4`` only).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import CostModelError
+from ..windows.coverage import covering_multiplier
+from ..windows.window import VIRTUAL_ROOT, Window
+from .wcg import WindowCoverageGraph
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Paper cost model parameterized by the input event rate ``η``."""
+
+    event_rate: int = 1
+
+    def __post_init__(self) -> None:
+        if self.event_rate < 1:
+            raise CostModelError(
+                f"event rate must be >= 1, got {self.event_rate}"
+            )
+
+    # ------------------------------------------------------------------
+    # Primitive quantities
+    # ------------------------------------------------------------------
+    def hyper_period(self, windows: Iterable[Window]) -> int:
+        """``R = lcm`` of the given windows' ranges."""
+        ranges = [w.range for w in windows if w is not VIRTUAL_ROOT]
+        if not ranges:
+            raise CostModelError("hyper-period of an empty window collection")
+        return math.lcm(*ranges)
+
+    def recurrence_count(self, window: Window, period: int) -> int:
+        """``n_i`` — instances of ``window`` per hyper-period (Eq. 1)."""
+        return window.recurrence_count(period)
+
+    def raw_instance_cost(self, window: Window) -> int:
+        """``µ_i = η * r_i`` — instance cost without sharing."""
+        return self.event_rate * window.range
+
+    def instance_cost(self, window: Window, provider: "Window | None") -> int:
+        """Instance cost given the chosen ``provider`` (Observation 1).
+
+        ``provider is None`` or the virtual root means raw-event input.
+        """
+        if provider is None or provider is VIRTUAL_ROOT:
+            return self.raw_instance_cost(window)
+        return covering_multiplier(window, provider)
+
+    def window_cost(
+        self, window: Window, provider: "Window | None", period: int
+    ) -> int:
+        """``c_i = n_i * µ_i`` for one window over the hyper-period."""
+        n = self.recurrence_count(window, period)
+        return n * self.instance_cost(window, provider)
+
+    def baseline_cost(self, windows: Iterable[Window]) -> int:
+        """Total cost of the original plan: every window reads raw."""
+        window_list = [w for w in windows if w is not VIRTUAL_ROOT]
+        period = self.hyper_period(window_list)
+        return sum(self.window_cost(w, None, period) for w in window_list)
+
+
+@dataclass
+class MinCostWCG:
+    """Result of Algorithm 1: the min-cost WCG ``Gmin``.
+
+    ``provider[w]`` is the single chosen provider of ``w`` (``None`` for
+    raw input).  ``graph`` retains only the winning edges, so it is a
+    forest (Theorem 7).  ``costs`` are per-window costs over the
+    hyper-period ``period``; ``total_cost`` excludes the virtual root
+    but includes factor windows.
+    """
+
+    graph: WindowCoverageGraph
+    provider: dict[Window, "Window | None"]
+    costs: dict[Window, int]
+    period: int
+    event_rate: int
+    baseline: int = 0
+    factor_windows: tuple[Window, ...] = field(default_factory=tuple)
+
+    @property
+    def total_cost(self) -> int:
+        return sum(
+            cost for window, cost in self.costs.items()
+            if window is not VIRTUAL_ROOT
+        )
+
+    @property
+    def predicted_speedup(self) -> float:
+        """Paper's ``γ_C``: baseline cost over optimized cost."""
+        total = self.total_cost
+        if total == 0:
+            return float("inf")
+        return self.baseline / total
+
+    def consumers_of(self, window: Window) -> tuple[Window, ...]:
+        return self.graph.consumers_of(window)
+
+    def reads_raw(self, window: Window) -> bool:
+        """True when ``window`` aggregates raw input events in Gmin."""
+        chosen = self.provider.get(window)
+        return chosen is None or chosen is VIRTUAL_ROOT
+
+
+def minimize_cost(
+    graph: WindowCoverageGraph,
+    model: CostModel,
+    period: "int | None" = None,
+) -> MinCostWCG:
+    """Algorithm 1: find the min-cost WCG.
+
+    For each window, initialize with the raw-read cost, then revise
+    against every incoming edge (Observation 1); finally drop every
+    incoming edge except the winner.  Ties break toward the provider
+    with the largest range (fewest reads ⇒ shallowest merge fan-in),
+    then lexicographically, so results are deterministic.
+    """
+    user_windows = graph.user_windows
+    if not user_windows:
+        raise CostModelError("cannot minimize cost of an empty window set")
+    if period is None:
+        period = model.hyper_period(user_windows)
+    result = graph.copy()
+    provider: dict[Window, Window | None] = {}
+    costs: dict[Window, int] = {}
+
+    for window in graph.nodes:
+        if window is VIRTUAL_ROOT:
+            provider[window] = None
+            costs[window] = 0
+            continue
+        n = model.recurrence_count(window, period)
+        best_cost = n * model.raw_instance_cost(window)
+        best_provider: Window | None = None
+        for candidate in graph.providers_of(window):
+            cost = n * model.instance_cost(window, candidate)
+            better = cost < best_cost
+            tie = (
+                cost == best_cost
+                and best_provider is not None
+                and candidate is not VIRTUAL_ROOT
+                and (candidate.range, -candidate.slide)
+                > (best_provider.range, -best_provider.slide)
+            )
+            if better or tie:
+                best_cost = cost
+                best_provider = candidate
+        if best_provider is VIRTUAL_ROOT:
+            best_provider = None
+        provider[window] = best_provider
+        costs[window] = best_cost
+        for candidate in graph.providers_of(window):
+            keep = (
+                candidate is best_provider
+                or (best_provider is None and candidate is VIRTUAL_ROOT)
+            )
+            if not keep:
+                result.remove_edge(candidate, window)
+
+    baseline = model.baseline_cost(user_windows)
+    return MinCostWCG(
+        graph=result,
+        provider=provider,
+        costs=costs,
+        period=period,
+        event_rate=model.event_rate,
+        baseline=baseline,
+        factor_windows=graph.factor_windows,
+    )
+
+
+def prune_useless_factors(result: MinCostWCG) -> MinCostWCG:
+    """Drop factor windows no surviving consumer reads from.
+
+    Rebuilding the full coverage graph before Algorithm 1 (see
+    DESIGN.md §3) can leave inserted factor windows that ended up
+    feeding nobody; they would inflate the plan cost for no benefit.
+    Removal is iterative because factors can chain.
+    """
+    graph = result.graph
+    changed = True
+    while changed:
+        changed = False
+        for factor in graph.factor_windows:
+            if graph.out_degree(factor) == 0:
+                graph.remove_node(factor)
+                result.costs.pop(factor, None)
+                result.provider.pop(factor, None)
+                changed = True
+    result.factor_windows = graph.factor_windows
+    return result

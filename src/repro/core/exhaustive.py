@@ -1,0 +1,133 @@
+"""Exhaustive factor-window search — the paper's "ideal, optimal" bound.
+
+Footnote 3 of Section IV notes that Algorithm 3 is a heuristic for an
+NP-hard Steiner-tree problem: an optimal solver would enumerate *all*
+valid candidate factor windows, insert them into the WCG, and solve the
+Steiner tree exactly.  This module implements that search for small
+instances so tests and ablation benchmarks can measure the gap.
+
+The search enumerates every subset (up to ``max_factors``) of the full
+candidate pool and runs Algorithm 1 on each expanded graph.  Because
+Algorithm 1 is exact once the node set is fixed, the minimum over all
+subsets is the true optimum within the candidate pool.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import Iterable
+
+from ..errors import CostModelError
+from ..windows.coverage import CoverageSemantics, strictly_relates
+from ..windows.window import Window, WindowSet
+from .cost import CostModel, MinCostWCG, minimize_cost, prune_useless_factors
+from .wcg import WindowCoverageGraph
+
+
+def candidate_pool(
+    windows: "WindowSet | Iterable[Window]",
+    semantics: CoverageSemantics,
+    max_candidates: int = 64,
+) -> list[Window]:
+    """All windows that cover at least one user window (Definition 6).
+
+    For ``partitioned_by``: tumbling windows whose range divides some
+    user range.  For ``covered_by``: windows ``⟨rf, sf⟩`` with ``sf``
+    dividing some user slide and ``rf`` a multiple of ``sf`` up to the
+    largest user range.  The pool is capped to keep the search finite.
+    """
+    user = list(windows)
+    pool: list[Window] = []
+    seen: set[Window] = set(user)
+    if semantics is CoverageSemantics.PARTITIONED_BY:
+        for window in user:
+            for rf in range(1, window.range):
+                if window.range % rf != 0:
+                    continue
+                factor = Window(rf, rf)
+                if factor in seen:
+                    continue
+                if strictly_relates(window, factor, semantics):
+                    pool.append(factor)
+                    seen.add(factor)
+    else:
+        slides = {w.slide for w in user}
+        r_max = max(w.range for w in user)
+        divisors = set()
+        for slide in slides:
+            d = 1
+            while d * d <= slide:
+                if slide % d == 0:
+                    divisors.add(d)
+                    divisors.add(slide // d)
+                d += 1
+        for sf in sorted(divisors):
+            for rf in range(sf, r_max + 1, sf):
+                factor = Window(rf, sf)
+                if factor in seen:
+                    continue
+                if any(strictly_relates(w, factor, semantics) for w in user):
+                    pool.append(factor)
+                    seen.add(factor)
+    pool.sort()
+    if len(pool) > max_candidates:
+        raise CostModelError(
+            f"candidate pool has {len(pool)} windows; exhaustive search is "
+            f"capped at {max_candidates} (pass a larger max_candidates to "
+            "override at your own peril)"
+        )
+    return pool
+
+
+def exhaustive_min_cost(
+    windows: "WindowSet | Iterable[Window]",
+    semantics: CoverageSemantics,
+    model: "CostModel | None" = None,
+    max_factors: int = 3,
+    max_candidates: int = 64,
+) -> MinCostWCG:
+    """The cheapest min-cost WCG over all factor subsets of the pool.
+
+    Exponential in ``max_factors`` — intended for ablation on window
+    sets of a handful of windows only.
+    """
+    model = model or CostModel()
+    window_set = windows if isinstance(windows, WindowSet) else WindowSet(list(windows))
+    window_set.validate_for_cost_model()
+    pool = candidate_pool(window_set, semantics, max_candidates)
+    period = model.hyper_period(window_set)
+
+    best: MinCostWCG | None = None
+    subsets: Iterable[tuple[Window, ...]] = (
+        subset
+        for size in range(min(max_factors, len(pool)) + 1)
+        for subset in combinations(pool, size)
+    )
+    for subset in subsets:
+        graph = WindowCoverageGraph.build(
+            window_set, semantics, factors=subset
+        )
+        result = minimize_cost(graph, model, period=period)
+        result = prune_useless_factors(result)
+        if best is None or result.total_cost < best.total_cost:
+            best = result
+    assert best is not None  # at least the empty subset ran
+    return best
+
+
+def optimality_gap(
+    heuristic_cost: int, optimal_cost: int
+) -> float:
+    """Relative gap ``(heuristic - optimal) / optimal`` (0.0 = optimal)."""
+    if optimal_cost <= 0:
+        return 0.0
+    return (heuristic_cost - optimal_cost) / optimal_cost
+
+
+def _subset_count(pool_size: int, max_factors: int) -> int:
+    """Number of subsets the exhaustive search will evaluate."""
+    return sum(
+        math.comb(pool_size, size)
+        for size in range(min(max_factors, pool_size) + 1)
+    )

@@ -1,0 +1,228 @@
+"""The cost-based optimizer: Algorithm 1 and Algorithm 3 facades.
+
+This is the entry point a query compiler calls: given a window set and
+an aggregate function, produce the min-cost WCG without factor windows
+(Algorithm 1) and with them (Algorithm 3), pick the cheaper, and report
+costs, timings, and predicted speedups.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..aggregates.base import AggregateFunction
+from ..errors import CostModelError
+from ..windows.coverage import CoverageSemantics
+from ..windows.window import VIRTUAL_ROOT, Window, WindowSet
+from .cost import CostModel, MinCostWCG, minimize_cost, prune_useless_factors
+from .factor import (
+    FactorCandidate,
+    generate_candidates_covered,
+    generate_candidates_partitioned,
+    global_factor_benefit,
+)
+from .wcg import WindowCoverageGraph
+
+
+@dataclass
+class OptimizationResult:
+    """Everything the optimizer decided for one query.
+
+    Attributes
+    ----------
+    windows / aggregate / semantics / event_rate:
+        The optimization inputs (semantics is ``None`` for holistic
+        aggregates, in which case no rewriting happens).
+    baseline_cost:
+        Cost of the original (independent-evaluation) plan.
+    without_factors / with_factors:
+        Min-cost WCGs from Algorithm 1 and Algorithm 3.  ``with_factors``
+        is ``None`` when factor search was disabled or not applicable.
+    inserted_factors:
+        Factor windows Algorithm 3 inserted (before pruning).
+    optimize_seconds:
+        Wall-clock optimizer time (the paper's Figure 12 metric).
+    """
+
+    windows: WindowSet
+    aggregate: AggregateFunction
+    semantics: "CoverageSemantics | None"
+    event_rate: int
+    baseline_cost: int
+    without_factors: "MinCostWCG | None" = None
+    with_factors: "MinCostWCG | None" = None
+    inserted_factors: tuple[FactorCandidate, ...] = field(default_factory=tuple)
+    optimize_seconds: float = 0.0
+
+    @property
+    def best(self) -> "MinCostWCG | None":
+        """The cheapest min-cost WCG found (factor plan wins ties)."""
+        if self.with_factors is None:
+            return self.without_factors
+        if self.without_factors is None:
+            return self.with_factors
+        if self.with_factors.total_cost <= self.without_factors.total_cost:
+            return self.with_factors
+        return self.without_factors
+
+    @property
+    def best_cost(self) -> int:
+        best = self.best
+        return self.baseline_cost if best is None else best.total_cost
+
+    @property
+    def predicted_speedup(self) -> float:
+        """``γ_C`` of the best plan against the original plan."""
+        if self.best_cost == 0:
+            return float("inf")
+        return self.baseline_cost / self.best_cost
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        lines = [
+            f"aggregate={self.aggregate.name} semantics={self.semantics}",
+            f"baseline cost      : {self.baseline_cost}",
+        ]
+        if self.without_factors is not None:
+            lines.append(
+                f"w/o factor windows : {self.without_factors.total_cost}"
+            )
+        if self.with_factors is not None:
+            factors = ", ".join(
+                w.label for w in self.with_factors.factor_windows
+            ) or "none kept"
+            lines.append(
+                f"w/ factor windows  : {self.with_factors.total_cost}"
+                f" (factors: {factors})"
+            )
+        lines.append(f"predicted speedup  : {self.predicted_speedup:.2f}x")
+        return "\n".join(lines)
+
+
+def min_cost_wcg(
+    windows: "WindowSet | Iterable[Window]",
+    semantics: CoverageSemantics,
+    model: "CostModel | None" = None,
+) -> MinCostWCG:
+    """Algorithm 1: min-cost WCG without factor windows."""
+    model = model or CostModel()
+    window_set = windows if isinstance(windows, WindowSet) else WindowSet(list(windows))
+    window_set.validate_for_cost_model()
+    graph = WindowCoverageGraph.build(window_set, semantics)
+    return minimize_cost(graph, model)
+
+
+def min_cost_wcg_with_factors(
+    windows: "WindowSet | Iterable[Window]",
+    semantics: CoverageSemantics,
+    model: "CostModel | None" = None,
+) -> tuple[MinCostWCG, tuple[FactorCandidate, ...]]:
+    """Algorithm 3: min-cost WCG with factor windows.
+
+    For every node of the augmented WCG that has downstream windows,
+    generate candidate factor windows (Algorithm 2 or 5's candidate
+    space) and insert the one with the best benefit; then run
+    Algorithm 1 over the expanded graph and prune factor windows
+    nothing reads from.
+
+    Deviation from the paper (see DESIGN.md §3): candidates are priced
+    with :func:`~repro.core.factor.global_factor_benefit` — the exact
+    total-cost delta against the windows' current best providers —
+    instead of Equation 2's read-from-target assumption.  The paper's
+    formula can over-estimate savings and insert a factor that makes
+    the final plan *worse*; the global gate makes improvement over
+    Algorithm 1 a guarantee, which our property tests enforce.
+    """
+    model = model or CostModel()
+    window_set = windows if isinstance(windows, WindowSet) else WindowSet(list(windows))
+    window_set.validate_for_cost_model()
+    period = model.hyper_period(window_set)
+    graph = WindowCoverageGraph.build(window_set, semantics)
+    inserted: list[FactorCandidate] = []
+
+    generate = (
+        generate_candidates_partitioned
+        if semantics is CoverageSemantics.PARTITIONED_BY
+        else generate_candidates_covered
+    )
+    for target in list(graph.nodes):
+        downstream = list(graph.consumers_of(target))
+        if not downstream:
+            continue
+        best: FactorCandidate | None = None
+        for window in generate(target, downstream, exclude=graph.nodes):
+            benefit = global_factor_benefit(graph, window, period, model)
+            if benefit > 0 and (best is None or benefit > best.benefit):
+                best = FactorCandidate(window, benefit)
+        if best is not None and not graph.has_node(best.window):
+            graph.insert_factor(best.window)
+            inserted.append(best)
+
+    result = minimize_cost(graph, model, period=period)
+    result = prune_useless_factors(result)
+    return result, tuple(inserted)
+
+
+def optimize(
+    windows: "WindowSet | Iterable[Window]",
+    aggregate: AggregateFunction,
+    event_rate: int = 1,
+    enable_factor_windows: bool = True,
+    semantics_override: "CoverageSemantics | None" = None,
+) -> OptimizationResult:
+    """Optimize a multi-window aggregate query end to end.
+
+    Holistic aggregates cannot share sub-aggregates; for them the
+    result carries only the baseline cost and no rewritten WCG (the
+    caller falls back to the original plan, Section III-A).
+
+    ``semantics_override`` forces a coverage relation instead of the
+    aggregate's default.  Forcing ``partitioned_by`` is always sound
+    (it is a sub-relation of ``covered_by``); forcing ``covered_by``
+    requires an aggregate that merges over overlapping partitions
+    (Theorem 6).  The paper's evaluation uses this to run MIN under
+    both semantics (Section V-B).
+    """
+    window_set = windows if isinstance(windows, WindowSet) else WindowSet(list(windows))
+    if len(window_set) == 0:
+        raise CostModelError("cannot optimize an empty window set")
+    model = CostModel(event_rate=event_rate)
+    semantics = aggregate.semantics
+    if semantics_override is not None:
+        if semantics is None:
+            raise CostModelError(
+                f"holistic aggregate {aggregate.name} supports no coverage "
+                "semantics"
+            )
+        if (
+            semantics_override is CoverageSemantics.COVERED_BY
+            and not aggregate.supports_overlapping_merge
+        ):
+            raise CostModelError(
+                f"{aggregate.name} cannot use covered_by semantics: it is "
+                "not distributive over overlapping partitions"
+            )
+        semantics = semantics_override
+    started = time.perf_counter()
+    baseline = model.baseline_cost(window_set)
+
+    result = OptimizationResult(
+        windows=window_set,
+        aggregate=aggregate,
+        semantics=semantics,
+        event_rate=event_rate,
+        baseline_cost=baseline,
+    )
+    if semantics is None:
+        result.optimize_seconds = time.perf_counter() - started
+        return result
+
+    result.without_factors = min_cost_wcg(window_set, semantics, model)
+    if enable_factor_windows:
+        result.with_factors, result.inserted_factors = (
+            min_cost_wcg_with_factors(window_set, semantics, model)
+        )
+    result.optimize_seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,101 @@
+"""Query rewriting: min-cost WCG → executable logical plan.
+
+Implements Appendix B of the paper.  Given ``Gmin`` (a forest by
+Theorem 7):
+
+* windows without a provider read from the source's MultiCast
+  (or directly from the source when unique);
+* every window with downstream consumers gets a MultiCast that feeds
+  both the Union (if user-facing) and its consumers;
+* every user window's results reach the Union; factor windows' results
+  do not (Definition 6: factor windows are invisible to users).
+"""
+
+from __future__ import annotations
+
+from ..aggregates.base import AggregateFunction
+from ..errors import PlanError
+from ..plans.builder import PlanBuilder
+from ..plans.nodes import LogicalPlan, PlanNode, WindowAggregateNode
+from ..windows.window import VIRTUAL_ROOT, Window
+from .cost import MinCostWCG
+
+
+def rewrite_plan(
+    gmin: MinCostWCG,
+    aggregate: AggregateFunction,
+    source_name: str = "Input",
+    description: str = "rewritten",
+) -> LogicalPlan:
+    """Translate ``gmin`` into a logical plan (Appendix B).
+
+    Raises :class:`PlanError` when ``gmin`` is not a forest — that
+    would mean Algorithm 1's edge pruning was bypassed.
+    """
+    if not gmin.graph.is_forest():
+        raise PlanError("min-cost WCG is not a forest; cannot rewrite")
+
+    builder = PlanBuilder(source_name)
+    windows = [w for w in gmin.graph.nodes if w is not VIRTUAL_ROOT]
+    if not windows:
+        raise PlanError("cannot rewrite an empty min-cost WCG")
+
+    raw_readers = [w for w in windows if gmin.reads_raw(w)]
+    if len(raw_readers) > 1:
+        raw_upstream: PlanNode = builder.multicast(builder.source)
+    else:
+        raw_upstream = builder.source
+
+    # Build aggregate nodes providers-first (the forest guarantees the
+    # order exists); attach a MultiCast after any node with consumers.
+    agg_nodes: dict[Window, WindowAggregateNode] = {}
+    outputs: dict[Window, PlanNode] = {}
+    pending = list(windows)
+    while pending:
+        progressed = False
+        for window in list(pending):
+            provider = None if gmin.reads_raw(window) else gmin.provider[window]
+            if provider is not None and provider not in outputs:
+                continue
+            upstream = raw_upstream if provider is None else outputs[provider]
+            node = builder.window_aggregate(
+                window,
+                aggregate,
+                upstream,
+                provider=provider,
+                is_factor=gmin.graph.is_factor(window),
+            )
+            agg_nodes[window] = node
+            consumers = [
+                c for c in gmin.graph.consumers_of(window)
+                if c is not VIRTUAL_ROOT
+            ]
+            needs_fanout = bool(consumers) and (
+                len(consumers) + (0 if gmin.graph.is_factor(window) else 1) > 1
+            )
+            outputs[window] = (
+                builder.multicast(node) if needs_fanout else node
+            )
+            pending.remove(window)
+            progressed = True
+        if not progressed:
+            raise PlanError("provider cycle detected in min-cost WCG")
+
+    user_outputs = [
+        # User-facing results come from the aggregate node itself (or
+        # its MultiCast, which forwards identical results).
+        outputs[w] if not gmin.graph.is_factor(w) else None
+        for w in windows
+    ]
+    union_inputs = [out for out in user_outputs if out is not None]
+    if len(union_inputs) == 1:
+        root: PlanNode = union_inputs[0]
+    else:
+        root = builder.union(union_inputs)
+    return LogicalPlan(
+        root=root,
+        source=builder.source,
+        aggregate=aggregate,
+        semantics=gmin.graph.semantics,
+        description=description,
+    )

@@ -1,0 +1,41 @@
+"""Streaming engines: columnar (fast path) and row-at-a-time (reference)."""
+
+from .columnar import (
+    WindowState,
+    aggregate_from_provider,
+    aggregate_raw,
+    aggregate_raw_holistic,
+    num_complete_instances,
+)
+from .events import EventBatch, encode_keys, make_batch
+from .executor import ExecutionResult, execute_plan, results_equal
+from .outoforder import (
+    ReorderBuffer,
+    ReorderStats,
+    batch_from_unordered,
+    reorder_events,
+    scramble_batch,
+)
+from .stats import ExecutionStats
+from .streaming import StreamingExecutor
+
+__all__ = [
+    "EventBatch",
+    "ReorderBuffer",
+    "ReorderStats",
+    "batch_from_unordered",
+    "reorder_events",
+    "scramble_batch",
+    "ExecutionResult",
+    "ExecutionStats",
+    "StreamingExecutor",
+    "WindowState",
+    "aggregate_from_provider",
+    "aggregate_raw",
+    "aggregate_raw_holistic",
+    "encode_keys",
+    "execute_plan",
+    "make_batch",
+    "num_complete_instances",
+    "results_equal",
+]

@@ -1,0 +1,121 @@
+"""Columnar event batches — the engines' input representation.
+
+An :class:`EventBatch` is a finite, timestamp-sorted slice of a stream
+held as NumPy columns (timestamp, key, value).  Keys are dense integer
+ids (``0 .. num_keys-1``); :func:`encode_keys` remaps arbitrary key
+values.  ``horizon`` marks the end of observed time: only window
+instances that close at or before the horizon are emitted, so all plans
+agree on which instances exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+
+@dataclass(frozen=True)
+class EventBatch:
+    """A finite, sorted, columnar batch of stream events."""
+
+    timestamps: np.ndarray
+    keys: np.ndarray
+    values: np.ndarray
+    horizon: int
+    num_keys: int
+
+    def __post_init__(self) -> None:
+        n = len(self.timestamps)
+        if len(self.keys) != n or len(self.values) != n:
+            raise ExecutionError("event columns must have equal length")
+        if n:
+            if self.timestamps[0] < 0:
+                raise ExecutionError("timestamps must be non-negative")
+            if np.any(np.diff(self.timestamps) < 0):
+                raise ExecutionError("timestamps must be sorted ascending")
+            if int(self.timestamps[-1]) >= self.horizon:
+                raise ExecutionError(
+                    "horizon must exceed the last event timestamp"
+                )
+            if self.keys.min() < 0 or self.keys.max() >= self.num_keys:
+                raise ExecutionError("keys must be dense ids in [0, num_keys)")
+        if self.num_keys < 1:
+            raise ExecutionError("num_keys must be >= 1")
+
+    @property
+    def num_events(self) -> int:
+        return len(self.timestamps)
+
+    def __len__(self) -> int:
+        return self.num_events
+
+    def rows(self) -> Iterable[tuple[int, int, float]]:
+        """Iterate events as ``(timestamp, key, value)`` rows."""
+        for i in range(self.num_events):
+            yield (
+                int(self.timestamps[i]),
+                int(self.keys[i]),
+                float(self.values[i]),
+            )
+
+    def slice_time(self, start: int, end: int) -> "EventBatch":
+        """Events with ``start <= ts < end`` as a new batch."""
+        lo = int(np.searchsorted(self.timestamps, start, side="left"))
+        hi = int(np.searchsorted(self.timestamps, end, side="left"))
+        return EventBatch(
+            timestamps=self.timestamps[lo:hi],
+            keys=self.keys[lo:hi],
+            values=self.values[lo:hi],
+            horizon=min(self.horizon, end),
+            num_keys=self.num_keys,
+        )
+
+
+def make_batch(
+    timestamps: Sequence[int],
+    values: Sequence[float],
+    keys: "Sequence[int] | None" = None,
+    horizon: "int | None" = None,
+    num_keys: "int | None" = None,
+) -> EventBatch:
+    """Build an :class:`EventBatch` from Python sequences (sorting if
+    needed)."""
+    ts = np.asarray(timestamps, dtype=np.int64)
+    vals = np.asarray(values, dtype=np.float64)
+    if keys is None:
+        key_arr = np.zeros(len(ts), dtype=np.int64)
+    else:
+        key_arr = np.asarray(keys, dtype=np.int64)
+    if len(ts) and np.any(np.diff(ts) < 0):
+        order = np.argsort(ts, kind="stable")
+        ts, vals, key_arr = ts[order], vals[order], key_arr[order]
+    if num_keys is None:
+        num_keys = int(key_arr.max()) + 1 if len(key_arr) else 1
+    if horizon is None:
+        horizon = int(ts[-1]) + 1 if len(ts) else 1
+    return EventBatch(
+        timestamps=ts,
+        keys=key_arr,
+        values=vals,
+        horizon=horizon,
+        num_keys=num_keys,
+    )
+
+
+def encode_keys(raw_keys: Sequence) -> tuple[np.ndarray, dict]:
+    """Remap arbitrary key values to dense ids.
+
+    Returns ``(ids, mapping)`` where ``mapping`` goes original → id,
+    assigned in order of first appearance.
+    """
+    mapping: dict = {}
+    ids = np.empty(len(raw_keys), dtype=np.int64)
+    for i, key in enumerate(raw_keys):
+        if key not in mapping:
+            mapping[key] = len(mapping)
+        ids[i] = mapping[key]
+    return ids, mapping

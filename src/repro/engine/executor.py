@@ -1,0 +1,148 @@
+"""Plan execution facade.
+
+``execute_plan(plan, batch)`` runs a logical plan on a finite event
+batch with either engine and returns an :class:`ExecutionResult`
+bundling per-window result arrays with execution statistics.  This is
+the function the benchmark harness, the examples, and the equivalence
+tests all call.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..plans.nodes import LogicalPlan
+from ..plans.validate import validate_plan
+from ..windows.window import Window
+from .columnar import (
+    WindowState,
+    aggregate_from_provider,
+    aggregate_raw,
+    aggregate_raw_holistic,
+)
+from .events import EventBatch
+from .stats import ExecutionStats
+from .streaming import StreamingExecutor
+
+Record = tuple[str, int, int, float]  # (window label, key, instance, value)
+
+
+@dataclass
+class ExecutionResult:
+    """Results and statistics from executing one plan on one batch."""
+
+    plan: LogicalPlan
+    results: dict[Window, np.ndarray]
+    stats: ExecutionStats
+    engine: str
+
+    @property
+    def throughput(self) -> float:
+        return self.stats.throughput
+
+    def to_records(self, drop_empty: bool = False) -> list[Record]:
+        """Flatten results into sorted, comparable records.
+
+        With ``drop_empty=True``, NaN results (empty instances) are
+        omitted — useful when comparing against engines that do not
+        emit empty instances.
+        """
+        records: list[Record] = []
+        for window in sorted(self.results, key=lambda w: (w.range, w.slide)):
+            array = self.results[window]
+            label = f"W({window.range},{window.slide})"
+            for key in range(array.shape[0]):
+                for instance in range(array.shape[1]):
+                    value = float(array[key, instance])
+                    if drop_empty and np.isnan(value):
+                        continue
+                    records.append((label, key, instance, value))
+        return records
+
+
+def execute_plan(
+    plan: LogicalPlan,
+    batch: EventBatch,
+    engine: str = "columnar",
+    validate: bool = True,
+) -> ExecutionResult:
+    """Execute ``plan`` over ``batch``.
+
+    ``engine`` is ``"columnar"`` (vectorized, the default) or
+    ``"streaming"`` (row-at-a-time reference).
+    """
+    if validate:
+        validate_plan(plan)
+    if engine == "columnar":
+        return _execute_columnar(plan, batch)
+    if engine == "streaming":
+        executor = StreamingExecutor(plan, batch)
+        results = executor.run()
+        executor.stats.events = batch.num_events
+        return ExecutionResult(
+            plan=plan, results=results, stats=executor.stats, engine=engine
+        )
+    raise ExecutionError(f"unknown engine {engine!r}")
+
+
+def _execute_columnar(plan: LogicalPlan, batch: EventBatch) -> ExecutionResult:
+    stats = ExecutionStats(events=batch.num_events)
+    started = time.perf_counter()
+    states: dict[Window, WindowState] = {}
+    results: dict[Window, np.ndarray] = {}
+
+    for node in plan.topological_window_order():
+        aggregate = node.aggregate
+        if node.provider is None:
+            if aggregate.mergeable:
+                state = aggregate_raw(batch, node.window, aggregate, stats)
+                states[node.window] = state
+                if not node.is_factor:
+                    results[node.window] = state.finalized(aggregate)
+            else:
+                if node.is_factor:
+                    raise ExecutionError(
+                        "holistic aggregates cannot be factor windows"
+                    )
+                results[node.window] = aggregate_raw_holistic(
+                    batch, node.window, aggregate, stats
+                )
+        else:
+            provider_state = states.get(node.provider)
+            if provider_state is None:
+                raise ExecutionError(
+                    f"provider {node.provider} has no state for {node.window}"
+                )
+            state = aggregate_from_provider(
+                provider_state, node.window, aggregate, batch.horizon, stats
+            )
+            states[node.window] = state
+            if not node.is_factor:
+                results[node.window] = state.finalized(aggregate)
+
+    stats.wall_seconds = time.perf_counter() - started
+    return ExecutionResult(
+        plan=plan, results=results, stats=stats, engine="columnar"
+    )
+
+
+def results_equal(
+    left: ExecutionResult,
+    right: ExecutionResult,
+    rtol: float = 1e-9,
+    atol: float = 1e-9,
+) -> bool:
+    """Compare two execution results window-by-window (NaN == NaN)."""
+    if set(left.results) != set(right.results):
+        return False
+    for window, array in left.results.items():
+        other = right.results[window]
+        if array.shape != other.shape:
+            return False
+        if not np.allclose(array, other, rtol=rtol, atol=atol, equal_nan=True):
+            return False
+    return True

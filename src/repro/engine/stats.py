@@ -1,0 +1,47 @@
+"""Execution statistics: processed-pair counters and throughput.
+
+The paper's cost model counts *inputs processed* (events for raw reads,
+sub-aggregates otherwise).  Both engines maintain exactly that counter
+per window, which lets tests equate measured work with the analytic
+cost model (DESIGN.md invariant 6) and lets benchmarks report a
+deterministic, hardware-independent work metric next to wall-clock
+throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..windows.window import Window
+
+
+@dataclass
+class ExecutionStats:
+    """Counters collected while executing one plan on one stream."""
+
+    events: int = 0
+    wall_seconds: float = 0.0
+    pairs_per_window: dict[Window, int] = field(default_factory=dict)
+
+    def record_pairs(self, window: Window, pairs: int) -> None:
+        self.pairs_per_window[window] = (
+            self.pairs_per_window.get(window, 0) + pairs
+        )
+
+    @property
+    def total_pairs(self) -> int:
+        """Total inputs processed across all window operators."""
+        return sum(self.pairs_per_window.values())
+
+    @property
+    def throughput(self) -> float:
+        """Events per second of wall-clock time."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.events / self.wall_seconds
+
+    def merge(self, other: "ExecutionStats") -> None:
+        self.events += other.events
+        self.wall_seconds += other.wall_seconds
+        for window, pairs in other.pairs_per_window.items():
+            self.record_pairs(window, pairs)

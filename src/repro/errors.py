@@ -1,0 +1,61 @@
+"""Exception hierarchy for the factor-windows library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the broad failure categories below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidWindowError(ReproError, ValueError):
+    """A window specification violates ``0 < slide <= range``."""
+
+
+class CostModelError(ReproError, ValueError):
+    """The cost model's preconditions do not hold for a window set.
+
+    The paper assumes every window's range is a multiple of its slide so
+    that recurrence counts are integers (Section III-B, footnote 1).
+    """
+
+
+class UnsupportedAggregateError(ReproError, ValueError):
+    """An aggregate function cannot be computed the requested way.
+
+    Raised, for example, when a holistic aggregate (MEDIAN) is asked to
+    merge sub-aggregates, or when a partitioned-by-only aggregate (SUM)
+    is combined over a merely *covered* (overlapping) window.
+    """
+
+
+class PlanError(ReproError, ValueError):
+    """A logical query plan is structurally invalid."""
+
+
+class SqlError(ReproError, ValueError):
+    """Base class for errors from the SQL front end."""
+
+
+class SqlSyntaxError(SqlError):
+    """The query text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class SqlSemanticError(SqlError):
+    """The query parsed but is semantically invalid (unknown aggregate,
+    duplicate window names, bad time units, ...)."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """A streaming engine failed while executing a plan."""

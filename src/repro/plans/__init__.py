@@ -1,0 +1,28 @@
+"""Logical query plans: nodes, builders, renderers, validation."""
+
+from .builder import PlanBuilder, original_plan
+from .nodes import (
+    LogicalPlan,
+    MulticastNode,
+    PlanNode,
+    SourceNode,
+    UnionNode,
+    WindowAggregateNode,
+)
+from .render import to_flink, to_tree, to_trill
+from .validate import validate_plan
+
+__all__ = [
+    "LogicalPlan",
+    "MulticastNode",
+    "PlanBuilder",
+    "PlanNode",
+    "SourceNode",
+    "UnionNode",
+    "WindowAggregateNode",
+    "original_plan",
+    "to_flink",
+    "to_tree",
+    "to_trill",
+    "validate_plan",
+]

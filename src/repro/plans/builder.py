@@ -1,0 +1,85 @@
+"""Construction of original (unoptimized) query plans.
+
+The original plan evaluates the aggregate over each window
+independently: ``Input → MultiCast → {Agg_W1, ..., Agg_Wn} → Union``
+(Figure 2(a), left).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from ..aggregates.base import AggregateFunction
+from ..errors import PlanError
+from ..windows.window import Window, WindowSet
+from .nodes import (
+    LogicalPlan,
+    MulticastNode,
+    PlanNode,
+    SourceNode,
+    UnionNode,
+    WindowAggregateNode,
+)
+
+
+class PlanBuilder:
+    """Allocates node ids and assembles plan nodes."""
+
+    def __init__(self, source_name: str = "Input"):
+        self._ids = itertools.count(1)
+        self.source = SourceNode(node_id=next(self._ids), name=source_name)
+
+    def multicast(self, upstream: PlanNode) -> MulticastNode:
+        return MulticastNode(node_id=next(self._ids), inputs=(upstream,))
+
+    def window_aggregate(
+        self,
+        window: Window,
+        aggregate: AggregateFunction,
+        upstream: PlanNode,
+        provider: "Window | None" = None,
+        is_factor: bool = False,
+    ) -> WindowAggregateNode:
+        return WindowAggregateNode(
+            node_id=next(self._ids),
+            inputs=(upstream,),
+            window=window,
+            aggregate=aggregate,
+            provider=provider,
+            is_factor=is_factor,
+        )
+
+    def union(self, inputs: Iterable[PlanNode]) -> UnionNode:
+        return UnionNode(node_id=next(self._ids), inputs=tuple(inputs))
+
+
+def original_plan(
+    windows: "WindowSet | Iterable[Window]",
+    aggregate: AggregateFunction,
+    source_name: str = "Input",
+) -> LogicalPlan:
+    """Build the default plan: each window aggregates raw events."""
+    window_list = list(windows)
+    if not window_list:
+        raise PlanError("cannot build a plan for an empty window set")
+    builder = PlanBuilder(source_name)
+    if len(window_list) == 1:
+        upstream: PlanNode = builder.source
+    else:
+        upstream = builder.multicast(builder.source)
+    agg_nodes = [
+        builder.window_aggregate(window, aggregate, upstream)
+        for window in window_list
+    ]
+    if len(agg_nodes) == 1:
+        root: PlanNode = agg_nodes[0]
+    else:
+        root = builder.union(agg_nodes)
+    return LogicalPlan(
+        root=root,
+        source=builder.source,
+        aggregate=aggregate,
+        semantics=None,
+        description="original",
+    )

@@ -1,0 +1,172 @@
+"""Logical query-plan nodes.
+
+A plan is a DAG of operators mirroring the paper's Figure 2:
+``Source → MultiCast → WindowAggregate ... → Union``.  Window-aggregate
+operators may read raw events or the sub-aggregates of another
+window-aggregate operator — the capability the whole optimization
+rests on.
+
+Nodes are immutable once built; plans are assembled by the builders in
+:mod:`repro.plans.builder` and :mod:`repro.core.rewrite`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..aggregates.base import AggregateFunction
+from ..errors import PlanError
+from ..windows.coverage import CoverageSemantics
+from ..windows.window import Window
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Base class: a numbered operator with input operators."""
+
+    node_id: int
+    inputs: tuple["PlanNode", ...] = field(default=())
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__.removesuffix("Node").lower()
+
+    def iter_subtree(self) -> Iterator["PlanNode"]:
+        """Depth-first iteration over this node and its inputs (deduped)."""
+        seen: set[int] = set()
+        stack: list[PlanNode] = [self]
+        while stack:
+            node = stack.pop()
+            if node.node_id in seen:
+                continue
+            seen.add(node.node_id)
+            yield node
+            stack.extend(node.inputs)
+
+
+@dataclass(frozen=True)
+class SourceNode(PlanNode):
+    """The input event stream (``Input TIMESTAMP BY ...`` in ASA)."""
+
+    name: str = "Input"
+
+
+@dataclass(frozen=True)
+class MulticastNode(PlanNode):
+    """Replicates its single input to several consumers (Trill
+    ``Multicast``)."""
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != 1:
+            raise PlanError("MulticastNode requires exactly one input")
+
+
+@dataclass(frozen=True)
+class WindowAggregateNode(PlanNode):
+    """Aggregate over one window, from raw events or sub-aggregates.
+
+    ``provider`` is the upstream *window* whose sub-aggregates this node
+    consumes (``None`` = raw events).  ``is_factor`` marks auxiliary
+    factor windows whose output is not exposed to the user.
+    """
+
+    window: Window = None  # type: ignore[assignment]
+    aggregate: AggregateFunction = None  # type: ignore[assignment]
+    provider: "Window | None" = None
+    is_factor: bool = False
+
+    def __post_init__(self) -> None:
+        if self.window is None or self.aggregate is None:
+            raise PlanError("WindowAggregateNode needs a window and aggregate")
+        if len(self.inputs) != 1:
+            raise PlanError("WindowAggregateNode requires exactly one input")
+
+    @property
+    def reads_raw(self) -> bool:
+        return self.provider is None
+
+
+@dataclass(frozen=True)
+class UnionNode(PlanNode):
+    """Merges the result streams of all user-facing windows."""
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise PlanError("UnionNode requires at least one input")
+
+
+@dataclass
+class LogicalPlan:
+    """A complete window-aggregate query plan.
+
+    Attributes
+    ----------
+    root:
+        The plan output (a :class:`UnionNode`, or a single aggregate
+        node for one-window queries).
+    source:
+        The unique input stream node.
+    aggregate / semantics:
+        The aggregate function and, when rewritten, the coverage
+        semantics used.  ``semantics`` is ``None`` for original plans.
+    description:
+        Short label used in reports (``"original"``,
+        ``"rewritten"``, ``"rewritten+factors"``).
+    """
+
+    root: PlanNode
+    source: SourceNode
+    aggregate: AggregateFunction
+    semantics: "CoverageSemantics | None" = None
+    description: str = "original"
+
+    def nodes(self) -> tuple[PlanNode, ...]:
+        """All nodes, deterministic order (by node id)."""
+        return tuple(sorted(self.root.iter_subtree(), key=lambda n: n.node_id))
+
+    def window_nodes(self) -> tuple[WindowAggregateNode, ...]:
+        return tuple(
+            n for n in self.nodes() if isinstance(n, WindowAggregateNode)
+        )
+
+    def user_window_nodes(self) -> tuple[WindowAggregateNode, ...]:
+        return tuple(n for n in self.window_nodes() if not n.is_factor)
+
+    def factor_window_nodes(self) -> tuple[WindowAggregateNode, ...]:
+        return tuple(n for n in self.window_nodes() if n.is_factor)
+
+    @property
+    def windows(self) -> tuple[Window, ...]:
+        return tuple(n.window for n in self.window_nodes())
+
+    @property
+    def user_windows(self) -> tuple[Window, ...]:
+        return tuple(n.window for n in self.user_window_nodes())
+
+    def provider_map(self) -> "dict[Window, Window | None]":
+        """window → provider window (``None`` = raw input)."""
+        return {n.window: n.provider for n in self.window_nodes()}
+
+    def node_for(self, window: Window) -> WindowAggregateNode:
+        for node in self.window_nodes():
+            if node.window == window:
+                return node
+        raise PlanError(f"{window} has no aggregate node in this plan")
+
+    def depth_of(self, window: Window) -> int:
+        """Number of sub-aggregate hops between raw input and ``window``."""
+        depth = 0
+        node = self.node_for(window)
+        while node.provider is not None:
+            node = self.node_for(node.provider)
+            depth += 1
+            if depth > len(self.window_nodes()):
+                raise PlanError("provider chain contains a cycle")
+        return depth
+
+    def topological_window_order(self) -> tuple[WindowAggregateNode, ...]:
+        """Window nodes ordered providers-first (ready for execution)."""
+        return tuple(
+            sorted(self.window_nodes(), key=lambda n: self.depth_of(n.window))
+        )

@@ -1,0 +1,140 @@
+"""Plan renderers: Trill-style expressions, Flink DataStream-style
+expressions, and an ASCII tree.
+
+These reproduce the translations shown in Figure 2(b)/(c) of the paper
+and described for Flink in Section V-F.  They are purely cosmetic —
+useful for examples, docs, and eyeballing rewrites — and therefore
+favour readability over exact C#/Java syntax.
+"""
+
+from __future__ import annotations
+
+from ..windows.units import format_duration
+from ..windows.window import Window
+from .nodes import (
+    LogicalPlan,
+    MulticastNode,
+    PlanNode,
+    SourceNode,
+    UnionNode,
+    WindowAggregateNode,
+)
+
+
+def _window_call(window: Window, style: str) -> str:
+    if style == "trill":
+        if window.is_tumbling:
+            return f".Tumbling({window.range})"
+        return f".Hopping({window.range}, {window.slide})"
+    # Flink DataStream API style.
+    if window.is_tumbling:
+        return f".window(TumblingEventTimeWindows.of({window.range}))"
+    return (
+        f".window(SlidingEventTimeWindows.of({window.range}, {window.slide}))"
+    )
+
+
+def _aggregate_call(node: WindowAggregateNode, style: str) -> str:
+    label = node.window.label
+    func = node.aggregate.name.capitalize()
+    origin = "" if node.reads_raw else "  /* from sub-aggregates */"
+    if style == "trill":
+        tag = "Factor" if node.is_factor else "GroupAggregate"
+        return f".{tag}('{label}', w => w.{func}(e => e.V)){origin}"
+    suffix = ".name(\"factor\")" if node.is_factor else ""
+    return f".aggregate(new {func}Aggregate()){suffix}{origin}"
+
+
+def to_trill(plan: LogicalPlan) -> str:
+    """Render ``plan`` as a Trill-style expression (Figure 2(b)/(c))."""
+    return _render_expression(plan, style="trill")
+
+
+def to_flink(plan: LogicalPlan) -> str:
+    """Render ``plan`` as a Flink DataStream-style expression (§V-F)."""
+    return _render_expression(plan, style="flink")
+
+
+def _render_expression(plan: LogicalPlan, style: str) -> str:
+    lines: list[str] = []
+    counters = {"n": 0}
+
+    def fresh(prefix: str) -> str:
+        counters["n"] += 1
+        return f"{prefix}{counters['n']}"
+
+    names: dict[int, str] = {}
+
+    def emit(node: PlanNode) -> str:
+        if node.node_id in names:
+            return names[node.node_id]
+        if isinstance(node, SourceNode):
+            names[node.node_id] = node.name
+            return node.name
+        if isinstance(node, MulticastNode):
+            upstream = emit(node.inputs[0])
+            var = fresh("s")
+            if style == "trill":
+                lines.append(f"var {var} = {upstream}.Multicast();")
+            else:
+                lines.append(f"DataStream {var} = {upstream};  // multicast")
+            names[node.node_id] = var
+            return var
+        if isinstance(node, WindowAggregateNode):
+            upstream = emit(node.inputs[0])
+            var = fresh("w")
+            call = _window_call(node.window, style) + _aggregate_call(
+                node, style
+            )
+            prefix = "var" if style == "trill" else "DataStream"
+            lines.append(f"{prefix} {var} = {upstream}{call};")
+            names[node.node_id] = var
+            return var
+        if isinstance(node, UnionNode):
+            parts = [emit(child) for child in node.inputs]
+            var = fresh("u")
+            head, *rest = parts
+            chain = "".join(f".Union({p})" for p in rest)
+            prefix = "var" if style == "trill" else "DataStream"
+            if style == "flink":
+                chain = "".join(f".union({p})" for p in rest)
+            lines.append(f"{prefix} {var} = {head}{chain};")
+            names[node.node_id] = var
+            return var
+        raise TypeError(f"unknown plan node {node!r}")  # pragma: no cover
+
+    result = emit(plan.root)
+    lines.append(f"return {result};")
+    return "\n".join(lines)
+
+
+def to_tree(plan: LogicalPlan) -> str:
+    """ASCII tree of the plan, root at the top (Figure 2(a) style)."""
+    lines: list[str] = [f"[{plan.description}]"]
+
+    def label(node: PlanNode) -> str:
+        if isinstance(node, SourceNode):
+            return f"Source({node.name})"
+        if isinstance(node, MulticastNode):
+            return "MultiCast"
+        if isinstance(node, WindowAggregateNode):
+            window = node.window
+            dur = format_duration(window.range)
+            if not window.is_tumbling:
+                dur += f" every {format_duration(window.slide)}"
+            origin = "raw" if node.reads_raw else f"from {node.provider.label}"
+            tag = " (factor)" if node.is_factor else ""
+            return (
+                f"Agg[{node.aggregate.name} over {dur}] <- {origin}{tag}"
+            )
+        if isinstance(node, UnionNode):
+            return "Union"
+        return node.kind  # pragma: no cover
+
+    def walk(node: PlanNode, indent: int) -> None:
+        lines.append("  " * indent + label(node))
+        for child in node.inputs:
+            walk(child, indent + 1)
+
+    walk(plan.root, 0)
+    return "\n".join(lines)

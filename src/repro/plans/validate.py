@@ -1,0 +1,130 @@
+"""Structural validation of logical plans.
+
+Checks the invariants any engine executing a plan relies on.  Raising
+early with a precise message beats a cryptic failure deep inside an
+engine.
+"""
+
+from __future__ import annotations
+
+from ..errors import PlanError
+from ..windows.coverage import CoverageSemantics, relates
+from .nodes import (
+    LogicalPlan,
+    MulticastNode,
+    SourceNode,
+    UnionNode,
+    WindowAggregateNode,
+)
+
+
+def validate_plan(plan: LogicalPlan) -> None:
+    """Validate ``plan``; raises :class:`PlanError` on the first defect.
+
+    Invariants checked:
+
+    1. exactly one source node, reachable from the root;
+    2. every window appears in exactly one aggregate node;
+    3. provider references match the actual upstream aggregate node;
+    4. provider chains are acyclic;
+    5. sub-aggregate edges respect the plan's coverage semantics and
+       the aggregate's merge capability;
+    6. every non-factor window's results reach the root; no factor
+       window's results do.
+    """
+    nodes = plan.nodes()
+
+    sources = [n for n in nodes if isinstance(n, SourceNode)]
+    if len(sources) != 1:
+        raise PlanError(f"plan must have exactly one source, found {len(sources)}")
+    if sources[0] != plan.source:
+        raise PlanError("plan.source is not the reachable source node")
+
+    window_nodes = plan.window_nodes()
+    windows = [n.window for n in window_nodes]
+    if len(set(windows)) != len(windows):
+        raise PlanError("a window appears in more than one aggregate node")
+    if not window_nodes:
+        raise PlanError("plan contains no window aggregate nodes")
+
+    by_window = {n.window: n for n in window_nodes}
+    for node in window_nodes:
+        _check_provider(plan, node, by_window)
+        plan.depth_of(node.window)  # raises on provider cycles
+
+    _check_union_membership(plan)
+
+
+def _check_provider(plan, node: WindowAggregateNode, by_window) -> None:
+    upstream = node.inputs[0]
+    while isinstance(upstream, MulticastNode):
+        upstream = upstream.inputs[0]
+    if node.provider is None:
+        if not isinstance(upstream, SourceNode):
+            raise PlanError(
+                f"{node.window} claims raw input but reads from {upstream.kind}"
+            )
+        return
+    if node.provider not in by_window:
+        raise PlanError(
+            f"{node.window} reads from {node.provider}, which has no node"
+        )
+    if not isinstance(upstream, WindowAggregateNode) or (
+        upstream.window != node.provider
+    ):
+        raise PlanError(
+            f"{node.window}'s input does not come from its provider "
+            f"{node.provider}"
+        )
+    if not node.aggregate.mergeable:
+        raise PlanError(
+            f"holistic aggregate {node.aggregate.name} cannot read "
+            f"sub-aggregates for {node.window}"
+        )
+    # Soundness is determined by the actual coverage relation, not the
+    # plan's declared semantics: a partitioned edge is sound for every
+    # mergeable aggregate (Theorem 5); a merely-covered edge is sound
+    # only for overlap-safe aggregates (Theorem 6).
+    if relates(node.window, node.provider, CoverageSemantics.PARTITIONED_BY):
+        return
+    if relates(node.window, node.provider, CoverageSemantics.COVERED_BY):
+        if node.aggregate.supports_overlapping_merge:
+            return
+        raise PlanError(
+            f"{node.window} is only covered (not partitioned) by "
+            f"{node.provider}, and {node.aggregate.name} does not merge "
+            "over overlapping partitions"
+        )
+    raise PlanError(
+        f"{node.window} is not covered by {node.provider}; "
+        "the sub-aggregate edge is unsound"
+    )
+
+
+def _check_union_membership(plan: LogicalPlan) -> None:
+    root = plan.root
+    if isinstance(root, UnionNode):
+        exposed = set()
+        for child in root.inputs:
+            while isinstance(child, MulticastNode):
+                child = child.inputs[0]
+            if not isinstance(child, WindowAggregateNode):
+                raise PlanError("union inputs must be window aggregates")
+            exposed.add(child.window)
+    elif isinstance(root, (WindowAggregateNode, MulticastNode)):
+        child = root
+        while isinstance(child, MulticastNode):
+            child = child.inputs[0]
+        exposed = {child.window}
+    else:
+        raise PlanError(f"unexpected plan root {root.kind}")
+
+    for node in plan.window_nodes():
+        if node.is_factor and node.window in exposed:
+            raise PlanError(
+                f"factor window {node.window} must not reach the union"
+            )
+        if not node.is_factor and node.window not in exposed:
+            raise PlanError(
+                f"user window {node.window} does not reach the union"
+            )

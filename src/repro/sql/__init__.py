@@ -1,0 +1,24 @@
+"""ASA-like SQL front end: tokenizer, parser, compiler, planner."""
+
+from .ast import AggregateCall, ColumnRef, Query, SelectItem, WindowDef
+from .compile import CompiledQuery, PlannedQuery, compile_query, plan_query
+from .parser import Parser, parse
+from .tokenizer import tokenize
+from .tokens import Token, TokenType
+
+__all__ = [
+    "AggregateCall",
+    "ColumnRef",
+    "CompiledQuery",
+    "Parser",
+    "PlannedQuery",
+    "Query",
+    "SelectItem",
+    "Token",
+    "TokenType",
+    "WindowDef",
+    "compile_query",
+    "parse",
+    "plan_query",
+    "tokenize",
+]

@@ -1,0 +1,80 @@
+"""Abstract syntax tree for the ASA-like SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A (possibly dotted) column reference, e.g. ``Input.DeviceId`` or
+    the ASA pseudo-column ``System.Window().Id``."""
+
+    parts: tuple[str, ...]
+    is_call: bool = False  # e.g. System.Window() has call parentheses
+
+    @property
+    def name(self) -> str:
+        return self.parts[-1]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return ".".join(self.parts) + ("()" if self.is_call else "")
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """``FUNC(column)`` in the select list."""
+
+    function: str
+    argument: ColumnRef
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.function.upper()}({self.argument})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection: a column or an aggregate call, optionally aliased."""
+
+    expression: "ColumnRef | AggregateCall"
+    alias: str = ""
+
+
+@dataclass(frozen=True)
+class WindowDef:
+    """One window in the ``WINDOWS(...)`` clause.
+
+    ``kind`` is ``"tumbling"`` or ``"hopping"``; durations are in the
+    named ``unit`` (before normalization to ticks).
+    """
+
+    kind: str
+    unit: str
+    range: int
+    slide: int
+    name: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = f"'{self.name}', " if self.name else ""
+        if self.kind == "tumbling":
+            return f"Window({label}Tumbling({self.unit}, {self.range}))"
+        return f"Window({label}Hopping({self.unit}, {self.range}, {self.slide}))"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed multi-window aggregate query."""
+
+    select_items: tuple[SelectItem, ...]
+    source: str
+    timestamp_column: str = ""
+    group_keys: tuple[ColumnRef, ...] = field(default_factory=tuple)
+    window_defs: tuple[WindowDef, ...] = field(default_factory=tuple)
+
+    @property
+    def aggregate_calls(self) -> tuple[AggregateCall, ...]:
+        return tuple(
+            item.expression
+            for item in self.select_items
+            if isinstance(item.expression, AggregateCall)
+        )

@@ -1,0 +1,157 @@
+"""Semantic analysis and compilation: SQL text → optimized plans.
+
+``compile_query`` validates a parsed query against the paper's scope
+(one aggregate function over a window set, all durations normalized to
+a common tick unit) and produces the window set.  ``plan_query`` is the
+end-to-end pipeline the examples use: parse → compile → optimize →
+rewrite, returning all three plans (original, rewritten, factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..aggregates.base import AggregateFunction
+from ..aggregates.registry import get_aggregate
+from ..core.optimizer import OptimizationResult, optimize
+from ..core.rewrite import rewrite_plan
+from ..errors import SqlSemanticError
+from ..plans.builder import original_plan
+from ..plans.nodes import LogicalPlan
+from ..windows.units import to_ticks
+from ..windows.window import Window, WindowSet
+from .ast import Query
+from .parser import parse
+
+
+@dataclass
+class CompiledQuery:
+    """The semantic content of a multi-window aggregate query."""
+
+    query: Query
+    window_set: WindowSet
+    aggregate: AggregateFunction
+    value_column: str
+    group_keys: tuple[str, ...]
+    source: str
+    alias: str = ""
+
+
+def compile_query(text_or_query: "str | Query") -> CompiledQuery:
+    """Validate a query and extract its window set and aggregate.
+
+    Scope (matching the paper's problem statement): exactly one
+    aggregate call; a non-empty ``WINDOWS`` clause with distinct
+    windows; positive integer durations.
+    """
+    query = (
+        parse(text_or_query) if isinstance(text_or_query, str) else text_or_query
+    )
+    calls = query.aggregate_calls
+    if len(calls) != 1:
+        raise SqlSemanticError(
+            f"expected exactly one aggregate call, found {len(calls)}"
+        )
+    call = calls[0]
+    aggregate = get_aggregate(call.function)
+
+    if not query.window_defs:
+        raise SqlSemanticError("query has no WINDOWS(...) clause")
+    names = [d.name for d in query.window_defs if d.name]
+    if len(names) != len(set(names)):
+        raise SqlSemanticError("window names must be unique")
+
+    window_set = WindowSet()
+    for index, definition in enumerate(query.window_defs):
+        range_ticks = to_ticks(definition.range, definition.unit)
+        slide_ticks = to_ticks(definition.slide, definition.unit)
+        name = definition.name or f"w{index + 1}"
+        window_set.add(Window(range_ticks, slide_ticks, name=name))
+
+    alias = next(
+        (
+            item.alias
+            for item in query.select_items
+            if item.expression is call and item.alias
+        ),
+        "",
+    )
+    group_keys = tuple(
+        str(key) for key in query.group_keys if not key.is_call
+    )
+    return CompiledQuery(
+        query=query,
+        window_set=window_set,
+        aggregate=aggregate,
+        value_column=call.argument.name,
+        group_keys=group_keys,
+        source=query.source,
+        alias=alias,
+    )
+
+
+@dataclass
+class PlannedQuery:
+    """Output of the full compile-and-optimize pipeline."""
+
+    compiled: CompiledQuery
+    optimization: OptimizationResult
+    original: LogicalPlan
+    rewritten: "LogicalPlan | None"
+    with_factors: "LogicalPlan | None"
+
+    @property
+    def best_plan(self) -> LogicalPlan:
+        """The plan the optimizer recommends executing."""
+        best = self.optimization.best
+        if best is None:
+            return self.original
+        if (
+            self.optimization.with_factors is best
+            and self.with_factors is not None
+        ):
+            return self.with_factors
+        if self.rewritten is not None and best is self.optimization.without_factors:
+            return self.rewritten
+        return self.original
+
+
+def plan_query(
+    text: str,
+    event_rate: int = 1,
+    enable_factor_windows: bool = True,
+) -> PlannedQuery:
+    """Parse, compile, optimize, and rewrite a query end to end."""
+    compiled = compile_query(text)
+    optimization = optimize(
+        compiled.window_set,
+        compiled.aggregate,
+        event_rate=event_rate,
+        enable_factor_windows=enable_factor_windows,
+    )
+    original = original_plan(
+        compiled.window_set, compiled.aggregate, source_name=compiled.source
+    )
+    rewritten = None
+    with_factors = None
+    if optimization.without_factors is not None:
+        rewritten = rewrite_plan(
+            optimization.without_factors,
+            compiled.aggregate,
+            source_name=compiled.source,
+            description="rewritten",
+        )
+    if optimization.with_factors is not None:
+        with_factors = rewrite_plan(
+            optimization.with_factors,
+            compiled.aggregate,
+            source_name=compiled.source,
+            description="rewritten+factors",
+        )
+    return PlannedQuery(
+        compiled=compiled,
+        optimization=optimization,
+        original=original,
+        rewritten=rewritten,
+        with_factors=with_factors,
+    )

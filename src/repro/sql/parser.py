@@ -1,0 +1,215 @@
+"""Recursive-descent parser for the ASA-like SQL dialect.
+
+Grammar (keywords case-insensitive)::
+
+    query        := SELECT select_list FROM ident
+                    [TIMESTAMP BY ident]
+                    GROUP BY group_list
+    select_list  := select_item (',' select_item)*
+    select_item  := (agg_call | column_ref) [AS ident]
+    agg_call     := IDENT '(' column_ref ')'
+    group_list   := group_item (',' group_item)*
+    group_item   := windows_clause | column_ref
+    windows_clause := WINDOWS '(' window_def (',' window_def)* ')'
+    window_def   := WINDOW '(' [STRING ','] window_spec ')' | window_spec
+    window_spec  := (TUMBLING|TUMBLINGWINDOW) '(' IDENT ',' INT ')'
+                  | (HOPPING|HOPPINGWINDOW|SLIDING|SLIDINGWINDOW)
+                    '(' IDENT ',' INT ',' INT ')'
+    column_ref   := IDENT ['(' ')'] ('.' IDENT ['(' ')'])*
+"""
+
+from __future__ import annotations
+
+from ..errors import SqlSyntaxError
+from .ast import AggregateCall, ColumnRef, Query, SelectItem, WindowDef
+from .tokenizer import tokenize
+from .tokens import Token, TokenType
+
+_TUMBLING_NAMES = ("tumbling", "tumblingwindow")
+_HOPPING_NAMES = ("hopping", "hoppingwindow", "sliding", "slidingwindow")
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, text: str):
+        self._tokens = tokenize(text)
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> SqlSyntaxError:
+        token = self._current
+        return SqlSyntaxError(
+            f"{message} (found {token.text!r})", token.line, token.column
+        )
+
+    def _expect(self, token_type: TokenType) -> Token:
+        if self._current.type is not token_type:
+            raise self._error(f"expected {token_type}")
+        return self._advance()
+
+    def _expect_keyword(self, *names: str) -> Token:
+        if not self._current.is_keyword(*names):
+            raise self._error(f"expected {' or '.join(n.upper() for n in names)}")
+        return self._advance()
+
+    def _at_keyword(self, *names: str) -> bool:
+        return self._current.is_keyword(*names)
+
+    # -- grammar --------------------------------------------------------
+    def parse_query(self) -> Query:
+        self._expect_keyword("select")
+        select_items = self._parse_select_list()
+        self._expect_keyword("from")
+        source = self._expect(TokenType.IDENT).text
+        timestamp_column = ""
+        if self._at_keyword("timestamp"):
+            self._advance()
+            self._expect_keyword("by")
+            timestamp_column = self._expect(TokenType.IDENT).text
+        self._expect_keyword("group")
+        self._expect_keyword("by")
+        group_keys, window_defs = self._parse_group_list()
+        self._expect(TokenType.EOF)
+        return Query(
+            select_items=tuple(select_items),
+            source=source,
+            timestamp_column=timestamp_column,
+            group_keys=tuple(group_keys),
+            window_defs=tuple(window_defs),
+        )
+
+    def _parse_select_list(self) -> list[SelectItem]:
+        items = [self._parse_select_item()]
+        while self._current.type is TokenType.COMMA:
+            self._advance()
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        expression = self._parse_expression()
+        alias = ""
+        if self._at_keyword("as"):
+            self._advance()
+            alias = self._expect(TokenType.IDENT).text
+        return SelectItem(expression=expression, alias=alias)
+
+    def _parse_expression(self):
+        # FUNC(column) is an aggregate call when the parenthesis holds a
+        # column; IDENT() with empty parens is a pseudo-column segment.
+        if (
+            self._current.type is TokenType.IDENT
+            and self._peek().type is TokenType.LPAREN
+            and self._peek(2).type is not TokenType.RPAREN
+            and self._peek(2).type is not TokenType.DOT
+        ):
+            func = self._advance().text
+            self._expect(TokenType.LPAREN)
+            argument = self._parse_column_ref()
+            self._expect(TokenType.RPAREN)
+            return AggregateCall(function=func, argument=argument)
+        return self._parse_column_ref()
+
+    def _parse_column_ref(self) -> ColumnRef:
+        parts = [self._expect(TokenType.IDENT).text]
+        is_call = self._maybe_empty_parens()
+        while self._current.type is TokenType.DOT:
+            self._advance()
+            parts.append(self._expect(TokenType.IDENT).text)
+            is_call = self._maybe_empty_parens() or is_call
+        return ColumnRef(parts=tuple(parts), is_call=is_call)
+
+    def _maybe_empty_parens(self) -> bool:
+        if (
+            self._current.type is TokenType.LPAREN
+            and self._peek().type is TokenType.RPAREN
+        ):
+            self._advance()
+            self._advance()
+            return True
+        return False
+
+    def _parse_group_list(self):
+        keys: list[ColumnRef] = []
+        window_defs: list[WindowDef] = []
+        while True:
+            if self._at_keyword("windows"):
+                if window_defs:
+                    raise self._error("duplicate WINDOWS clause")
+                window_defs = self._parse_windows_clause()
+            else:
+                keys.append(self._parse_column_ref())
+            if self._current.type is TokenType.COMMA:
+                self._advance()
+                continue
+            break
+        return keys, window_defs
+
+    def _parse_windows_clause(self) -> list[WindowDef]:
+        self._expect_keyword("windows")
+        self._expect(TokenType.LPAREN)
+        defs = [self._parse_window_def()]
+        while self._current.type is TokenType.COMMA:
+            self._advance()
+            defs.append(self._parse_window_def())
+        self._expect(TokenType.RPAREN)
+        return defs
+
+    def _parse_window_def(self) -> WindowDef:
+        if self._at_keyword("window"):
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            name = ""
+            if self._current.type is TokenType.STRING:
+                name = self._advance().text
+                self._expect(TokenType.COMMA)
+            spec = self._parse_window_spec()
+            self._expect(TokenType.RPAREN)
+            return WindowDef(
+                kind=spec.kind,
+                unit=spec.unit,
+                range=spec.range,
+                slide=spec.slide,
+                name=name,
+            )
+        return self._parse_window_spec()
+
+    def _parse_window_spec(self) -> WindowDef:
+        if self._at_keyword(*_TUMBLING_NAMES):
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            unit = self._expect(TokenType.IDENT).text
+            self._expect(TokenType.COMMA)
+            size = int(self._expect(TokenType.INT).text)
+            self._expect(TokenType.RPAREN)
+            return WindowDef(kind="tumbling", unit=unit, range=size, slide=size)
+        if self._at_keyword(*_HOPPING_NAMES):
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            unit = self._expect(TokenType.IDENT).text
+            self._expect(TokenType.COMMA)
+            size = int(self._expect(TokenType.INT).text)
+            self._expect(TokenType.COMMA)
+            hop = int(self._expect(TokenType.INT).text)
+            self._expect(TokenType.RPAREN)
+            return WindowDef(kind="hopping", unit=unit, range=size, slide=hop)
+        raise self._error("expected a window specification")
+
+
+def parse(text: str) -> Query:
+    """Parse ``text`` into a :class:`~repro.sql.ast.Query`."""
+    return Parser(text).parse_query()

@@ -1,0 +1,96 @@
+"""Tokenizer for the ASA-like SQL dialect.
+
+Hand-rolled, position-tracking, and tolerant of the quirks the paper's
+example queries exhibit (single-quoted strings like ``'20 min'``,
+``--`` line comments, dotted identifiers tokenized as separate DOTs).
+"""
+
+from __future__ import annotations
+
+from ..errors import SqlSyntaxError
+from .tokens import Token, TokenType
+
+_PUNCTUATION = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    "*": TokenType.STAR,
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    line, column = 1, 1
+    i, n = 0, len(text)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, column
+        for _ in range(count):
+            if i < n and text[i] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            i += 1
+
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            while i < n and text[i] != "\n":
+                advance(1)
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[ch], ch, line, column))
+            advance(1)
+            continue
+        if ch == "'":
+            start_line, start_col = line, column
+            advance(1)
+            chars: list[str] = []
+            while i < n and text[i] != "'":
+                chars.append(text[i])
+                advance(1)
+            if i >= n:
+                raise SqlSyntaxError(
+                    "unterminated string literal", start_line, start_col
+                )
+            advance(1)  # closing quote
+            tokens.append(
+                Token(TokenType.STRING, "".join(chars), start_line, start_col)
+            )
+            continue
+        if ch.isdigit():
+            start_line, start_col = line, column
+            chars = []
+            while i < n and text[i].isdigit():
+                chars.append(text[i])
+                advance(1)
+            if i < n and (text[i].isalpha() or text[i] == "_"):
+                raise SqlSyntaxError(
+                    f"invalid number ending in {text[i]!r}",
+                    start_line,
+                    start_col,
+                )
+            tokens.append(
+                Token(TokenType.INT, "".join(chars), start_line, start_col)
+            )
+            continue
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, column
+            chars = []
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                chars.append(text[i])
+                advance(1)
+            tokens.append(
+                Token(TokenType.IDENT, "".join(chars), start_line, start_col)
+            )
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", line, column)
+
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

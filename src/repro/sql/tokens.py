@@ -1,0 +1,62 @@
+"""Token definitions for the ASA-like SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class TokenType(str, Enum):
+    IDENT = "ident"
+    INT = "int"
+    STRING = "string"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    STAR = "*"
+    EOF = "eof"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Keywords are case-insensitive identifiers the parser matches by text.
+KEYWORDS = frozenset(
+    {
+        "select",
+        "from",
+        "group",
+        "by",
+        "as",
+        "timestamp",
+        "windows",
+        "window",
+        "tumbling",
+        "tumblingwindow",
+        "hopping",
+        "hoppingwindow",
+        "sliding",
+        "slidingwindow",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with source position (1-based)."""
+
+    type: TokenType
+    text: str
+    line: int
+    column: int
+
+    @property
+    def lowered(self) -> str:
+        return self.text.lower()
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.IDENT and self.lowered in names
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.type.name}({self.text!r})@{self.line}:{self.column}"

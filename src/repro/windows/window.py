@@ -1,0 +1,234 @@
+"""The window model: ``W⟨r, s⟩`` with integer range and slide.
+
+Follows Section II-A of the paper: a window ``W⟨r, s⟩`` has a *range*
+``r`` (duration) and *slide* ``s`` (gap between consecutive firings),
+with ``0 < s <= r``.  A window is *tumbling* when ``s == r`` and
+*hopping* when ``s < r``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import CostModelError, InvalidWindowError
+from .units import format_duration
+
+
+@dataclass(frozen=True, order=True)
+class Window:
+    """An immutable window specification ``W⟨r, s⟩``.
+
+    Parameters
+    ----------
+    range:
+        Window duration in ticks; must be a positive integer.
+    slide:
+        Gap between consecutive firings in ticks; ``0 < slide <= range``.
+    name:
+        Optional display name (e.g. ``'20 min'``); not part of identity.
+
+    The ordering (``order=True``) sorts by ``(range, slide)``, which puts
+    potential *providers* (smaller windows) before their consumers — a
+    convenient property for deterministic graph traversals.
+    """
+
+    range: int
+    slide: int
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.range, int) or isinstance(self.range, bool):
+            raise InvalidWindowError(f"range must be an integer, got {self.range!r}")
+        if not isinstance(self.slide, int) or isinstance(self.slide, bool):
+            raise InvalidWindowError(f"slide must be an integer, got {self.slide!r}")
+        if self.slide <= 0:
+            raise InvalidWindowError(f"slide must be positive, got {self.slide}")
+        if self.range < self.slide:
+            raise InvalidWindowError(
+                f"range ({self.range}) must be >= slide ({self.slide})"
+            )
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    @property
+    def is_tumbling(self) -> bool:
+        """True when ``slide == range`` (Section II-A)."""
+        return self.slide == self.range
+
+    @property
+    def is_hopping(self) -> bool:
+        """True when ``slide < range`` (Section II-A)."""
+        return self.slide < self.range
+
+    @property
+    def instances_per_event(self) -> int:
+        """``k = r / s``: how many window instances each event joins.
+
+        Requires ``r`` to be a multiple of ``s`` (the paper's standing
+        assumption for integer recurrence counts).
+        """
+        if self.range % self.slide != 0:
+            raise CostModelError(
+                f"{self} has range not a multiple of slide; "
+                "the cost model requires r % s == 0"
+            )
+        return self.range // self.slide
+
+    # ------------------------------------------------------------------
+    # Interval representation (Section II-A-1)
+    # ------------------------------------------------------------------
+    def interval(self, m: int) -> tuple[int, int]:
+        """Return the ``m``-th interval ``[m*s, m*s + r)`` of the window."""
+        if m < 0:
+            raise InvalidWindowError(f"interval index must be >= 0, got {m}")
+        start = m * self.slide
+        return (start, start + self.range)
+
+    def instance_range(self, horizon: int) -> range:
+        """Indices of instances fully contained in ``[0, horizon)``.
+
+        An instance ``m`` is complete when ``m*s + r <= horizon``.
+        """
+        if horizon < self.range:
+            return range(0)
+        last = (horizon - self.range) // self.slide
+        return range(last + 1)
+
+    def instances_covering(self, ts: int) -> range:
+        """Indices of instances whose interval contains timestamp ``ts``.
+
+        An event at ``ts`` belongs to instance ``m`` iff
+        ``m*s <= ts < m*s + r``, i.e. ``m`` in
+        ``[floor((ts - r)/s) + 1, floor(ts/s)]`` intersected with
+        ``m >= 0``.
+        """
+        if ts < 0:
+            return range(0)
+        hi = ts // self.slide
+        lo = max(0, -(-(ts - self.range + 1) // self.slide))
+        return range(lo, hi + 1)
+
+    def recurrence_count(self, period: int) -> int:
+        """Recurrence count ``n = 1 + (R - r)/s`` over ``period`` ticks.
+
+        This is the derivation form from Section III-B: the number of
+        complete instances packed into a period of length ``R``, counting
+        the one ending exactly at ``R``.  Requires ``s | (R - r)``, which
+        always holds when ``R`` is the lcm of the window-set ranges and
+        every range is a multiple of its slide (see DESIGN.md §3).
+        """
+        if period < self.range:
+            raise CostModelError(
+                f"period {period} is shorter than range of {self}"
+            )
+        if (period - self.range) % self.slide != 0:
+            raise CostModelError(
+                f"recurrence count of {self} over period {period} is not an "
+                f"integer: (R - r) = {period - self.range} is not a multiple "
+                f"of s = {self.slide}"
+            )
+        return 1 + (period - self.range) // self.slide
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Display name, falling back to a duration-formatted range."""
+        if self.name:
+            return self.name
+        if self.is_tumbling:
+            return format_duration(self.range)
+        return f"{format_duration(self.range)}/{format_duration(self.slide)}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "tumbling" if self.is_tumbling else "hopping"
+        return f"W({self.range}, {self.slide}) [{kind}]"
+
+
+#: The virtual root window ``S⟨1, 1⟩`` used to augment the WCG (§IV-A).
+VIRTUAL_ROOT = Window(1, 1, name="S")
+
+
+def tumbling(range_: int, name: str = "") -> Window:
+    """Convenience constructor for a tumbling window ``W⟨r, r⟩``."""
+    return Window(range_, range_, name=name)
+
+
+def hopping(range_: int, slide: int, name: str = "") -> Window:
+    """Convenience constructor for a hopping window ``W⟨r, s⟩``."""
+    return Window(range_, slide, name=name)
+
+
+class WindowSet:
+    """An ordered, duplicate-free collection of windows (Section II-A).
+
+    Iteration order is insertion order, which keeps optimizer output
+    deterministic; membership and equality ignore order.
+    """
+
+    def __init__(self, windows: "list[Window] | tuple[Window, ...]" = ()):
+        self._windows: list[Window] = []
+        self._seen: set[Window] = set()
+        for window in windows:
+            self.add(window)
+
+    def add(self, window: Window) -> None:
+        """Add ``window``; duplicates (same range and slide) are errors."""
+        if not isinstance(window, Window):
+            raise InvalidWindowError(f"expected a Window, got {window!r}")
+        if window in self._seen:
+            raise InvalidWindowError(f"duplicate window in window set: {window}")
+        self._windows.append(window)
+        self._seen.add(window)
+
+    def __iter__(self):
+        return iter(self._windows)
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def __contains__(self, window: Window) -> bool:
+        return window in self._seen
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WindowSet):
+            return NotImplemented
+        return self._seen == other._seen
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._seen))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(str(w) for w in self._windows)
+        return f"WindowSet([{inner}])"
+
+    @property
+    def windows(self) -> tuple[Window, ...]:
+        """The windows in insertion order."""
+        return tuple(self._windows)
+
+    @property
+    def ranges(self) -> tuple[int, ...]:
+        return tuple(w.range for w in self._windows)
+
+    @property
+    def slides(self) -> tuple[int, ...]:
+        return tuple(w.slide for w in self._windows)
+
+    def hyper_period(self) -> int:
+        """``R = lcm(r1, ..., rn)``, the cost model's analysis period."""
+        if not self._windows:
+            raise CostModelError("hyper-period of an empty window set")
+        return math.lcm(*self.ranges)
+
+    def validate_for_cost_model(self) -> None:
+        """Check the paper's standing assumption ``r % s == 0`` per window."""
+        for window in self._windows:
+            window.instances_per_event  # raises CostModelError if violated
+
+    def sorted(self) -> "WindowSet":
+        """A copy sorted by ``(range, slide)`` — providers first."""
+        return WindowSet(sorted(self._windows))

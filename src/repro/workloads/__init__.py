@@ -1,0 +1,28 @@
+"""Workload generation: window sets and event streams."""
+
+from .debs import debs_like_stream, real_32m
+from .generators import (
+    DEFAULT_MULTIPLIER,
+    DEFAULT_SEED_RANGES,
+    DEFAULT_SEED_SLIDES,
+    GENERATORS,
+    RandomGen,
+    SequentialGen,
+    make_generator,
+)
+from .streams import constant_rate_stream, synthetic_1m, synthetic_10m
+
+__all__ = [
+    "DEFAULT_MULTIPLIER",
+    "DEFAULT_SEED_RANGES",
+    "DEFAULT_SEED_SLIDES",
+    "GENERATORS",
+    "RandomGen",
+    "SequentialGen",
+    "constant_rate_stream",
+    "debs_like_stream",
+    "make_generator",
+    "real_32m",
+    "synthetic_10m",
+    "synthetic_1m",
+]

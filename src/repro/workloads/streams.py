@@ -1,0 +1,64 @@
+"""Synthetic event streams — Section V-A-2.
+
+The paper's synthetic datasets (*Synthetic-1M*, *Synthetic-10M*) are
+streams whose "events arrive at a constant pace", matching the cost
+model's steady-rate assumption ``η``.  ``constant_rate_stream``
+reproduces that: ``rate`` events per tick, Gaussian sensor-like values,
+optional multiple device keys.
+
+Benchmark presets default to scaled-down sizes so the suite finishes in
+CI time; pass larger ``num_events`` to approach the paper's sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.events import EventBatch
+from ..errors import ExecutionError
+
+
+def constant_rate_stream(
+    num_events: int,
+    num_keys: int = 1,
+    rate: int = 1,
+    seed: int = 1,
+    mean: float = 20.0,
+    stddev: float = 5.0,
+) -> EventBatch:
+    """A constant-pace stream: ``rate`` events per tick.
+
+    Values are i.i.d. Gaussian (temperature-like); keys round-robin
+    through devices so every device sees the same rate.
+    """
+    if num_events < 1:
+        raise ExecutionError(f"num_events must be >= 1, got {num_events}")
+    if rate < 1:
+        raise ExecutionError(f"rate must be >= 1, got {rate}")
+    rng = np.random.default_rng(seed)
+    indices = np.arange(num_events, dtype=np.int64)
+    timestamps = indices // rate
+    keys = (indices % num_keys).astype(np.int64)
+    values = rng.normal(mean, stddev, num_events)
+    horizon = int(timestamps[-1]) + 1
+    return EventBatch(
+        timestamps=timestamps,
+        keys=keys,
+        values=values,
+        horizon=horizon,
+        num_keys=num_keys,
+    )
+
+
+def synthetic_1m(scale: float = 1.0, num_keys: int = 1, seed: int = 1) -> EventBatch:
+    """The paper's *Synthetic-1M* dataset (scaled by ``scale``)."""
+    return constant_rate_stream(
+        max(1, int(1_000_000 * scale)), num_keys=num_keys, seed=seed
+    )
+
+
+def synthetic_10m(scale: float = 1.0, num_keys: int = 1, seed: int = 1) -> EventBatch:
+    """The paper's *Synthetic-10M* dataset (scaled by ``scale``)."""
+    return constant_rate_stream(
+        max(1, int(10_000_000 * scale)), num_keys=num_keys, seed=seed
+    )

@@ -1,0 +1,116 @@
+"""Property-based tests on the partial-aggregate protocol.
+
+The soundness of the whole rewriting scheme rests on two algebraic
+facts (Theorems 5 and 6): merging partials over a *disjoint* split
+equals aggregating everything at once for all mergeable aggregates, and
+for MIN/MAX this still holds when the split *overlaps*.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.builtin import Avg, Count, Max, Min, Stdev, Sum
+
+MERGEABLE = [Min(), Max(), Sum(), Count(), Avg(), Stdev()]
+OVERLAP_SAFE = [Min(), Max()]
+
+values_strategy = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _partial_of(agg, values):
+    return agg.reduce_stack(agg.lift(np.asarray(values, dtype=np.float64)))
+
+
+def _close(a: float, b: float) -> bool:
+    if math.isnan(a) and math.isnan(b):
+        return True
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@pytest.mark.parametrize("agg", MERGEABLE, ids=lambda a: a.name)
+@given(values=values_strategy, split=st.integers(0, 40))
+@settings(max_examples=60)
+def test_theorem_5_disjoint_partition(agg, values, split):
+    """f(T) == merge(f(T1), f(T2)) for any disjoint split of T."""
+    split = min(split, len(values))
+    left, right = values[:split], values[split:]
+    whole = agg.compute(values)
+    if not left:
+        merged = _partial_of(agg, right)
+    elif not right:
+        merged = _partial_of(agg, left)
+    else:
+        merged = agg.combine(_partial_of(agg, left), _partial_of(agg, right))
+    assert _close(float(agg.finalize(merged)), whole)
+
+
+@pytest.mark.parametrize("agg", OVERLAP_SAFE, ids=lambda a: a.name)
+@given(
+    values=values_strategy,
+    lo=st.integers(0, 39),
+    hi=st.integers(1, 40),
+)
+@settings(max_examples=60)
+def test_theorem_6_overlapping_partition(agg, values, lo, hi):
+    """MIN/MAX survive merging over overlapping pieces."""
+    lo, hi = min(lo, len(values) - 1), max(1, min(hi, len(values)))
+    if lo >= hi:
+        lo, hi = 0, len(values)
+    left = values[:hi]          # overlap: values[lo:hi] shared
+    right = values[lo:]
+    merged = agg.combine(_partial_of(agg, left), _partial_of(agg, right))
+    assert _close(float(agg.finalize(merged)), agg.compute(values))
+
+
+@pytest.mark.parametrize("agg", MERGEABLE, ids=lambda a: a.name)
+@given(values=values_strategy)
+@settings(max_examples=40)
+def test_combine_is_commutative(agg, values):
+    half = len(values) // 2
+    if half == 0:
+        return
+    pa = _partial_of(agg, values[:half])
+    pb = _partial_of(agg, values[half:])
+    ab = agg.combine(pa, pb)
+    ba = agg.combine(pb, pa)
+    assert _close(float(agg.finalize(ab)), float(agg.finalize(ba)))
+
+
+@pytest.mark.parametrize("agg", MERGEABLE, ids=lambda a: a.name)
+@given(values=values_strategy)
+@settings(max_examples=40)
+def test_combine_is_associative(agg, values):
+    thirds = max(1, len(values) // 3)
+    parts = [values[:thirds], values[thirds : 2 * thirds], values[2 * thirds :]]
+    parts = [p for p in parts if p]
+    if len(parts) < 3:
+        return
+    pa, pb, pc = (_partial_of(agg, p) for p in parts)
+    left = agg.combine(agg.combine(pa, pb), pc)
+    right = agg.combine(pa, agg.combine(pb, pc))
+    assert _close(float(agg.finalize(left)), float(agg.finalize(right)))
+
+
+@pytest.mark.parametrize("agg", MERGEABLE, ids=lambda a: a.name)
+@given(values=values_strategy)
+@settings(max_examples=40)
+def test_segment_reduce_matches_per_segment_compute(agg, values):
+    rng = np.random.default_rng(0)
+    codes = rng.integers(0, 4, len(values))
+    comps = agg.segment_reduce(
+        codes, np.asarray(values, dtype=np.float64), 4
+    )
+    finalized = agg.finalize(comps)
+    for segment in range(4):
+        expected = agg.compute(
+            [v for v, c in zip(values, codes) if c == segment]
+        )
+        assert _close(float(np.asarray(finalized)[segment]), expected)

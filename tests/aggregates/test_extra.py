@@ -1,0 +1,132 @@
+"""Tests for the extension aggregates (beyond the paper's list)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.extra import (
+    CountDistinct,
+    GeometricMean,
+    Range,
+    SumOfSquares,
+)
+from repro.aggregates.registry import get_aggregate
+from repro.windows.coverage import CoverageSemantics
+
+SAMPLE = [3.0, -1.0, 4.0, 1.5, 9.0, -2.5]
+
+
+class TestRange:
+    def test_compute(self):
+        assert Range().compute(SAMPLE) == pytest.approx(9.0 - (-2.5))
+
+    def test_empty_is_nan(self):
+        assert math.isnan(Range().compute([]))
+
+    def test_single_value_is_zero(self):
+        assert Range().compute([5.0]) == 0.0
+
+    def test_overlap_safe_semantics(self):
+        # The headline property: RANGE joins MIN/MAX on the covered-by
+        # list because both its components are overlap-idempotent.
+        assert Range().supports_overlapping_merge
+        assert Range().semantics is CoverageSemantics.COVERED_BY
+
+    @given(
+        values=st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=2, max_size=30
+        ),
+        lo=st.integers(0, 10),
+    )
+    @settings(max_examples=60)
+    def test_overlapping_merge_correct(self, values, lo):
+        agg = Range()
+        lo = min(lo, len(values) - 1)
+        left = values[: lo + 1]
+        right = values[lo:]  # overlaps at index lo
+        pl = agg.reduce_stack(agg.lift(np.asarray(left)))
+        pr = agg.reduce_stack(agg.lift(np.asarray(right)))
+        merged = agg.combine(pl, pr)
+        assert float(agg.finalize(merged)) == pytest.approx(
+            max(values) - min(values)
+        )
+
+
+class TestGeometricMean:
+    def test_compute(self):
+        values = [1.0, 2.0, 4.0]
+        assert GeometricMean().compute(values) == pytest.approx(2.0)
+
+    def test_merge(self):
+        agg = GeometricMean()
+        pa = agg.reduce_stack(agg.lift(np.asarray([1.0, 4.0])))
+        pb = agg.reduce_stack(agg.lift(np.asarray([2.0])))
+        merged = agg.combine(pa, pb)
+        assert float(agg.finalize(merged)) == pytest.approx(2.0)
+
+    def test_partitioned_only(self):
+        assert GeometricMean().semantics is CoverageSemantics.PARTITIONED_BY
+
+    def test_non_positive_poisons(self):
+        assert math.isnan(GeometricMean().compute([1.0, -2.0]))
+
+    def test_empty_is_nan(self):
+        assert math.isnan(GeometricMean().compute([]))
+
+
+class TestSumOfSquares:
+    def test_compute(self):
+        assert SumOfSquares().compute([1.0, 2.0, 3.0]) == pytest.approx(14.0)
+
+    def test_merge_matches_whole(self):
+        agg = SumOfSquares()
+        pa = agg.reduce_stack(agg.lift(np.asarray(SAMPLE[:3])))
+        pb = agg.reduce_stack(agg.lift(np.asarray(SAMPLE[3:])))
+        merged = agg.combine(pa, pb)
+        assert float(agg.finalize(merged)) == pytest.approx(
+            agg.compute(SAMPLE)
+        )
+
+
+class TestCountDistinct:
+    def test_compute(self):
+        assert CountDistinct().compute([1.0, 2.0, 2.0, 3.0]) == 3.0
+
+    def test_empty(self):
+        assert CountDistinct().compute([]) == 0.0
+
+    def test_holistic(self):
+        assert not CountDistinct().mergeable
+        assert CountDistinct().semantics is None
+
+
+class TestRegistryIntegration:
+    @pytest.mark.parametrize(
+        "name", ["range", "geomean", "sumsq", "count_distinct"]
+    )
+    def test_registered(self, name):
+        assert get_aggregate(name).name == name
+
+
+class TestEndToEndWithEngine:
+    def test_range_shares_over_covered_windows(self):
+        """RANGE rides the full covered-by pipeline like MIN does."""
+        from repro.core.optimizer import optimize
+        from repro.core.rewrite import rewrite_plan
+        from repro.engine.executor import execute_plan, results_equal
+        from repro.plans.builder import original_plan
+        from repro.windows.window import Window, WindowSet
+        from repro.workloads.streams import constant_rate_stream
+
+        agg = get_aggregate("range")
+        windows = WindowSet([Window(20, 10), Window(40, 10), Window(60, 20)])
+        result = optimize(windows, agg)
+        assert result.best_cost < result.baseline_cost
+
+        batch = constant_rate_stream(2_000)
+        original = execute_plan(original_plan(windows, agg), batch)
+        optimized = execute_plan(rewrite_plan(result.best, agg), batch)
+        assert results_equal(original, optimized)

@@ -1,0 +1,48 @@
+"""Tests for the aggregate registry."""
+
+import pytest
+
+from repro.aggregates.base import AggregateFunction, Taxonomy
+from repro.aggregates.builtin import Min
+from repro.aggregates.registry import (
+    get_aggregate,
+    known_aggregates,
+    register_aggregate,
+)
+from repro.errors import UnsupportedAggregateError
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name", ["min", "MIN", " Min ", "max", "sum", "count", "avg", "median"]
+    )
+    def test_known_names(self, name):
+        assert isinstance(get_aggregate(name), AggregateFunction)
+
+    def test_aliases(self):
+        assert get_aggregate("mean").name == "avg"
+        assert get_aggregate("stddev").name == "stdev"
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(UnsupportedAggregateError) as excinfo:
+            get_aggregate("frobnicate")
+        assert "min" in str(excinfo.value)
+
+    def test_known_aggregates_sorted(self):
+        names = known_aggregates()
+        assert list(names) == sorted(names)
+        assert "min" in names and "median" in names
+
+
+class TestRegistration:
+    def test_register_custom_aggregate(self):
+        class First(Min):
+            name = "first_test_only"
+            taxonomy = Taxonomy.DISTRIBUTIVE
+
+        register_aggregate(First(), "head_test_only")
+        assert get_aggregate("first_test_only").name == "first_test_only"
+        assert get_aggregate("head_test_only").name == "first_test_only"
+
+    def test_singletons_shared(self):
+        assert get_aggregate("min") is get_aggregate("MIN")

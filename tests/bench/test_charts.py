@@ -1,0 +1,71 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.bench.charts import bar_chart, scatter_plot, sparkline
+
+
+class TestBarChart:
+    def test_groups_and_bars(self):
+        text = bar_chart(
+            {"Original": [100.0, 200.0], "Optimized": [400.0, 300.0]},
+            title="Fig",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Fig"
+        assert sum(1 for l in lines if l.startswith("run ")) == 2
+        assert sum(1 for l in lines if "█" in l) == 4
+
+    def test_longest_bar_is_peak(self):
+        text = bar_chart({"a": [10.0], "b": [100.0]}, width=20)
+        bars = {
+            line.split("|")[0].strip(): line.split("|")[1]
+            for line in text.splitlines()
+            if "|" in line
+        }
+        assert bars["b"].count("█") == 20
+        assert bars["a"].count("█") == 2
+
+    def test_nan_rendered_as_na(self):
+        text = bar_chart({"a": [float("nan")]})
+        assert "(n/a)" in text
+
+    def test_missing_points_tolerated(self):
+        text = bar_chart({"a": [1.0, 2.0], "b": [3.0]})
+        assert "(n/a)" in text
+
+    def test_empty_series(self):
+        assert bar_chart({}, title="T") == "T"
+
+
+class TestScatterPlot:
+    def test_contains_points_and_diagonal(self):
+        text = scatter_plot([1.0, 2.0, 3.0], [1.1, 2.2, 2.9], title="Fig 19")
+        assert "Fig 19" in text
+        assert "o" in text
+        assert "." in text  # the y=x reference
+
+    def test_dimensions(self):
+        text = scatter_plot([1.0, 2.0], [2.0, 1.0], width=30, height=10)
+        rows = [l for l in text.splitlines() if l.startswith("|")]
+        assert len(rows) == 10
+        assert all(len(r) == 31 for r in rows)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter_plot([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            scatter_plot([], [])
+
+
+class TestSparkline:
+    def test_monotone(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_constant(self):
+        assert sparkline([5.0, 5.0]) == "▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""

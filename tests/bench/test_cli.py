@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+QUERY = (
+    "SELECT MIN(T) FROM Input GROUP BY WINDOWS("
+    "TUMBLING(minute, 20), TUMBLING(minute, 30), TUMBLING(minute, 40))"
+)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_optimize_args(self):
+        args = build_parser().parse_args(["optimize", QUERY, "--trill"])
+        assert args.query == QUERY
+        assert args.trill
+
+
+class TestOptimizeCommand:
+    def test_prints_summary_and_tree(self, capsys):
+        assert main(["optimize", QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "predicted speedup" in out
+        assert "Union" in out
+
+    def test_trill_output(self, capsys):
+        assert main(["optimize", QUERY, "--trill"]) == 0
+        assert ".Tumbling(" in capsys.readouterr().out
+
+    def test_no_factors(self, capsys):
+        assert main(["optimize", QUERY, "--no-factors"]) == 0
+        out = capsys.readouterr().out
+        assert "w/ factor windows" not in out
+
+
+class TestListCommand:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig11", "fig12", "fig13", "fig19", "table1", "table3"):
+            assert name in out
+
+
+class TestExperimentCommand:
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_fig12_runs(self, capsys):
+        assert main(["experiment", "fig12", "--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "optimization overhead" in out
+
+    def test_fig19_runs_small(self, capsys):
+        code = main(
+            ["experiment", "fig19", "--events", "4000", "--runs", "1"]
+        )
+        assert code == 0
+        assert "Pearson r" in capsys.readouterr().out
+
+    def test_table1_runs_small(self, capsys):
+        code = main(
+            ["experiment", "table1", "--events", "4000", "--runs", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "R-5-tumbling" in out and "S-10-hopping" in out

@@ -1,0 +1,113 @@
+"""Tests for the experiment definitions (tiny streams, 2 runs)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    boost_summary_table,
+    cost_model_correlation,
+    make_stream,
+    optimizer_overhead,
+    render_correlation,
+    render_overhead,
+    run_panel,
+    scotty_comparison,
+    throughput_panels,
+)
+
+EVENTS = 6_000
+RUNS = 2
+
+
+class TestMakeStream:
+    def test_synthetic(self):
+        batch = make_stream("synthetic", 100)
+        assert batch.num_events == 100
+
+    def test_real(self):
+        batch = make_stream("real", 100)
+        assert float(batch.values.mean()) > 1000  # mf01-scale values
+
+
+class TestRunPanel:
+    def test_panel_structure(self):
+        batch = make_stream("synthetic", EVENTS)
+        panel = run_panel("random", True, 3, batch, runs=RUNS)
+        assert len(panel.comparisons) == RUNS
+        assert panel.setup_code == "R-3-tumbling"
+        assert "partitioned by" in panel.label
+
+    def test_series_keys(self):
+        batch = make_stream("synthetic", EVENTS)
+        panel = run_panel("sequential", False, 3, batch, runs=RUNS)
+        series = panel.series()
+        assert set(series) == {
+            "Original Plan",
+            "Plan w/o Factor Windows",
+            "Plan w/ Factor Windows",
+        }
+        assert all(len(v) == RUNS for v in series.values())
+
+    def test_render(self):
+        batch = make_stream("synthetic", EVENTS)
+        panel = run_panel("random", True, 3, batch, runs=RUNS)
+        text = panel.render()
+        assert "RandomGen" in text
+
+
+class TestThroughputPanels:
+    def test_four_panels(self):
+        panels = throughput_panels(set_size=3, events=EVENTS, runs=RUNS)
+        assert len(panels) == 4
+        codes = {p.setup_code for p in panels}
+        assert codes == {
+            "R-3-tumbling",
+            "R-3-hopping",
+            "S-3-tumbling",
+            "S-3-hopping",
+        }
+
+
+class TestSummaries:
+    def test_boost_table_shape(self):
+        summaries = boost_summary_table(
+            set_sizes=(3,), events=EVENTS, runs=RUNS
+        )
+        assert len(summaries) == 4  # 2 generators x 1 size x 2 kinds
+        assert all(s.runs == RUNS for s in summaries)
+
+
+class TestOverhead:
+    def test_points_and_render(self):
+        points = optimizer_overhead(set_sizes=(3, 5), runs=RUNS)
+        # 2 generators x 2 sizes x 2 semantics.
+        assert len(points) == 8
+        assert all(p.stats.mean >= 0 for p in points)
+        text = render_overhead(points)
+        assert "R-3" in text and "S-5" in text
+
+
+class TestScottyComparison:
+    def test_includes_scotty_series(self):
+        panels = scotty_comparison(set_size=3, events=EVENTS, runs=RUNS)
+        series = panels[0].series(include_scotty=True)
+        assert set(series) == {"Flink", "Scotty", "Factor Windows"}
+
+
+class TestCorrelation:
+    def test_pairs_deterministic_correlation(self):
+        # With the pair-count metric, observed speedup equals the cost
+        # model's prediction up to stream-boundary effects: r ~ 1.
+        panels = cost_model_correlation(
+            set_sizes=(3,), events=EVENTS, runs=4, use_pairs=True
+        )
+        assert len(panels) == 4
+        for panel in panels:
+            if len(panel.predicted) >= 2:
+                assert panel.r == pytest.approx(1.0, abs=0.08)
+
+    def test_render(self):
+        panels = cost_model_correlation(
+            set_sizes=(3,), events=EVENTS, runs=RUNS, use_pairs=True
+        )
+        text = render_correlation(panels)
+        assert "Pearson r" in text

@@ -1,0 +1,57 @@
+"""Tests for text reporting."""
+
+from repro.bench.harness import BoostSummary
+from repro.bench.reporting import (
+    format_boost_summary_table,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["a", "long_header"], [["x", 1], ["yyyy", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long_header" in lines[1]
+        # Separator row of dashes matches widths.
+        assert set(lines[2].replace("  ", "")) == {"-"}
+        assert len(lines) == 5
+
+    def test_wide_cells_expand_columns(self):
+        text = format_table(["h"], [["wide content"]])
+        header, sep, row = text.splitlines()
+        assert len(sep) == len("wide content")
+
+
+class TestFormatSeries:
+    def test_runs_and_scaling(self):
+        text = format_series(
+            {"Original": [1_000_000.0, 2_000_000.0], "Optimized": [3_000_000.0]},
+            title="Fig",
+        )
+        assert "Fig" in text
+        assert "1,000" in text  # 1e6 events/s → 1,000 K events/s
+        assert "-" in text.splitlines()[-1]  # missing point rendered as dash
+
+    def test_row_count(self):
+        text = format_series({"a": [1.0, 2.0, 3.0]})
+        assert len(text.splitlines()) == 2 + 3
+
+
+class TestBoostSummaryTable:
+    def test_render(self):
+        summary = BoostSummary(
+            setup="R-5-tumbling",
+            mean_without=1.21,
+            max_without=1.92,
+            mean_with=1.85,
+            max_with=2.54,
+            runs=10,
+        )
+        text = format_boost_summary_table([summary], title="Table I")
+        assert "Table I" in text
+        assert "R-5-tumbling" in text
+        assert "1.21x" in text and "2.54x" in text

@@ -1,0 +1,83 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.engine.events import EventBatch, make_batch
+from repro.windows.window import Window, WindowSet
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+def windows_strategy(
+    max_slide: int = 12, max_multiplier: int = 6
+) -> st.SearchStrategy[Window]:
+    """Windows with ``r = k * s`` (the cost model's standing assumption)
+    and small parameters so hyper-periods stay tractable."""
+    return st.builds(
+        lambda s, k: Window(k * s, s),
+        st.integers(1, max_slide),
+        st.integers(1, max_multiplier),
+    )
+
+
+def tumbling_strategy(max_range: int = 48) -> st.SearchStrategy[Window]:
+    return st.builds(lambda r: Window(r, r), st.integers(1, max_range))
+
+
+def window_sets_strategy(
+    min_size: int = 2, max_size: int = 5, tumbling: bool = False
+) -> st.SearchStrategy[WindowSet]:
+    base = tumbling_strategy() if tumbling else windows_strategy()
+    return st.lists(
+        base, min_size=min_size, max_size=max_size, unique=True
+    ).map(WindowSet)
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def small_batch() -> EventBatch:
+    """240 ticks (two hyper-periods of the Example-7 set), one event per
+    tick, three keys, deterministic values."""
+    rng = np.random.default_rng(42)
+    n = 240
+    return make_batch(
+        timestamps=np.arange(n),
+        values=rng.normal(20.0, 5.0, n),
+        keys=rng.integers(0, 3, n),
+        num_keys=3,
+        horizon=n,
+    )
+
+
+@pytest.fixture
+def single_key_batch() -> EventBatch:
+    """240 ticks, one event per tick, one key — matches the cost model's
+    η = 1 assumption exactly."""
+    rng = np.random.default_rng(7)
+    n = 240
+    return make_batch(
+        timestamps=np.arange(n),
+        values=rng.normal(0.0, 1.0, n),
+        horizon=n,
+    )
+
+
+@pytest.fixture
+def example7_windows() -> WindowSet:
+    """The paper's Example 7 window set: tumbling 20/30/40."""
+    return WindowSet([Window(20, 20), Window(30, 30), Window(40, 40)])
+
+
+@pytest.fixture
+def example6_windows() -> WindowSet:
+    """The paper's Example 6 window set: tumbling 10/20/30/40."""
+    return WindowSet(
+        [Window(10, 10), Window(20, 20), Window(30, 30), Window(40, 40)]
+    )

@@ -1,0 +1,151 @@
+"""Tests for the cost model and Algorithm 1 (Section III-B).
+
+The paper's Examples 6 and 7 are reproduced exactly: these are the
+ground-truth numbers for the whole optimizer.
+"""
+
+import pytest
+
+from repro.core.cost import CostModel, minimize_cost, prune_useless_factors
+from repro.core.wcg import WindowCoverageGraph
+from repro.errors import CostModelError
+from repro.windows.coverage import CoverageSemantics
+from repro.windows.window import VIRTUAL_ROOT, Window, WindowSet
+
+PART = CoverageSemantics.PARTITIONED_BY
+COV = CoverageSemantics.COVERED_BY
+
+
+class TestCostModelPrimitives:
+    def test_hyper_period(self, example6_windows):
+        assert CostModel().hyper_period(example6_windows) == 120
+
+    def test_hyper_period_excludes_virtual_root(self, example7_windows):
+        windows = list(example7_windows) + [VIRTUAL_ROOT]
+        assert CostModel().hyper_period(windows) == 120
+
+    def test_event_rate_validation(self):
+        with pytest.raises(CostModelError):
+            CostModel(event_rate=0)
+
+    def test_raw_instance_cost_scales_with_rate(self):
+        assert CostModel(event_rate=1).raw_instance_cost(Window(40, 40)) == 40
+        assert CostModel(event_rate=3).raw_instance_cost(Window(40, 40)) == 120
+
+    def test_instance_cost_with_provider_is_multiplier(self):
+        model = CostModel()
+        assert model.instance_cost(Window(40, 40), Window(10, 10)) == 4
+
+    def test_instance_cost_from_root_is_raw(self):
+        model = CostModel(event_rate=2)
+        assert model.instance_cost(Window(40, 40), VIRTUAL_ROOT) == 80
+        assert model.instance_cost(Window(40, 40), None) == 80
+
+    def test_baseline_cost_example_6(self, example6_windows):
+        # C = 4 * η * R = 480.
+        assert CostModel().baseline_cost(example6_windows) == 480
+
+    def test_baseline_cost_example_7(self, example7_windows):
+        assert CostModel().baseline_cost(example7_windows) == 360
+
+    def test_window_cost(self):
+        model = CostModel()
+        # Example 6: c4 = n4 * M(W4, W2) = 3 * 2 = 6 over R = 120.
+        assert model.window_cost(Window(40, 40), Window(20, 20), 120) == 6
+
+
+class TestAlgorithm1:
+    def test_example_6_min_cost(self, example6_windows):
+        graph = WindowCoverageGraph.build(example6_windows, PART)
+        result = minimize_cost(graph, CostModel())
+        # Figure 6(b): c1=120, c2=12, c3=12, c4=6 → total 150.
+        assert result.costs[Window(10, 10)] == 120
+        assert result.costs[Window(20, 20)] == 12
+        assert result.costs[Window(30, 30)] == 12
+        assert result.costs[Window(40, 40)] == 6
+        assert result.total_cost == 150
+
+    def test_example_6_providers(self, example6_windows):
+        graph = WindowCoverageGraph.build(example6_windows, PART)
+        result = minimize_cost(graph, CostModel())
+        assert result.provider[Window(10, 10)] is None
+        assert result.provider[Window(20, 20)] == Window(10, 10)
+        assert result.provider[Window(30, 30)] == Window(10, 10)
+        assert result.provider[Window(40, 40)] == Window(20, 20)
+
+    def test_example_7_min_cost_without_factors(self, example7_windows):
+        graph = WindowCoverageGraph.build(example7_windows, PART)
+        result = minimize_cost(graph, CostModel())
+        # Figure 7(a): c2 = c3 = 120 (raw), c4 = 6 → total 246.
+        assert result.costs[Window(20, 20)] == 120
+        assert result.costs[Window(30, 30)] == 120
+        assert result.costs[Window(40, 40)] == 6
+        assert result.total_cost == 246
+
+    def test_result_is_forest(self, example6_windows):
+        graph = WindowCoverageGraph.build(example6_windows, PART)
+        result = minimize_cost(graph, CostModel())
+        assert result.graph.is_forest()
+
+    def test_mutually_prime_keeps_baseline(self):
+        windows = WindowSet([Window(15, 15), Window(17, 17), Window(19, 19)])
+        graph = WindowCoverageGraph.build(windows, PART)
+        result = minimize_cost(graph, CostModel())
+        assert result.total_cost == result.baseline
+
+    def test_predicted_speedup(self, example6_windows):
+        graph = WindowCoverageGraph.build(example6_windows, PART)
+        result = minimize_cost(graph, CostModel())
+        assert result.predicted_speedup == pytest.approx(480 / 150)
+
+    def test_reads_raw(self, example7_windows):
+        graph = WindowCoverageGraph.build(example7_windows, PART)
+        result = minimize_cost(graph, CostModel())
+        assert result.reads_raw(Window(20, 20))
+        assert not result.reads_raw(Window(40, 40))
+
+    def test_hopping_covered_by(self):
+        # W(10,2) covered by W(8,2): instance cost drops from 10 to 2.
+        windows = WindowSet([Window(8, 2), Window(10, 2)])
+        graph = WindowCoverageGraph.build(windows, COV)
+        result = minimize_cost(graph, CostModel())
+        period = result.period  # lcm(8,10) = 40
+        assert period == 40
+        n_10 = Window(10, 2).recurrence_count(period)
+        assert result.costs[Window(10, 2)] == n_10 * 2
+
+    def test_event_rate_scales_raw_costs_only(self, example6_windows):
+        graph = WindowCoverageGraph.build(example6_windows, PART)
+        result = minimize_cost(graph, CostModel(event_rate=10))
+        # W10 reads raw: 10x cost; consumers read sub-aggregates: same.
+        assert result.costs[Window(10, 10)] == 1200
+        assert result.costs[Window(20, 20)] == 12
+
+    def test_empty_window_set_rejected(self):
+        graph = WindowCoverageGraph(semantics=PART)
+        with pytest.raises(CostModelError):
+            minimize_cost(graph, CostModel())
+
+
+class TestFactorPruning:
+    def test_unused_factor_removed(self, example7_windows):
+        graph = WindowCoverageGraph.build(example7_windows, PART)
+        graph.insert_factor(Window(10, 10))
+        # W(12,12) covers nothing in {20,30,40}: it never gains a consumer.
+        graph.insert_factor(Window(12, 12))
+        result = minimize_cost(graph, CostModel())
+        result = prune_useless_factors(result)
+        assert Window(12, 12) not in result.graph.nodes
+        assert Window(10, 10) in result.graph.nodes
+
+    def test_chained_unused_factors_removed(self):
+        windows = WindowSet([Window(40, 40)])
+        graph = WindowCoverageGraph.build(windows, PART)
+        graph.insert_factor(Window(20, 20))
+        # Force W40 to read raw so the factor chain is useless.
+        result = minimize_cost(graph, CostModel())
+        for factor in list(result.graph.factor_windows):
+            for consumer in list(result.graph.consumers_of(factor)):
+                result.graph.remove_edge(factor, consumer)
+        result = prune_useless_factors(result)
+        assert not result.graph.factor_windows

@@ -1,0 +1,55 @@
+"""Tests for the EXPLAIN optimizer trace."""
+
+from repro.aggregates.registry import MEDIAN, MIN
+from repro.core.explain import explain
+from repro.core.optimizer import optimize
+from repro.windows.window import Window, WindowSet
+
+
+class TestExplain:
+    def test_example_7_trace_numbers(self, example7_windows):
+        text = explain(optimize(example7_windows, MIN))
+        assert "baseline (independent) cost = 360" in text
+        assert "[Algorithm 1] min-cost WCG — total 246" in text
+        assert "[Algorithm 3] with factor windows — total 150" in text
+        assert "predicted speedup 2.40x" in text
+
+    def test_coverage_edges_listed(self, example7_windows):
+        text = explain(optimize(example7_windows, MIN))
+        assert "20 second -> 40 second" in text
+
+    def test_factor_insertion_reported(self, example7_windows):
+        text = explain(optimize(example7_windows, MIN))
+        assert "inserted 10 second" in text
+        assert "kept" in text
+
+    def test_provider_options_enumerated(self, example7_windows):
+        text = explain(optimize(example7_windows, MIN))
+        # W40 considers raw and W20; the trace shows both costs.
+        assert "raw events @" in text
+        assert "from 20 second @ M = 2" in text
+
+    def test_no_factor_case(self):
+        windows = WindowSet([Window(15, 15), Window(17, 17)])
+        text = explain(optimize(windows, MIN))
+        assert "no beneficial factor window found" in text
+        assert "coverage edges (0)" in text
+
+    def test_holistic_fallback(self, example7_windows):
+        text = explain(optimize(example7_windows, MEDIAN))
+        assert "holistic" in text
+        assert "original plan cost = 360" in text
+
+    def test_hysteresis_free_decision_line(self, example7_windows):
+        text = explain(optimize(example7_windows, MIN))
+        assert "decision: plan with factor windows" in text
+
+    def test_decision_without_factors(self):
+        windows = WindowSet([Window(15, 15), Window(17, 17)])
+        result = optimize(windows, MIN, enable_factor_windows=False)
+        text = explain(result)
+        assert "decision: plan without factor windows" in text
+
+    def test_event_rate_shown(self, example7_windows):
+        text = explain(optimize(example7_windows, MIN, event_rate=7))
+        assert "η = 7" in text

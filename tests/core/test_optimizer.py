@@ -1,0 +1,113 @@
+"""Tests for the optimizer facade (Algorithms 1 + 3 end to end)."""
+
+import pytest
+
+from repro.aggregates.registry import MEDIAN, MIN, SUM
+from repro.core.optimizer import (
+    min_cost_wcg,
+    min_cost_wcg_with_factors,
+    optimize,
+)
+from repro.errors import CostModelError
+from repro.windows.coverage import CoverageSemantics
+from repro.windows.window import Window, WindowSet
+
+PART = CoverageSemantics.PARTITIONED_BY
+COV = CoverageSemantics.COVERED_BY
+
+
+class TestOptimizeFacade:
+    def test_example_7_summary_numbers(self, example7_windows):
+        result = optimize(example7_windows, MIN)
+        assert result.baseline_cost == 360
+        assert result.without_factors.total_cost == 246
+        assert result.with_factors.total_cost == 150
+        assert result.best is result.with_factors
+        assert result.predicted_speedup == pytest.approx(360 / 150)
+
+    def test_factor_windows_disabled(self, example7_windows):
+        result = optimize(example7_windows, MIN, enable_factor_windows=False)
+        assert result.with_factors is None
+        assert result.best is result.without_factors
+        assert result.best_cost == 246
+
+    def test_holistic_aggregate_skips_rewriting(self, example7_windows):
+        result = optimize(example7_windows, MEDIAN)
+        assert result.semantics is None
+        assert result.without_factors is None
+        assert result.with_factors is None
+        assert result.best is None
+        assert result.best_cost == result.baseline_cost
+        assert result.predicted_speedup == 1.0
+
+    def test_min_uses_covered_by(self, example7_windows):
+        assert optimize(example7_windows, MIN).semantics is COV
+
+    def test_sum_uses_partitioned_by(self, example7_windows):
+        assert optimize(example7_windows, SUM).semantics is PART
+
+    def test_semantics_override_partitioned_for_min(self, example7_windows):
+        result = optimize(
+            example7_windows, MIN, semantics_override=PART
+        )
+        assert result.semantics is PART
+        # Tumbling set: both semantics coincide, costs identical.
+        assert result.best_cost == 150
+
+    def test_semantics_override_covered_for_sum_rejected(
+        self, example7_windows
+    ):
+        with pytest.raises(CostModelError):
+            optimize(example7_windows, SUM, semantics_override=COV)
+
+    def test_semantics_override_for_holistic_rejected(self, example7_windows):
+        with pytest.raises(CostModelError):
+            optimize(example7_windows, MEDIAN, semantics_override=PART)
+
+    def test_empty_window_set_rejected(self):
+        with pytest.raises(CostModelError):
+            optimize(WindowSet(), MIN)
+
+    def test_single_window_no_change(self):
+        result = optimize(WindowSet([Window(20, 20)]), MIN)
+        assert result.best_cost == result.baseline_cost
+
+    def test_optimize_seconds_recorded(self, example7_windows):
+        result = optimize(example7_windows, MIN)
+        assert result.optimize_seconds > 0
+
+    def test_summary_text(self, example7_windows):
+        text = optimize(example7_windows, MIN).summary()
+        assert "360" in text and "246" in text and "150" in text
+        assert "2.40x" in text
+
+    def test_event_rate_propagates(self, example7_windows):
+        result = optimize(example7_windows, MIN, event_rate=5)
+        assert result.baseline_cost == 5 * 360
+
+
+class TestMinCostEntryPoints:
+    def test_min_cost_accepts_plain_iterables(self):
+        windows = [Window(20, 20), Window(40, 40)]
+        result = min_cost_wcg(windows, PART)
+        assert result.total_cost < 2 * 40  # some sharing happened
+
+    def test_with_factors_accepts_plain_iterables(self):
+        windows = [Window(20, 20), Window(30, 30), Window(40, 40)]
+        result, _ = min_cost_wcg_with_factors(windows, PART)
+        assert result.total_cost == 150
+
+    def test_validates_cost_model_assumption(self):
+        with pytest.raises(CostModelError):
+            min_cost_wcg([Window(10, 3)], COV)
+
+    def test_hopping_covered_by_sharing(self):
+        # W(40,10) is covered by W(20,10): M = 1 + 20/10 = 3 < 40.
+        windows = WindowSet([Window(20, 10), Window(40, 10)])
+        result = min_cost_wcg(windows, COV)
+        assert result.provider[Window(40, 10)] == Window(20, 10)
+
+    def test_hopping_not_shared_under_partitioned(self):
+        windows = WindowSet([Window(20, 10), Window(40, 10)])
+        result = min_cost_wcg(windows, PART)
+        assert result.provider[Window(40, 10)] is None

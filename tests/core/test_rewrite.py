@@ -1,0 +1,114 @@
+"""Tests for query rewriting (Appendix B): Gmin → logical plan."""
+
+import pytest
+
+from repro.aggregates.registry import MIN
+from repro.core.optimizer import min_cost_wcg, min_cost_wcg_with_factors
+from repro.core.rewrite import rewrite_plan
+from repro.errors import PlanError
+from repro.plans.nodes import MulticastNode, SourceNode, UnionNode
+from repro.plans.validate import validate_plan
+from repro.windows.coverage import CoverageSemantics
+from repro.windows.window import Window, WindowSet
+
+PART = CoverageSemantics.PARTITIONED_BY
+
+
+@pytest.fixture
+def example1_gmin():
+    """Example 1's window set (tumbling 20/30/40) without factors."""
+    return min_cost_wcg(
+        WindowSet([Window(20, 20), Window(30, 30), Window(40, 40)]), PART
+    )
+
+
+@pytest.fixture
+def example1_gmin_factors():
+    result, _ = min_cost_wcg_with_factors(
+        WindowSet([Window(20, 20), Window(30, 30), Window(40, 40)]), PART
+    )
+    return result
+
+
+class TestRewriteStructure:
+    def test_plan_validates(self, example1_gmin):
+        plan = rewrite_plan(example1_gmin, MIN)
+        validate_plan(plan)
+
+    def test_figure_2b_shape(self, example1_gmin):
+        # Rewritten plan without factors: W20 and W30 read raw, W40
+        # reads W20's sub-aggregates (Figure 2(a) middle).
+        plan = rewrite_plan(example1_gmin, MIN)
+        providers = plan.provider_map()
+        assert providers[Window(20, 20)] is None
+        assert providers[Window(30, 30)] is None
+        assert providers[Window(40, 40)] == Window(20, 20)
+
+    def test_figure_2c_shape_with_factors(self, example1_gmin_factors):
+        # With the factor window W(10,10): everything reads from it
+        # (directly or through W20), and only W10 reads raw.
+        plan = rewrite_plan(example1_gmin_factors, MIN)
+        providers = plan.provider_map()
+        assert providers[Window(10, 10)] is None
+        assert providers[Window(20, 20)] == Window(10, 10)
+        assert providers[Window(30, 30)] == Window(10, 10)
+        assert providers[Window(40, 40)] == Window(20, 20)
+        raw_readers = [w for w, p in providers.items() if p is None]
+        assert raw_readers == [Window(10, 10)]
+
+    def test_factor_not_in_union(self, example1_gmin_factors):
+        plan = rewrite_plan(example1_gmin_factors, MIN)
+        assert Window(10, 10) not in plan.user_windows
+        assert set(plan.user_windows) == {
+            Window(20, 20),
+            Window(30, 30),
+            Window(40, 40),
+        }
+        validate_plan(plan)
+
+    def test_union_collects_all_user_windows(self, example1_gmin):
+        plan = rewrite_plan(example1_gmin, MIN)
+        assert isinstance(plan.root, UnionNode)
+        assert len(plan.root.inputs) == 3
+
+    def test_multicast_after_shared_providers(self, example1_gmin_factors):
+        plan = rewrite_plan(example1_gmin_factors, MIN)
+        multicasts = [
+            n for n in plan.nodes() if isinstance(n, MulticastNode)
+        ]
+        # W10 feeds W20+W30 (fanout); W20 feeds W40 + union (fanout).
+        assert len(multicasts) == 2
+
+    def test_single_source(self, example1_gmin):
+        plan = rewrite_plan(example1_gmin, MIN)
+        sources = [n for n in plan.nodes() if isinstance(n, SourceNode)]
+        assert len(sources) == 1
+
+    def test_depths(self, example1_gmin_factors):
+        plan = rewrite_plan(example1_gmin_factors, MIN)
+        assert plan.depth_of(Window(10, 10)) == 0
+        assert plan.depth_of(Window(20, 20)) == 1
+        assert plan.depth_of(Window(30, 30)) == 1
+        assert plan.depth_of(Window(40, 40)) == 2
+
+    def test_description_propagates(self, example1_gmin):
+        plan = rewrite_plan(example1_gmin, MIN, description="custom")
+        assert plan.description == "custom"
+
+    def test_source_name_propagates(self, example1_gmin):
+        plan = rewrite_plan(example1_gmin, MIN, source_name="Sensors")
+        assert plan.source.name == "Sensors"
+
+
+class TestRewriteErrors:
+    def test_non_forest_rejected(self, example1_gmin):
+        # Sabotage: add a second provider edge to W40.
+        example1_gmin.graph.add_edge(Window(30, 30), Window(40, 40))
+        with pytest.raises(PlanError):
+            rewrite_plan(example1_gmin, MIN)
+
+    def test_single_window_plan(self):
+        gmin = min_cost_wcg(WindowSet([Window(20, 20)]), PART)
+        plan = rewrite_plan(gmin, MIN)
+        validate_plan(plan)
+        assert plan.user_windows == (Window(20, 20),)

@@ -1,0 +1,142 @@
+"""Tests for window coverage graph construction (Sections II-C, IV-A)."""
+
+import pytest
+
+from repro.errors import InvalidWindowError
+from repro.windows.coverage import CoverageSemantics
+from repro.windows.window import VIRTUAL_ROOT, Window, WindowSet
+from repro.core.wcg import WindowCoverageGraph
+
+PART = CoverageSemantics.PARTITIONED_BY
+COV = CoverageSemantics.COVERED_BY
+
+
+class TestConstruction:
+    def test_example_6_initial_wcg(self, example6_windows):
+        # Figure 6(a): edges 10->20, 10->30, 10->40, 20->40.
+        graph = WindowCoverageGraph.build(example6_windows, PART, augment=False)
+        expected = {
+            (Window(10, 10), Window(20, 20)),
+            (Window(10, 10), Window(30, 30)),
+            (Window(10, 10), Window(40, 40)),
+            (Window(20, 20), Window(40, 40)),
+        }
+        assert set(graph.edges) == expected
+
+    def test_no_self_edges(self, example6_windows):
+        graph = WindowCoverageGraph.build(example6_windows, PART, augment=False)
+        for provider, consumer in graph.edges:
+            assert provider != consumer
+
+    def test_mutually_prime_graph_has_no_edges(self):
+        windows = WindowSet(
+            [Window(15, 15), Window(17, 17), Window(19, 19)]
+        )
+        graph = WindowCoverageGraph.build(windows, PART, augment=False)
+        assert not graph.edges
+
+    def test_semantics_changes_edges(self):
+        # W(8,2) covers W(10,2) under covered-by but not partitioned-by.
+        windows = WindowSet([Window(8, 2), Window(10, 2)])
+        covered = WindowCoverageGraph.build(windows, COV, augment=False)
+        partitioned = WindowCoverageGraph.build(windows, PART, augment=False)
+        assert covered.has_edge(Window(8, 2), Window(10, 2))
+        assert not partitioned.has_edge(Window(8, 2), Window(10, 2))
+
+    def test_duplicate_node_rejected(self):
+        graph = WindowCoverageGraph(semantics=PART)
+        graph.add_node(Window(10, 10))
+        with pytest.raises(InvalidWindowError):
+            graph.add_node(Window(10, 10))
+
+    def test_edge_endpoints_must_exist(self):
+        graph = WindowCoverageGraph(semantics=PART)
+        graph.add_node(Window(10, 10))
+        with pytest.raises(InvalidWindowError):
+            graph.add_edge(Window(10, 10), Window(20, 20))
+
+
+class TestAugmentation:
+    def test_root_added_with_edges_to_orphans(self, example7_windows):
+        graph = WindowCoverageGraph.build(example7_windows, PART)
+        assert graph.has_node(VIRTUAL_ROOT)
+        # Figure 7(a): S feeds W2 and W3 (orphans); W4 is covered by W2.
+        assert graph.has_edge(VIRTUAL_ROOT, Window(20, 20))
+        assert graph.has_edge(VIRTUAL_ROOT, Window(30, 30))
+        assert not graph.has_edge(VIRTUAL_ROOT, Window(40, 40))
+
+    def test_augment_idempotent(self, example7_windows):
+        graph = WindowCoverageGraph.build(example7_windows, PART)
+        before = set(graph.edges)
+        graph.augment()
+        assert set(graph.edges) == before
+
+    def test_root_not_a_user_window(self, example7_windows):
+        graph = WindowCoverageGraph.build(example7_windows, PART)
+        assert VIRTUAL_ROOT not in graph.user_windows
+        assert VIRTUAL_ROOT in graph.nodes
+
+
+class TestFactorInsertion:
+    def test_insert_factor_connects_both_directions(self, example7_windows):
+        graph = WindowCoverageGraph.build(example7_windows, PART)
+        factor = Window(10, 10)
+        graph.insert_factor(factor)
+        assert graph.is_factor(factor)
+        # Factor is fed by the root and feeds all three user windows.
+        assert graph.has_edge(VIRTUAL_ROOT, factor)
+        for window in example7_windows:
+            assert graph.has_edge(factor, window)
+
+    def test_factor_windows_listed(self, example7_windows):
+        graph = WindowCoverageGraph.build(example7_windows, PART)
+        graph.insert_factor(Window(10, 10))
+        assert graph.factor_windows == (Window(10, 10),)
+        assert set(graph.user_windows) == set(example7_windows)
+
+
+class TestQueries:
+    def test_degrees(self, example6_windows):
+        graph = WindowCoverageGraph.build(example6_windows, PART, augment=False)
+        assert graph.out_degree(Window(10, 10)) == 3
+        assert graph.in_degree(Window(40, 40)) == 2
+
+    def test_consumers_and_providers_sorted(self, example6_windows):
+        graph = WindowCoverageGraph.build(example6_windows, PART, augment=False)
+        assert graph.consumers_of(Window(10, 10)) == (
+            Window(20, 20),
+            Window(30, 30),
+            Window(40, 40),
+        )
+        assert graph.providers_of(Window(40, 40)) == (
+            Window(10, 10),
+            Window(20, 20),
+        )
+
+    def test_copy_is_independent(self, example6_windows):
+        graph = WindowCoverageGraph.build(example6_windows, PART, augment=False)
+        clone = graph.copy()
+        clone.remove_edge(Window(10, 10), Window(20, 20))
+        assert graph.has_edge(Window(10, 10), Window(20, 20))
+        assert not clone.has_edge(Window(10, 10), Window(20, 20))
+
+    def test_remove_node(self, example6_windows):
+        graph = WindowCoverageGraph.build(example6_windows, PART, augment=False)
+        graph.remove_node(Window(10, 10))
+        assert not graph.has_node(Window(10, 10))
+        assert Window(10, 10) not in [p for p, _ in graph.edges]
+
+    def test_is_forest(self, example6_windows):
+        graph = WindowCoverageGraph.build(example6_windows, PART, augment=False)
+        assert not graph.is_forest()  # W40 has two providers
+        graph.remove_edge(Window(10, 10), Window(40, 40))
+        assert graph.is_forest()
+
+    def test_build_complexity_shape(self):
+        # O(n^2) construction on a 30-window chain terminates quickly
+        # and yields the expected n*(n-1)/2-ish divisibility edges.
+        windows = WindowSet([Window(2**0 * 3, 2**0 * 3)])
+        for i in range(1, 8):
+            windows.add(Window(3 * 2**i, 3 * 2**i))
+        graph = WindowCoverageGraph.build(windows, PART, augment=False)
+        assert len(graph.edges) == 8 * 7 // 2

@@ -1,0 +1,161 @@
+"""Tests for the columnar engine's window-aggregate operators."""
+
+import numpy as np
+import pytest
+
+from repro.aggregates.registry import AVG, COUNT, MAX, MEDIAN, MIN, SUM
+from repro.engine.columnar import (
+    aggregate_from_provider,
+    aggregate_raw,
+    aggregate_raw_holistic,
+    num_complete_instances,
+)
+from repro.engine.events import make_batch
+from repro.engine.stats import ExecutionStats
+from repro.errors import ExecutionError
+from repro.windows.window import Window
+
+
+def _brute_force(batch, window, aggregate, key=0):
+    """Reference: aggregate each instance directly from raw events."""
+    out = []
+    for m in window.instance_range(batch.horizon):
+        start, end = window.interval(m)
+        values = [
+            v
+            for t, k, v in batch.rows()
+            if start <= t < end and k == key
+        ]
+        out.append(aggregate.compute(values))
+    return np.asarray(out)
+
+
+@pytest.fixture
+def tiny_batch():
+    rng = np.random.default_rng(3)
+    n = 60
+    return make_batch(
+        np.arange(n), rng.normal(0, 10, n), keys=rng.integers(0, 2, n),
+        num_keys=2, horizon=n,
+    )
+
+
+class TestAggregateRaw:
+    @pytest.mark.parametrize("aggregate", [MIN, MAX, SUM, COUNT, AVG])
+    @pytest.mark.parametrize(
+        "window", [Window(10, 10), Window(10, 5), Window(12, 4)]
+    )
+    def test_matches_brute_force(self, tiny_batch, aggregate, window):
+        state = aggregate_raw(tiny_batch, window, aggregate)
+        finalized = state.finalized(aggregate)
+        for key in range(2):
+            expected = _brute_force(tiny_batch, window, aggregate, key)
+            np.testing.assert_allclose(
+                finalized[key], expected, rtol=1e-9, equal_nan=True
+            )
+
+    def test_pair_count_tumbling(self, tiny_batch):
+        stats = ExecutionStats()
+        aggregate_raw(tiny_batch, Window(10, 10), MIN, stats)
+        # Every event hits exactly one complete instance.
+        assert stats.total_pairs == 60
+
+    def test_pair_count_hopping(self, tiny_batch):
+        stats = ExecutionStats()
+        aggregate_raw(tiny_batch, Window(10, 5), MIN, stats)
+        # k = 2 instances per event, minus edge effects at stream start
+        # (events in [0,5) hit one instance) and end (instances past the
+        # horizon are not produced).
+        assert 100 <= stats.total_pairs <= 120
+
+    def test_empty_batch(self):
+        batch = make_batch([], [], horizon=40)
+        state = aggregate_raw(batch, Window(10, 10), MIN)
+        assert state.num_instances == 4
+        assert np.all(np.isnan(state.finalized(MIN)))
+
+    def test_short_horizon_no_instances(self):
+        batch = make_batch([0, 1], [1.0, 2.0], horizon=5)
+        state = aggregate_raw(batch, Window(10, 10), MIN)
+        assert state.num_instances == 0
+
+    def test_num_complete_instances(self):
+        assert num_complete_instances(Window(10, 5), 30) == 5
+        assert num_complete_instances(Window(10, 5), 9) == 0
+
+
+class TestAggregateFromProvider:
+    @pytest.mark.parametrize("aggregate", [MIN, MAX])
+    def test_covered_merge_matches_raw(self, tiny_batch, aggregate):
+        provider, consumer = Window(8, 2), Window(10, 2)
+        provider_state = aggregate_raw(tiny_batch, provider, aggregate)
+        state = aggregate_from_provider(
+            provider_state, consumer, aggregate, tiny_batch.horizon
+        )
+        direct = aggregate_raw(tiny_batch, consumer, aggregate)
+        np.testing.assert_allclose(
+            state.finalized(aggregate),
+            direct.finalized(aggregate),
+            equal_nan=True,
+        )
+
+    @pytest.mark.parametrize("aggregate", [SUM, COUNT, AVG])
+    def test_partitioned_merge_matches_raw(self, tiny_batch, aggregate):
+        provider, consumer = Window(5, 5), Window(20, 10)
+        provider_state = aggregate_raw(tiny_batch, provider, aggregate)
+        state = aggregate_from_provider(
+            provider_state, consumer, aggregate, tiny_batch.horizon
+        )
+        direct = aggregate_raw(tiny_batch, consumer, aggregate)
+        np.testing.assert_allclose(
+            state.finalized(aggregate),
+            direct.finalized(aggregate),
+            rtol=1e-9,
+            equal_nan=True,
+        )
+
+    def test_pair_count_matches_multiplier(self, tiny_batch):
+        provider, consumer = Window(10, 10), Window(30, 30)
+        provider_state = aggregate_raw(tiny_batch, provider, MIN)
+        stats = ExecutionStats()
+        aggregate_from_provider(
+            provider_state, consumer, MIN, tiny_batch.horizon, stats
+        )
+        # 2 complete consumer instances * M=3 * 2 keys.
+        assert stats.pairs_per_window[consumer] == 2 * 3 * 2
+
+    def test_uncovered_provider_rejected(self, tiny_batch):
+        from repro.errors import ReproError
+
+        provider_state = aggregate_raw(tiny_batch, Window(4, 4), MIN)
+        with pytest.raises(ReproError):
+            aggregate_from_provider(
+                provider_state, Window(10, 10), MIN, tiny_batch.horizon
+            )
+
+    def test_chained_providers(self, tiny_batch):
+        # W(10) -> W(20) -> W(40)' three-level chain, still exact.
+        s10 = aggregate_raw(tiny_batch, Window(10, 10), MIN)
+        s20 = aggregate_from_provider(
+            s10, Window(20, 20), MIN, tiny_batch.horizon
+        )
+        s40 = aggregate_from_provider(
+            s20, Window(40, 40), MIN, tiny_batch.horizon
+        )
+        direct = aggregate_raw(tiny_batch, Window(40, 40), MIN)
+        np.testing.assert_allclose(
+            s40.finalized(MIN), direct.finalized(MIN), equal_nan=True
+        )
+
+
+class TestHolisticPath:
+    def test_median_matches_brute_force(self, tiny_batch):
+        out = aggregate_raw_holistic(tiny_batch, Window(12, 4), MEDIAN)
+        for key in range(2):
+            expected = _brute_force(tiny_batch, Window(12, 4), MEDIAN, key)
+            np.testing.assert_allclose(out[key], expected, equal_nan=True)
+
+    def test_empty_batch_all_nan(self):
+        batch = make_batch([], [], horizon=24)
+        out = aggregate_raw_holistic(batch, Window(12, 4), MEDIAN)
+        assert np.all(np.isnan(out))

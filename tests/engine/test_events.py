@@ -1,0 +1,105 @@
+"""Tests for columnar event batches."""
+
+import numpy as np
+import pytest
+
+from repro.engine.events import EventBatch, encode_keys, make_batch
+from repro.errors import ExecutionError
+
+
+class TestEventBatchValidation:
+    def test_column_lengths_must_match(self):
+        with pytest.raises(ExecutionError):
+            EventBatch(
+                timestamps=np.asarray([0, 1]),
+                keys=np.asarray([0]),
+                values=np.asarray([1.0, 2.0]),
+                horizon=10,
+                num_keys=1,
+            )
+
+    def test_timestamps_must_be_sorted(self):
+        # make_batch sorts; direct construction must reject.
+        with pytest.raises(ExecutionError):
+            EventBatch(
+                timestamps=np.asarray([3, 1]),
+                keys=np.zeros(2, dtype=np.int64),
+                values=np.asarray([1.0, 2.0]),
+                horizon=10,
+                num_keys=1,
+            )
+
+    def test_negative_timestamps_rejected(self):
+        with pytest.raises(ExecutionError):
+            make_batch([-1, 0], [1.0, 2.0])
+
+    def test_horizon_must_exceed_last_event(self):
+        with pytest.raises(ExecutionError):
+            make_batch([0, 5], [1.0, 2.0], horizon=5)
+
+    def test_keys_must_be_dense(self):
+        with pytest.raises(ExecutionError):
+            make_batch([0, 1], [1.0, 2.0], keys=[0, 5], num_keys=2)
+
+    def test_num_keys_positive(self):
+        with pytest.raises(ExecutionError):
+            EventBatch(
+                timestamps=np.asarray([], dtype=np.int64),
+                keys=np.asarray([], dtype=np.int64),
+                values=np.asarray([], dtype=np.float64),
+                horizon=1,
+                num_keys=0,
+            )
+
+
+class TestMakeBatch:
+    def test_defaults(self):
+        batch = make_batch([0, 1, 2], [1.0, 2.0, 3.0])
+        assert batch.num_events == 3
+        assert batch.num_keys == 1
+        assert batch.horizon == 3
+
+    def test_sorts_unsorted_input(self):
+        batch = make_batch([2, 0, 1], [30.0, 10.0, 20.0])
+        assert list(batch.timestamps) == [0, 1, 2]
+        assert list(batch.values) == [10.0, 20.0, 30.0]
+
+    def test_empty_batch(self):
+        batch = make_batch([], [])
+        assert batch.num_events == 0
+        assert batch.horizon == 1
+
+    def test_rows_iteration(self):
+        batch = make_batch([0, 1], [1.5, 2.5], keys=[1, 0], num_keys=2)
+        assert list(batch.rows()) == [(0, 1, 1.5), (1, 0, 2.5)]
+
+    def test_len(self):
+        assert len(make_batch([0, 1], [1.0, 2.0])) == 2
+
+
+class TestSliceTime:
+    def test_slice_selects_half_open_range(self):
+        batch = make_batch([0, 1, 2, 3, 4], [0.0, 1.0, 2.0, 3.0, 4.0])
+        part = batch.slice_time(1, 3)
+        assert list(part.timestamps) == [1, 2]
+        assert part.horizon == 3
+
+    def test_slice_preserves_keys(self):
+        batch = make_batch(
+            [0, 1, 2], [0.0, 1.0, 2.0], keys=[0, 1, 0], num_keys=2
+        )
+        part = batch.slice_time(1, 3)
+        assert list(part.keys) == [1, 0]
+        assert part.num_keys == 2
+
+
+class TestEncodeKeys:
+    def test_first_appearance_order(self):
+        ids, mapping = encode_keys(["b", "a", "b", "c"])
+        assert list(ids) == [0, 1, 0, 2]
+        assert mapping == {"b": 0, "a": 1, "c": 2}
+
+    def test_numeric_keys(self):
+        ids, mapping = encode_keys([10, 20, 10])
+        assert list(ids) == [0, 1, 0]
+        assert mapping == {10: 0, 20: 1}

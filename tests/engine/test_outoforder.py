@@ -1,0 +1,118 @@
+"""Tests for out-of-order ingestion (reorder buffer + watermark)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.registry import MIN
+from repro.engine.events import make_batch
+from repro.engine.executor import execute_plan, results_equal
+from repro.engine.outoforder import (
+    ReorderBuffer,
+    batch_from_unordered,
+    reorder_events,
+    scramble_batch,
+)
+from repro.errors import ExecutionError
+from repro.plans.builder import original_plan
+from repro.windows.window import Window, WindowSet
+from repro.workloads.streams import constant_rate_stream
+
+
+class TestReorderBuffer:
+    def test_in_order_passthrough(self):
+        events = [(t, 0, float(t)) for t in range(10)]
+        ordered, stats = reorder_events(events, max_lateness=0)
+        assert ordered == events
+        assert stats.late_dropped == 0
+
+    def test_reorders_within_bound(self):
+        events = [(2, 0, 2.0), (0, 0, 0.0), (1, 0, 1.0), (3, 0, 3.0)]
+        ordered, stats = reorder_events(events, max_lateness=3)
+        assert [e[0] for e in ordered] == [0, 1, 2, 3]
+        assert stats.late_dropped == 0
+
+    def test_late_event_dropped_and_counted(self):
+        events = [(10, 0, 1.0), (0, 0, 2.0)]  # 0 is 10 ticks late
+        ordered, stats = reorder_events(events, max_lateness=3)
+        assert [e[0] for e in ordered] == [10]
+        assert stats.late_dropped == 1
+        assert stats.max_observed_lateness == 7  # watermark 7, event at 0
+
+    def test_same_timestamp_keeps_arrival_order(self):
+        events = [(0, 0, 1.0), (0, 1, 2.0), (0, 2, 3.0)]
+        ordered, _ = reorder_events(events, max_lateness=0)
+        assert [e[1] for e in ordered] == [0, 1, 2]
+
+    def test_watermark_trails_max_seen(self):
+        buffer = ReorderBuffer(max_lateness=5)
+        list(buffer.push(10, 0, 1.0))
+        assert buffer.watermark == 5
+        list(buffer.push(7, 0, 1.0))  # out of order but above watermark
+        assert buffer.watermark == 5
+        assert buffer.stats.accepted == 2
+
+    def test_negative_lateness_rejected(self):
+        with pytest.raises(ExecutionError):
+            ReorderBuffer(max_lateness=-1)
+
+    def test_negative_timestamp_rejected(self):
+        buffer = ReorderBuffer(max_lateness=1)
+        with pytest.raises(ExecutionError):
+            list(buffer.push(-1, 0, 1.0))
+
+    def test_keep_late_events(self):
+        buffer = ReorderBuffer(max_lateness=0, keep_late_events=True)
+        list(buffer.push(5, 0, 1.0))
+        list(buffer.push(1, 0, 2.0))
+        assert buffer.stats.late_events == [(1, 0, 2.0)]
+
+
+class TestBatchFromUnordered:
+    def test_round_trip_equals_sorted_batch(self):
+        batch = constant_rate_stream(500, num_keys=2, seed=3)
+        scrambled = scramble_batch(batch, max_lateness=7, seed=1)
+        rebuilt, stats = batch_from_unordered(
+            scrambled, max_lateness=7, horizon=batch.horizon, num_keys=2
+        )
+        assert stats.late_dropped == 0
+        np.testing.assert_array_equal(rebuilt.timestamps, batch.timestamps)
+        # Same multiset of (ts, key, value) triples.
+        assert sorted(rebuilt.rows()) == sorted(batch.rows())
+
+    def test_empty_input(self):
+        rebuilt, stats = batch_from_unordered([], max_lateness=5)
+        assert rebuilt.num_events == 0
+        assert stats.total == 0
+
+    def test_query_results_unaffected_by_disorder(self):
+        windows = WindowSet([Window(10, 10), Window(20, 10)])
+        plan = original_plan(windows, MIN)
+        batch = constant_rate_stream(400, seed=5)
+        scrambled = scramble_batch(batch, max_lateness=9, seed=2)
+        rebuilt, _ = batch_from_unordered(
+            scrambled, max_lateness=9, horizon=batch.horizon, num_keys=1
+        )
+        assert results_equal(
+            execute_plan(plan, batch), execute_plan(plan, rebuilt)
+        )
+
+    @given(
+        lateness=st.integers(0, 20),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scramble_respects_bound(self, lateness, seed):
+        """scramble_batch never produces disorder the buffer drops."""
+        batch = constant_rate_stream(120, seed=4)
+        scrambled = scramble_batch(batch, max_lateness=lateness, seed=seed)
+        _, stats = reorder_events(scrambled, max_lateness=lateness)
+        assert stats.late_dropped == 0
+        assert stats.accepted == batch.num_events
+
+    def test_insufficient_lateness_drops(self):
+        batch = make_batch([0, 1, 2, 3, 4, 5], [0.0] * 6)
+        scrambled = [(5, 0, 0.0), (0, 0, 0.0), (4, 0, 0.0), (1, 0, 0.0)]
+        _, stats = reorder_events(scrambled, max_lateness=1)
+        assert stats.late_dropped == 2  # ts 0 and 1 behind watermark 4

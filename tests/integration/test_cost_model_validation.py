@@ -1,0 +1,166 @@
+"""Engine work matches the analytic cost model (DESIGN.md invariant 6).
+
+The paper's cost model prices a plan in "inputs processed per
+hyper-period R" assuming a steady event rate η.  On a constant-rate,
+single-key stream spanning exactly k hyper-periods, the engines'
+processed-pair counters must equal k × the model's plan cost — exactly
+for tumbling window sets (instances tile the periods), and up to the
+period-straddling-instance correction for hopping sets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.registry import MIN
+from repro.core.cost import CostModel
+from repro.core.optimizer import min_cost_wcg, min_cost_wcg_with_factors
+from repro.core.rewrite import rewrite_plan
+from repro.engine.events import make_batch
+from repro.engine.executor import execute_plan
+from repro.plans.builder import original_plan
+from repro.windows.coverage import CoverageSemantics
+from repro.windows.window import VIRTUAL_ROOT, Window, WindowSet
+
+PART = CoverageSemantics.PARTITIONED_BY
+COV = CoverageSemantics.COVERED_BY
+
+tumbling_sets = st.lists(
+    st.sampled_from([2, 3, 4, 5, 6, 8, 10, 12, 15, 20]),
+    min_size=2,
+    max_size=4,
+    unique=True,
+).map(lambda ranges: WindowSet([Window(r, r) for r in ranges]))
+
+
+def _constant_batch(periods: int, period: int):
+    horizon = periods * period
+    ts = np.arange(horizon)
+    return make_batch(ts, np.sin(ts / 3.0), horizon=horizon)
+
+
+def _measured_cost(plan, batch):
+    return execute_plan(plan, batch).stats.total_pairs
+
+
+class TestExactForTumbling:
+    def test_example_6_pairs_equal_cost(self, example6_windows):
+        model = CostModel()
+        period = model.hyper_period(example6_windows)  # 120
+        batch = _constant_batch(3, period)
+
+        baseline = _measured_cost(
+            original_plan(example6_windows, MIN), batch
+        )
+        assert baseline == 3 * 480
+
+        gmin = min_cost_wcg(example6_windows, PART)
+        rewritten = _measured_cost(rewrite_plan(gmin, MIN), batch)
+        assert rewritten == 3 * 150
+
+    def test_example_7_pairs_equal_cost(self, example7_windows):
+        period = 120
+        batch = _constant_batch(2, period)
+        assert (
+            _measured_cost(original_plan(example7_windows, MIN), batch)
+            == 2 * 360
+        )
+        gmin = min_cost_wcg(example7_windows, PART)
+        assert _measured_cost(rewrite_plan(gmin, MIN), batch) == 2 * 246
+        gmin_f, _ = min_cost_wcg_with_factors(example7_windows, PART)
+        assert _measured_cost(rewrite_plan(gmin_f, MIN), batch) == 2 * 150
+
+    @given(windows=tumbling_sets, periods=st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_any_tumbling_set(self, windows, periods):
+        model = CostModel()
+        period = model.hyper_period(windows)
+        batch = _constant_batch(periods, period)
+
+        assert _measured_cost(
+            original_plan(windows, MIN), batch
+        ) == periods * model.baseline_cost(windows)
+
+        gmin = min_cost_wcg(windows, PART)
+        assert (
+            _measured_cost(rewrite_plan(gmin, MIN), batch)
+            == periods * gmin.total_cost
+        )
+
+        gmin_f, _ = min_cost_wcg_with_factors(windows, PART)
+        assert (
+            _measured_cost(rewrite_plan(gmin_f, MIN), batch)
+            == periods * gmin_f.total_cost
+        )
+
+
+def _horizon_cost(gmin, horizon: int, model: CostModel) -> int:
+    """The plan's cost model evaluated with the horizon as the period.
+
+    Over a contiguous constant-rate stream the engines' pair counters
+    equal exactly this quantity: every complete instance of a window
+    holds exactly ``r`` events, and sub-aggregate reads are ``M`` per
+    instance — the per-hyper-period cost merely packs instances into
+    disjoint periods, which under-counts the boundary-straddling
+    instances of hopping windows.
+    """
+    total = 0
+    for window in gmin.graph.nodes:
+        if window is VIRTUAL_ROOT:
+            continue
+        n = 1 + (horizon - window.range) // window.slide
+        total += n * model.instance_cost(window, gmin.provider[window])
+    return total
+
+
+class TestHoppingExactAtHorizon:
+    def test_hopping_pairs_equal_horizon_cost(self):
+        windows = WindowSet([Window(20, 10), Window(40, 20), Window(60, 20)])
+        model = CostModel()
+        period = model.hyper_period(windows)  # 120
+        batch = _constant_batch(4, period)
+
+        gmin = min_cost_wcg(windows, COV)
+        measured = _measured_cost(rewrite_plan(gmin, MIN), batch)
+        assert measured == _horizon_cost(gmin, batch.horizon, model)
+
+    def test_hopping_with_factors_pairs_equal_horizon_cost(self):
+        windows = WindowSet([Window(40, 20), Window(60, 20), Window(80, 20)])
+        model = CostModel()
+        period = model.hyper_period(windows)
+        batch = _constant_batch(2, period)
+
+        gmin, _ = min_cost_wcg_with_factors(windows, COV)
+        measured = _measured_cost(rewrite_plan(gmin, MIN), batch)
+        assert measured == _horizon_cost(gmin, batch.horizon, model)
+
+    def test_per_period_model_is_a_lower_bound(self):
+        windows = WindowSet([Window(20, 10), Window(40, 20)])
+        model = CostModel()
+        period = model.hyper_period(windows)
+        gmin = min_cost_wcg(windows, COV)
+        plan = rewrite_plan(gmin, MIN)
+
+        for periods in (2, 8):
+            batch = _constant_batch(periods, period)
+            measured = _measured_cost(plan, batch)
+            assert measured >= periods * gmin.total_cost
+
+
+class TestPredictedSpeedupMatchesWorkReduction:
+    @given(windows=tumbling_sets)
+    @settings(max_examples=15, deadline=None)
+    def test_gamma_c_equals_pair_ratio(self, windows):
+        """Figure 19 with the deterministic work metric: γ_C == pair
+        ratio exactly on aligned tumbling streams."""
+        model = CostModel()
+        period = model.hyper_period(windows)
+        batch = _constant_batch(2, period)
+
+        gmin = min_cost_wcg(windows, PART)
+        gmin_f, _ = min_cost_wcg_with_factors(windows, PART)
+        pairs_plain = _measured_cost(rewrite_plan(gmin, MIN), batch)
+        pairs_factor = _measured_cost(rewrite_plan(gmin_f, MIN), batch)
+        predicted = gmin.total_cost / gmin_f.total_cost
+        assert pairs_plain / pairs_factor == pytest.approx(predicted)

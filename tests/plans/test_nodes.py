@@ -1,0 +1,138 @@
+"""Tests for plan node structures."""
+
+import pytest
+
+from repro.aggregates.registry import MIN
+from repro.errors import PlanError
+from repro.plans.builder import PlanBuilder, original_plan
+from repro.plans.nodes import (
+    MulticastNode,
+    SourceNode,
+    UnionNode,
+    WindowAggregateNode,
+)
+from repro.windows.window import Window, WindowSet
+
+
+@pytest.fixture
+def builder():
+    return PlanBuilder()
+
+
+class TestNodeConstruction:
+    def test_source_has_no_inputs(self, builder):
+        assert builder.source.inputs == ()
+        assert builder.source.name == "Input"
+
+    def test_multicast_requires_one_input(self):
+        with pytest.raises(PlanError):
+            MulticastNode(node_id=1, inputs=())
+
+    def test_window_aggregate_requires_window(self, builder):
+        with pytest.raises(PlanError):
+            WindowAggregateNode(node_id=2, inputs=(builder.source,))
+
+    def test_window_aggregate_requires_one_input(self):
+        with pytest.raises(PlanError):
+            WindowAggregateNode(
+                node_id=2, inputs=(), window=Window(10, 10), aggregate=MIN
+            )
+
+    def test_union_requires_inputs(self):
+        with pytest.raises(PlanError):
+            UnionNode(node_id=3, inputs=())
+
+    def test_kind_labels(self, builder):
+        agg = builder.window_aggregate(Window(10, 10), MIN, builder.source)
+        assert builder.source.kind == "source"
+        assert agg.kind == "windowaggregate"
+
+    def test_reads_raw(self, builder):
+        raw = builder.window_aggregate(Window(10, 10), MIN, builder.source)
+        fed = builder.window_aggregate(
+            Window(20, 20), MIN, raw, provider=Window(10, 10)
+        )
+        assert raw.reads_raw
+        assert not fed.reads_raw
+
+
+class TestLogicalPlanAccessors:
+    def test_nodes_sorted_by_id(self):
+        plan = original_plan(
+            WindowSet([Window(20, 20), Window(30, 30)]), MIN
+        )
+        ids = [n.node_id for n in plan.nodes()]
+        assert ids == sorted(ids)
+
+    def test_window_accessors(self):
+        windows = WindowSet([Window(20, 20), Window(30, 30)])
+        plan = original_plan(windows, MIN)
+        assert set(plan.windows) == set(windows)
+        assert set(plan.user_windows) == set(windows)
+        assert plan.factor_window_nodes() == ()
+
+    def test_provider_map_original_plan(self):
+        plan = original_plan(WindowSet([Window(20, 20)]), MIN)
+        assert plan.provider_map() == {Window(20, 20): None}
+
+    def test_node_for_missing_window(self):
+        plan = original_plan(WindowSet([Window(20, 20)]), MIN)
+        with pytest.raises(PlanError):
+            plan.node_for(Window(99, 99))
+
+    def test_depth_of_raw_is_zero(self):
+        plan = original_plan(WindowSet([Window(20, 20)]), MIN)
+        assert plan.depth_of(Window(20, 20)) == 0
+
+    def test_iter_subtree_dedupes_shared_nodes(self):
+        plan = original_plan(
+            WindowSet([Window(20, 20), Window(30, 30)]), MIN
+        )
+        nodes = list(plan.root.iter_subtree())
+        assert len(nodes) == len({n.node_id for n in nodes})
+
+    def test_topological_window_order(self):
+        builder = PlanBuilder()
+        w10 = builder.window_aggregate(Window(10, 10), MIN, builder.source)
+        w20 = builder.window_aggregate(
+            Window(20, 20), MIN, w10, provider=Window(10, 10)
+        )
+        from repro.plans.nodes import LogicalPlan
+
+        plan = LogicalPlan(
+            root=builder.union([w10, w20]),
+            source=builder.source,
+            aggregate=MIN,
+        )
+        order = [n.window for n in plan.topological_window_order()]
+        assert order == [Window(10, 10), Window(20, 20)]
+
+
+class TestOriginalPlanBuilder:
+    def test_empty_window_set_rejected(self):
+        with pytest.raises(PlanError):
+            original_plan(WindowSet(), MIN)
+
+    def test_single_window_skips_multicast_and_union(self):
+        plan = original_plan(WindowSet([Window(20, 20)]), MIN)
+        kinds = {n.kind for n in plan.nodes()}
+        assert "multicast" not in kinds
+        assert "union" not in kinds
+
+    def test_multi_window_has_multicast_and_union(self):
+        plan = original_plan(
+            WindowSet([Window(20, 20), Window(30, 30)]), MIN
+        )
+        kinds = [n.kind for n in plan.nodes()]
+        assert kinds.count("multicast") == 1
+        assert kinds.count("union") == 1
+
+    def test_all_windows_read_raw(self, example6_windows):
+        plan = original_plan(example6_windows, MIN)
+        assert all(n.reads_raw for n in plan.window_nodes())
+
+    def test_source_name(self):
+        plan = original_plan(
+            WindowSet([Window(20, 20)]), MIN, source_name="Sensors"
+        )
+        assert plan.source.name == "Sensors"

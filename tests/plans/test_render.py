@@ -1,0 +1,72 @@
+"""Tests for plan renderers (Trill / Flink / tree)."""
+
+from repro.aggregates.registry import MIN, SUM
+from repro.core.optimizer import min_cost_wcg_with_factors
+from repro.core.rewrite import rewrite_plan
+from repro.plans.builder import original_plan
+from repro.plans.render import to_flink, to_tree, to_trill
+from repro.windows.coverage import CoverageSemantics
+from repro.windows.window import Window, WindowSet
+
+
+def _factor_plan():
+    windows = WindowSet([Window(20, 20), Window(30, 30), Window(40, 40)])
+    gmin, _ = min_cost_wcg_with_factors(
+        windows, CoverageSemantics.PARTITIONED_BY
+    )
+    return rewrite_plan(gmin, MIN, description="rewritten+factors")
+
+
+class TestTrillRenderer:
+    def test_original_plan_shape(self, example6_windows):
+        text = to_trill(original_plan(example6_windows, MIN))
+        assert text.count(".Tumbling(") == 4
+        assert ".Union(" in text
+        assert "Multicast" in text
+        assert text.strip().endswith("return u6;") or "return" in text
+
+    def test_factor_plan_marks_factors(self):
+        text = to_trill(_factor_plan())
+        assert ".Factor(" in text  # the factor window W(10,10)
+        assert text.count("from sub-aggregates") == 3
+
+    def test_hopping_rendered(self):
+        plan = original_plan(WindowSet([Window(20, 10)]), MIN)
+        assert ".Hopping(20, 10)" in to_trill(plan)
+
+    def test_aggregate_name_capitalized(self):
+        plan = original_plan(WindowSet([Window(20, 20)]), SUM)
+        assert "w.Sum(" in to_trill(plan)
+
+
+class TestFlinkRenderer:
+    def test_window_calls(self):
+        plan = original_plan(
+            WindowSet([Window(20, 20), Window(40, 20)]), MIN
+        )
+        text = to_flink(plan)
+        assert "TumblingEventTimeWindows.of(20)" in text
+        assert "SlidingEventTimeWindows.of(40, 20)" in text
+        assert ".union(" in text
+
+    def test_aggregate_call(self):
+        plan = original_plan(WindowSet([Window(20, 20)]), MIN)
+        assert "new MinAggregate()" in to_flink(plan)
+
+
+class TestTreeRenderer:
+    def test_tree_mentions_every_operator(self):
+        text = to_tree(_factor_plan())
+        assert "Union" in text
+        assert "MultiCast" in text
+        assert "Source(Input)" in text
+        assert "(factor)" in text
+        assert "from 10 second" in text
+
+    def test_tree_shows_description(self):
+        text = to_tree(_factor_plan())
+        assert text.startswith("[rewritten+factors]")
+
+    def test_tree_shows_raw_origin(self, example6_windows):
+        text = to_tree(original_plan(example6_windows, MIN))
+        assert text.count("<- raw") == 4

@@ -1,0 +1,130 @@
+"""Tests for plan validation."""
+
+import pytest
+
+from repro.aggregates.registry import MEDIAN, MIN, SUM
+from repro.errors import PlanError
+from repro.plans.builder import PlanBuilder, original_plan
+from repro.plans.nodes import LogicalPlan
+from repro.plans.validate import validate_plan
+from repro.windows.coverage import CoverageSemantics
+from repro.windows.window import Window, WindowSet
+
+
+def _plan_with_provider(aggregate, consumer, provider, semantics=None):
+    builder = PlanBuilder()
+    provider_node = builder.window_aggregate(
+        provider, aggregate, builder.source
+    )
+    fanout = builder.multicast(provider_node)
+    consumer_node = builder.window_aggregate(
+        consumer, aggregate, fanout, provider=provider
+    )
+    root = builder.union([fanout, consumer_node])
+    return LogicalPlan(
+        root=root,
+        source=builder.source,
+        aggregate=aggregate,
+        semantics=semantics,
+    )
+
+
+class TestValidPlans:
+    def test_original_plan_valid(self, example6_windows):
+        validate_plan(original_plan(example6_windows, MIN))
+
+    def test_partitioned_subaggregate_edge_valid(self):
+        plan = _plan_with_provider(SUM, Window(40, 40), Window(20, 20))
+        validate_plan(plan)
+
+    def test_covered_edge_valid_for_min(self):
+        plan = _plan_with_provider(
+            MIN,
+            Window(10, 2),
+            Window(8, 2),
+            semantics=CoverageSemantics.COVERED_BY,
+        )
+        validate_plan(plan)
+
+    def test_holistic_original_plan_valid(self, example6_windows):
+        validate_plan(original_plan(example6_windows, MEDIAN))
+
+
+class TestInvalidPlans:
+    def test_covered_edge_invalid_for_sum(self):
+        # SUM over an overlapping (merely covered) provider is unsound.
+        plan = _plan_with_provider(
+            SUM,
+            Window(10, 2),
+            Window(8, 2),
+            semantics=CoverageSemantics.COVERED_BY,
+        )
+        with pytest.raises(PlanError):
+            validate_plan(plan)
+
+    def test_uncovered_provider_rejected(self):
+        plan = _plan_with_provider(MIN, Window(30, 30), Window(20, 20))
+        with pytest.raises(PlanError):
+            validate_plan(plan)
+
+    def test_holistic_subaggregate_edge_rejected(self):
+        plan = _plan_with_provider(MEDIAN, Window(40, 40), Window(20, 20))
+        with pytest.raises(PlanError):
+            validate_plan(plan)
+
+    def test_provider_without_node_rejected(self):
+        builder = PlanBuilder()
+        node = builder.window_aggregate(
+            Window(40, 40), MIN, builder.source, provider=Window(20, 20)
+        )
+        plan = LogicalPlan(root=node, source=builder.source, aggregate=MIN)
+        with pytest.raises(PlanError):
+            validate_plan(plan)
+
+    def test_duplicate_window_rejected(self):
+        builder = PlanBuilder()
+        fanout = builder.multicast(builder.source)
+        a = builder.window_aggregate(Window(20, 20), MIN, fanout)
+        b = builder.window_aggregate(Window(20, 20), MIN, fanout)
+        plan = LogicalPlan(
+            root=builder.union([a, b]), source=builder.source, aggregate=MIN
+        )
+        with pytest.raises(PlanError):
+            validate_plan(plan)
+
+    def test_factor_window_in_union_rejected(self):
+        builder = PlanBuilder()
+        factor = builder.window_aggregate(
+            Window(10, 10), MIN, builder.source, is_factor=True
+        )
+        plan = LogicalPlan(root=factor, source=builder.source, aggregate=MIN)
+        with pytest.raises(PlanError):
+            validate_plan(plan)
+
+    def test_user_window_missing_from_union_rejected(self):
+        # W(20,20) is a (non-factor) user window reachable only as
+        # W(40,40)'s provider; its results never surface at the root.
+        builder = PlanBuilder()
+        provider = builder.window_aggregate(Window(20, 20), MIN, builder.source)
+        consumer = builder.window_aggregate(
+            Window(40, 40), MIN, provider, provider=Window(20, 20)
+        )
+        plan = LogicalPlan(
+            root=builder.union([consumer]),
+            source=builder.source,
+            aggregate=MIN,
+        )
+        with pytest.raises(PlanError):
+            validate_plan(plan)
+
+    def test_raw_claim_with_aggregate_input_rejected(self):
+        builder = PlanBuilder()
+        inner = builder.window_aggregate(Window(10, 10), MIN, builder.source)
+        outer = builder.window_aggregate(Window(20, 20), MIN, inner)
+        plan = LogicalPlan(
+            root=builder.union([inner, outer]),
+            source=builder.source,
+            aggregate=MIN,
+        )
+        with pytest.raises(PlanError):
+            validate_plan(plan)

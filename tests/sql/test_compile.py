@@ -1,0 +1,130 @@
+"""Tests for SQL semantic analysis and end-to-end planning."""
+
+import pytest
+
+from repro.errors import SqlSemanticError
+from repro.sql.compile import compile_query, plan_query
+from repro.windows.window import Window
+
+PAPER_QUERY = """
+SELECT DeviceID, System.Window().Id, Min(T) AS MinTemp
+FROM Input TIMESTAMP BY EntryTime
+GROUP BY DeviceID, Windows(
+    Window('20 min', TumblingWindow(minute, 20)),
+    Window('30 min', TumblingWindow(minute, 30)),
+    Window('40 min', TumblingWindow(minute, 40)))
+"""
+
+
+class TestCompile:
+    def test_window_set_normalized_to_ticks(self):
+        compiled = compile_query(PAPER_QUERY)
+        assert set(compiled.window_set) == {
+            Window(1200, 1200),
+            Window(1800, 1800),
+            Window(2400, 2400),
+        }
+
+    def test_window_names_preserved(self):
+        compiled = compile_query(PAPER_QUERY)
+        assert [w.name for w in compiled.window_set] == [
+            "20 min",
+            "30 min",
+            "40 min",
+        ]
+
+    def test_aggregate_and_columns(self):
+        compiled = compile_query(PAPER_QUERY)
+        assert compiled.aggregate.name == "min"
+        assert compiled.value_column == "T"
+        assert compiled.group_keys == ("DeviceID",)
+        assert compiled.alias == "MinTemp"
+        assert compiled.source == "Input"
+
+    def test_mixed_units(self):
+        compiled = compile_query(
+            "SELECT MIN(v) FROM s GROUP BY WINDOWS("
+            "TUMBLING(minute, 2), TUMBLING(second, 180))"
+        )
+        assert set(compiled.window_set) == {Window(120, 120), Window(180, 180)}
+
+    def test_zero_aggregates_rejected(self):
+        with pytest.raises(SqlSemanticError):
+            compile_query(
+                "SELECT a FROM s GROUP BY WINDOWS(TUMBLING(minute, 5))"
+            )
+
+    def test_two_aggregates_rejected(self):
+        with pytest.raises(SqlSemanticError):
+            compile_query(
+                "SELECT MIN(v), MAX(v) FROM s "
+                "GROUP BY WINDOWS(TUMBLING(minute, 5))"
+            )
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(Exception):
+            compile_query(
+                "SELECT FROB(v) FROM s GROUP BY WINDOWS(TUMBLING(minute, 5))"
+            )
+
+    def test_duplicate_window_names_rejected(self):
+        with pytest.raises(SqlSemanticError):
+            compile_query(
+                "SELECT MIN(v) FROM s GROUP BY WINDOWS("
+                "WINDOW('a', TUMBLING(minute, 5)),"
+                "WINDOW('a', TUMBLING(minute, 10)))"
+            )
+
+    def test_duplicate_windows_rejected(self):
+        from repro.errors import InvalidWindowError
+
+        with pytest.raises(InvalidWindowError):
+            compile_query(
+                "SELECT MIN(v) FROM s GROUP BY WINDOWS("
+                "TUMBLING(minute, 5), TUMBLING(second, 300))"
+            )
+
+    def test_bad_unit_rejected(self):
+        with pytest.raises(SqlSemanticError):
+            compile_query(
+                "SELECT MIN(v) FROM s GROUP BY WINDOWS(TUMBLING(lightyear, 5))"
+            )
+
+
+class TestPlanQuery:
+    def test_paper_query_end_to_end(self):
+        planned = plan_query(PAPER_QUERY)
+        # Example 7's structure at second granularity: the same factor
+        # window (10 minutes) is found; raw-read costs scale with the
+        # tick resolution while sub-aggregate reads do not, so sharing
+        # pays even more than at minute granularity.
+        assert planned.optimization.baseline_cost == 3 * 7200
+        assert planned.optimization.predicted_speedup >= 360 / 150
+        assert planned.best_plan is planned.with_factors
+        factors = planned.with_factors.factor_window_nodes()
+        assert [n.window for n in factors] == [Window(600, 600)]
+
+    def test_plans_carry_source_name(self):
+        planned = plan_query(PAPER_QUERY)
+        assert planned.original.source.name == "Input"
+        assert planned.with_factors.source.name == "Input"
+
+    def test_factor_windows_disabled(self):
+        planned = plan_query(PAPER_QUERY, enable_factor_windows=False)
+        assert planned.with_factors is None
+        assert planned.best_plan is planned.rewritten
+
+    def test_holistic_query_falls_back_to_original(self):
+        planned = plan_query(
+            "SELECT MEDIAN(v) FROM s GROUP BY WINDOWS("
+            "TUMBLING(minute, 5), TUMBLING(minute, 10))"
+        )
+        assert planned.rewritten is None
+        assert planned.best_plan is planned.original
+
+    def test_all_plans_validate(self):
+        from repro.plans.validate import validate_plan
+
+        planned = plan_query(PAPER_QUERY)
+        for plan in (planned.original, planned.rewritten, planned.with_factors):
+            validate_plan(plan)

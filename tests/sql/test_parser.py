@@ -1,0 +1,119 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.ast import AggregateCall, ColumnRef
+from repro.sql.parser import parse
+
+PAPER_QUERY = """
+SELECT DeviceID, System.Window().Id, Min(T) AS MinTemp
+FROM Input TIMESTAMP BY EntryTime
+GROUP BY DeviceID, Windows(
+    Window('20 min', TumblingWindow(minute, 20)),
+    Window('30 min', TumblingWindow(minute, 30)),
+    Window('40 min', TumblingWindow(minute, 40)))
+"""
+
+
+class TestPaperQuery:
+    def test_figure_1a_parses(self):
+        query = parse(PAPER_QUERY)
+        assert query.source == "Input"
+        assert query.timestamp_column == "EntryTime"
+        assert len(query.window_defs) == 3
+        assert [d.name for d in query.window_defs] == [
+            "20 min",
+            "30 min",
+            "40 min",
+        ]
+        assert all(d.kind == "tumbling" for d in query.window_defs)
+        assert [d.range for d in query.window_defs] == [20, 30, 40]
+
+    def test_aggregate_call_extracted(self):
+        query = parse(PAPER_QUERY)
+        calls = query.aggregate_calls
+        assert len(calls) == 1
+        assert calls[0].function.lower() == "min"
+        assert calls[0].argument.name == "T"
+
+    def test_group_keys(self):
+        query = parse(PAPER_QUERY)
+        assert [str(k) for k in query.group_keys] == ["DeviceID"]
+
+    def test_select_items(self):
+        query = parse(PAPER_QUERY)
+        assert len(query.select_items) == 3
+        assert query.select_items[2].alias == "MinTemp"
+        assert isinstance(query.select_items[2].expression, AggregateCall)
+        pseudo = query.select_items[1].expression
+        assert isinstance(pseudo, ColumnRef)
+        assert pseudo.is_call  # System.Window().Id
+
+
+class TestWindowSpecs:
+    def test_hopping_window(self):
+        query = parse(
+            "SELECT MIN(v) FROM s GROUP BY WINDOWS(HOPPING(second, 40, 20))"
+        )
+        definition = query.window_defs[0]
+        assert definition.kind == "hopping"
+        assert (definition.range, definition.slide) == (40, 20)
+
+    def test_sliding_alias(self):
+        query = parse(
+            "SELECT MIN(v) FROM s GROUP BY WINDOWS(SLIDINGWINDOW(minute, 10, 5))"
+        )
+        assert query.window_defs[0].kind == "hopping"
+
+    def test_bare_window_spec(self):
+        query = parse(
+            "SELECT MIN(v) FROM s GROUP BY WINDOWS(TUMBLING(minute, 5))"
+        )
+        assert query.window_defs[0].name == ""
+
+    def test_window_wrapper_without_name(self):
+        query = parse(
+            "SELECT MIN(v) FROM s GROUP BY WINDOWS(WINDOW(TUMBLING(minute, 5)))"
+        )
+        assert query.window_defs[0].range == 5
+
+    def test_keywords_case_insensitive(self):
+        query = parse(
+            "select min(v) from s group by windows(tumbling(MINUTE, 5))"
+        )
+        assert query.window_defs[0].range == 5
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "SELECT",
+            "SELECT a",  # no FROM
+            "SELECT a FROM",  # no source
+            "SELECT a FROM s",  # no GROUP BY
+            "SELECT a FROM s GROUP a",  # missing BY
+            "SELECT a FROM s GROUP BY WINDOWS()",  # empty windows
+            "SELECT a FROM s GROUP BY WINDOWS(TUMBLING(minute))",  # arity
+            "SELECT a FROM s GROUP BY WINDOWS(TUMBLING(minute, 5)",  # paren
+            "SELECT a FROM s GROUP BY k, WINDOWS(TUMBLING(m, 5)), "
+            "WINDOWS(TUMBLING(m, 6))",  # duplicate clause
+            "SELECT a FROM s TIMESTAMP EntryTime GROUP BY k",  # missing BY
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(SqlSyntaxError):
+            parse(text)
+
+    def test_error_message_has_position(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            parse("SELECT a FROM s GROUP BY WINDOWS(BOGUS(minute, 5))")
+        assert "line 1" in str(excinfo.value)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse(
+                "SELECT MIN(v) FROM s GROUP BY WINDOWS(TUMBLING(minute, 5)) x"
+            )

@@ -1,0 +1,95 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.tokenizer import tokenize
+from repro.sql.tokens import TokenType
+
+
+def _types(text):
+    return [t.type for t in tokenize(text)]
+
+
+def _texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_punctuation(self):
+        assert _types("SELECT a FROM b") == [
+            TokenType.IDENT,
+            TokenType.IDENT,
+            TokenType.IDENT,
+            TokenType.IDENT,
+            TokenType.EOF,
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("20 300")
+        assert tokens[0].type is TokenType.INT and tokens[0].text == "20"
+        assert tokens[1].text == "300"
+
+    def test_string_literal(self):
+        tokens = tokenize("'20 min'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].text == "20 min"
+
+    def test_punctuation(self):
+        assert _types("(,.*)")[:-1] == [
+            TokenType.LPAREN,
+            TokenType.COMMA,
+            TokenType.DOT,
+            TokenType.STAR,
+            TokenType.RPAREN,
+        ]
+
+    def test_dotted_identifier_tokens(self):
+        assert _texts("System.Window().Id") == [
+            "System", ".", "Window", "(", ")", ".", "Id",
+        ]
+
+    def test_underscore_identifiers(self):
+        assert _texts("min_temp _x") == ["min_temp", "_x"]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        tokens = tokenize("SELECT -- the projection\n a")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "a"]
+
+    def test_whitespace_variants(self):
+        assert _texts("a\tb\r\nc") == ["a", "b", "c"]
+
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            tokenize("'unterminated")
+        assert "unterminated" in str(excinfo.value)
+
+    def test_bad_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+    def test_number_glued_to_letter(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("20min")
+
+    def test_error_carries_position(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            tokenize("a\n!")
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 1

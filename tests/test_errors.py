@@ -1,0 +1,72 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    CostModelError,
+    ExecutionError,
+    InvalidWindowError,
+    PlanError,
+    ReproError,
+    SqlSemanticError,
+    SqlSyntaxError,
+    UnsupportedAggregateError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            CostModelError,
+            ExecutionError,
+            InvalidWindowError,
+            PlanError,
+            SqlSemanticError,
+            SqlSyntaxError,
+            UnsupportedAggregateError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_errors_catchable_as_value_error(self):
+        for exc in (CostModelError, InvalidWindowError, PlanError):
+            assert issubclass(exc, ValueError)
+
+    def test_execution_error_is_runtime_error(self):
+        assert issubclass(ExecutionError, RuntimeError)
+
+    def test_sql_errors_share_a_base(self):
+        from repro.errors import SqlError
+
+        assert issubclass(SqlSyntaxError, SqlError)
+        assert issubclass(SqlSemanticError, SqlError)
+
+    def test_syntax_error_position_formatting(self):
+        error = SqlSyntaxError("bad token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_syntax_error_without_position(self):
+        error = SqlSyntaxError("bad token")
+        assert str(error) == "bad token"
+
+
+class TestOneCatchAllWorks:
+    def test_library_failures_catchable_uniformly(self):
+        from repro import MIN, WindowSet, optimize
+        from repro.sql import parse
+        from repro.windows import Window
+
+        failures = 0
+        for action in (
+            lambda: Window(1, 2),
+            lambda: optimize(WindowSet(), MIN),
+            lambda: parse("SELECT"),
+        ):
+            try:
+                action()
+            except ReproError:
+                failures += 1
+        assert failures == 3

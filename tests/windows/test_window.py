@@ -1,0 +1,193 @@
+"""Tests for the window model (Section II-A)."""
+
+import pytest
+
+from repro.errors import CostModelError, InvalidWindowError
+from repro.windows.window import (
+    VIRTUAL_ROOT,
+    Window,
+    WindowSet,
+    hopping,
+    tumbling,
+)
+
+
+class TestWindowConstruction:
+    def test_tumbling_window(self):
+        w = Window(10, 10)
+        assert w.is_tumbling
+        assert not w.is_hopping
+
+    def test_hopping_window(self):
+        w = Window(10, 2)
+        assert w.is_hopping
+        assert not w.is_tumbling
+
+    def test_slide_must_be_positive(self):
+        with pytest.raises(InvalidWindowError):
+            Window(10, 0)
+        with pytest.raises(InvalidWindowError):
+            Window(10, -1)
+
+    def test_range_must_be_at_least_slide(self):
+        with pytest.raises(InvalidWindowError):
+            Window(5, 10)
+
+    def test_range_must_be_integer(self):
+        with pytest.raises(InvalidWindowError):
+            Window(10.5, 2)  # type: ignore[arg-type]
+        with pytest.raises(InvalidWindowError):
+            Window(10, 2.5)  # type: ignore[arg-type]
+
+    def test_bool_is_not_a_valid_duration(self):
+        with pytest.raises(InvalidWindowError):
+            Window(True, True)  # type: ignore[arg-type]
+
+    def test_name_not_part_of_identity(self):
+        assert Window(10, 2, name="a") == Window(10, 2, name="b")
+        assert hash(Window(10, 2, name="a")) == hash(Window(10, 2, name="b"))
+
+    def test_convenience_constructors(self):
+        assert tumbling(20) == Window(20, 20)
+        assert hopping(20, 10) == Window(20, 10)
+
+    def test_ordering_by_range_then_slide(self):
+        assert Window(10, 5) < Window(20, 5)
+        assert Window(10, 2) < Window(10, 5)
+
+    def test_virtual_root_is_unit_tumbling(self):
+        assert VIRTUAL_ROOT.range == 1
+        assert VIRTUAL_ROOT.slide == 1
+        assert VIRTUAL_ROOT.is_tumbling
+
+
+class TestIntervalRepresentation:
+    def test_interval_formula(self):
+        # Paper Section II-A-1: W(10, 2) has intervals [0,10), [2,12), ...
+        w = Window(10, 2)
+        assert w.interval(0) == (0, 10)
+        assert w.interval(1) == (2, 12)
+        assert w.interval(5) == (10, 20)
+
+    def test_interval_index_must_be_non_negative(self):
+        with pytest.raises(InvalidWindowError):
+            Window(10, 2).interval(-1)
+
+    def test_instance_range_counts_complete_instances(self):
+        w = Window(10, 5)
+        # Complete instances in [0, 30): [0,10), [5,15), ..., [20,30).
+        assert list(w.instance_range(30)) == [0, 1, 2, 3, 4]
+
+    def test_instance_range_short_horizon(self):
+        assert len(Window(10, 5).instance_range(9)) == 0
+
+    def test_instances_covering_tumbling(self):
+        w = Window(10, 10)
+        assert list(w.instances_covering(0)) == [0]
+        assert list(w.instances_covering(9)) == [0]
+        assert list(w.instances_covering(10)) == [1]
+
+    def test_instances_covering_hopping(self):
+        w = Window(10, 2)
+        # ts=10 belongs to intervals [2,12), [4,14), ..., [10,20).
+        assert list(w.instances_covering(10)) == [1, 2, 3, 4, 5]
+        # ts=3 belongs to [0,10), [2,12).
+        assert list(w.instances_covering(3)) == [0, 1]
+
+    def test_instances_covering_matches_interval_membership(self):
+        w = Window(12, 4)
+        for ts in range(40):
+            member = [
+                m for m in range(20)
+                if w.interval(m)[0] <= ts < w.interval(m)[1]
+            ]
+            assert list(w.instances_covering(ts)) == member
+
+    def test_instances_covering_negative_time(self):
+        assert len(Window(10, 2).instances_covering(-1)) == 0
+
+
+class TestRecurrenceCount:
+    def test_tumbling_equals_multiplicity(self):
+        # Example 6 arithmetic: R = 120.
+        assert Window(10, 10).recurrence_count(120) == 12
+        assert Window(40, 40).recurrence_count(120) == 3
+
+    def test_hopping_formula(self):
+        # n = 1 + (R - r)/s.
+        assert Window(10, 2).recurrence_count(20) == 6
+
+    def test_matches_equation_1_when_range_divides_period(self):
+        # n = 1 + (m - 1) * r / s with m = R / r.
+        w = Window(12, 4)
+        period = 48
+        m = period // w.range
+        assert w.recurrence_count(period) == 1 + (m - 1) * (w.range // w.slide)
+
+    def test_period_shorter_than_range_rejected(self):
+        with pytest.raises(CostModelError):
+            Window(10, 2).recurrence_count(5)
+
+    def test_non_integer_count_rejected(self):
+        with pytest.raises(CostModelError):
+            Window(10, 3).recurrence_count(12)  # (12-10) % 3 != 0
+
+    def test_instances_per_event(self):
+        assert Window(10, 2).instances_per_event == 5
+        assert Window(10, 10).instances_per_event == 1
+
+    def test_instances_per_event_requires_divisibility(self):
+        with pytest.raises(CostModelError):
+            Window(10, 3).instances_per_event
+
+
+class TestWindowSet:
+    def test_insertion_order_preserved(self):
+        ws = WindowSet([Window(30, 30), Window(10, 10)])
+        assert ws.windows == (Window(30, 30), Window(10, 10))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(InvalidWindowError):
+            WindowSet([Window(10, 10), Window(10, 10)])
+
+    def test_duplicate_with_different_name_rejected(self):
+        with pytest.raises(InvalidWindowError):
+            WindowSet([Window(10, 10, name="a"), Window(10, 10, name="b")])
+
+    def test_membership(self):
+        ws = WindowSet([Window(10, 10)])
+        assert Window(10, 10) in ws
+        assert Window(20, 20) not in ws
+
+    def test_equality_ignores_order(self):
+        a = WindowSet([Window(10, 10), Window(20, 20)])
+        b = WindowSet([Window(20, 20), Window(10, 10)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_hyper_period_is_lcm(self, example6_windows):
+        assert example6_windows.hyper_period() == 120
+
+    def test_hyper_period_empty_set_rejected(self):
+        import pytest
+
+        with pytest.raises(CostModelError):
+            WindowSet().hyper_period()
+
+    def test_sorted_copy(self):
+        ws = WindowSet([Window(30, 30), Window(10, 10)])
+        assert ws.sorted().windows == (Window(10, 10), Window(30, 30))
+
+    def test_validate_for_cost_model(self):
+        WindowSet([Window(10, 5)]).validate_for_cost_model()
+        with pytest.raises(CostModelError):
+            WindowSet([Window(10, 3)]).validate_for_cost_model()
+
+    def test_ranges_and_slides(self):
+        ws = WindowSet([Window(10, 5), Window(20, 4)])
+        assert ws.ranges == (10, 20)
+        assert ws.slides == (5, 4)
+
+    def test_non_window_rejected(self):
+        with pytest.raises(InvalidWindowError):
+            WindowSet().add("not a window")  # type: ignore[arg-type]
