@@ -1,0 +1,143 @@
+"""Ablation: pane-partitioned fast path vs. k = r/s (beyond the paper).
+
+The columnar engine's raw-read operator materializes ``N * k`` (event,
+instance) pairs, so its wall-clock degrades linearly in ``k``.  The
+pane-partitioned path (``columnar-panes``) and the chunked streaming
+executor (``streaming-chunked``) bin each event once and assemble
+instances from pane partials, so their wall-clock is nearly flat in
+``k``.  This ablation measures all four registered paths across ``k``
+on identical plans, verifies result equality and identical *logical*
+pair counts, and emits machine-readable ``BENCH_engines.json`` (via
+:mod:`repro.bench.reporting`) for the CI perf trajectory.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.aggregates.registry import MIN
+from repro.bench.reporting import format_table, write_json_report
+from repro.engine.executor import available_engines, execute_plan, results_equal
+from repro.plans.builder import original_plan
+from repro.windows.window import Window, WindowSet
+from repro.workloads.streams import constant_rate_stream
+
+K_VALUES = (4, 16, 64)
+
+#: Row-at-a-time streaming is O(pairs) in pure Python; it gets a
+#: reduced stream so the full grid still finishes in CI time.
+SLOW_ENGINES = {"streaming"}
+SLOW_SCALE = 10
+
+JSON_PATH = Path(
+    os.environ.get(
+        "REPRO_BENCH_JSON",
+        Path(__file__).parent / "results" / "BENCH_engines.json",
+    )
+)
+
+
+def _window_set(k: int) -> WindowSet:
+    """Two hopping windows with identical k, co-prime-free slides."""
+    return WindowSet([Window(k * 25, 25), Window(k * 50, 50)])
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize(
+    "engine", ["columnar", "columnar-panes", "streaming-chunked"]
+)
+def test_pane_path_throughput(benchmark, synthetic_stream, engine, k):
+    plan = original_plan(_window_set(k), MIN)
+    result = benchmark.pedantic(
+        execute_plan,
+        args=(plan, synthetic_stream),
+        kwargs=dict(engine=engine),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["pairs"] = result.stats.total_pairs
+    benchmark.extra_info["physical"] = result.stats.total_physical
+
+
+def test_engine_ablation_report(report_sink, bench_events):
+    """Measure every registered path across k; emit text + JSON."""
+    stream = constant_rate_stream(bench_events, seed=1)
+    slow_stream = constant_rate_stream(
+        max(bench_events // SLOW_SCALE, 2_000), seed=1
+    )
+    rows = []
+    series = []
+    for k in K_VALUES:
+        plan = original_plan(_window_set(k), MIN)
+        reference = None
+        for engine in available_engines():
+            batch = slow_stream if engine in SLOW_ENGINES else stream
+            result = execute_plan(plan, batch, engine=engine)
+            if engine not in SLOW_ENGINES:
+                if reference is None:
+                    reference = result
+                else:
+                    assert results_equal(reference, result)
+                    assert (
+                        reference.stats.pairs_per_window
+                        == result.stats.pairs_per_window
+                    )
+            stats = result.stats
+            rows.append(
+                (
+                    k,
+                    engine,
+                    f"{stats.events:,}",
+                    f"{stats.throughput / 1e3:,.0f}",
+                    f"{stats.total_pairs:,}",
+                    f"{stats.total_physical:,}",
+                    f"{stats.physical_fraction:.3f}",
+                )
+            )
+            series.append(
+                {
+                    "k": k,
+                    "engine": engine,
+                    "events": stats.events,
+                    "wall_seconds": stats.wall_seconds,
+                    "throughput": stats.throughput,
+                    "logical_pairs": stats.total_pairs,
+                    "physical_touches": stats.total_physical,
+                }
+            )
+        # The fast paths must beat the N*k materialization once k is
+        # large; at small k the pane overhead can wash out, so only
+        # gate the largest k (and loosely — CI machines are noisy).
+        if k == max(K_VALUES):
+            by_engine = {s["engine"]: s for s in series if s["k"] == k}
+            assert (
+                by_engine["columnar-panes"]["throughput"]
+                > 2.0 * by_engine["columnar"]["throughput"]
+            )
+    report_sink(
+        "ablation_pane_path",
+        format_table(
+            [
+                "k",
+                "engine",
+                "events",
+                "K events/s",
+                "logical pairs",
+                "physical",
+                "phys/logical",
+            ],
+            rows,
+            title="Pane-path ablation: speedup vs k across engine paths",
+        ),
+    )
+    path = write_json_report(
+        JSON_PATH,
+        {
+            "benchmark": "engines",
+            "events": bench_events,
+            "engines": list(available_engines()),
+            "series": series,
+        },
+    )
+    assert path.exists()

@@ -42,8 +42,10 @@ from .core import (
 from .engine import (
     EventBatch,
     ExecutionResult,
+    available_engines,
     execute_plan,
     make_batch,
+    register_engine,
     results_equal,
 )
 from .errors import ReproError
@@ -78,6 +80,7 @@ __all__ = [
     "MinCostWCG",
     "OptimizationResult",
     "ReproError",
+    "available_engines",
     "STDEV",
     "SUM",
     "Taxonomy",
@@ -100,6 +103,7 @@ __all__ = [
     "parse",
     "partitioned_by",
     "plan_query",
+    "register_engine",
     "results_equal",
     "rewrite_plan",
     "to_flink",

@@ -187,6 +187,25 @@ class AggregateFunction(ABC):
             slot[segment_ids] = reduced
         return out
 
+    def segment_compute(
+        self,
+        sorted_values: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+    ) -> "np.ndarray | None":
+        """Vectorized per-segment direct evaluation, or ``None``.
+
+        ``sorted_values`` holds every segment's values contiguously,
+        *sorted ascending within each segment*; segment ``i`` occupies
+        ``sorted_values[starts[i]:ends[i]]`` (never empty).  Holistic
+        aggregates override this with a closed-form segmented kernel
+        (e.g. MEDIAN via index arithmetic on the sorted segments) so the
+        columnar engine can evaluate every (key, instance) group in one
+        NumPy pass.  Returning ``None`` (the default) tells the caller
+        to fall back to a per-segment :meth:`compute` loop.
+        """
+        return None
+
     def compute(self, values: Sequence) -> float:
         """Directly aggregate a collection of raw values.
 

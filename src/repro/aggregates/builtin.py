@@ -202,6 +202,32 @@ class _Holistic(AggregateFunction):
         return float("nan")
 
 
+def _segment_quantile(
+    sorted_values: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    q: float,
+) -> np.ndarray:
+    """Per-segment quantile with linear interpolation (NumPy default).
+
+    Each segment of ``sorted_values`` is sorted ascending, so the
+    quantile is pure index arithmetic: position ``(L - 1) * q`` between
+    the floor and ceil order statistics.
+    """
+    lengths = ends - starts
+    position = (lengths - 1) * q
+    lo = np.floor(position).astype(np.int64)
+    hi = np.ceil(position).astype(np.int64)
+    frac = position - lo
+    low_vals = sorted_values[starts + lo]
+    high_vals = sorted_values[starts + hi]
+    result = low_vals + (high_vals - low_vals) * frac
+    # NaN inputs sort to the end of each segment, where the index
+    # arithmetic would silently skip them; np.quantile (and thus the
+    # per-group compute path) propagates NaN instead.
+    return np.where(np.isnan(sorted_values[ends - 1]), np.nan, result)
+
+
 class Median(_Holistic):
     """MEDIAN — holistic; only computable from raw events."""
 
@@ -212,6 +238,9 @@ class Median(_Holistic):
         if array.size == 0:
             return float("nan")
         return float(np.median(array))
+
+    def segment_compute(self, sorted_values, starts, ends):
+        return _segment_quantile(sorted_values, starts, ends, 0.5)
 
 
 class Quantile(_Holistic):
@@ -228,3 +257,6 @@ class Quantile(_Holistic):
         if array.size == 0:
             return float("nan")
         return float(np.quantile(array, self.q))
+
+    def segment_compute(self, sorted_values, starts, ends):
+        return _segment_quantile(sorted_values, starts, ends, self.q)

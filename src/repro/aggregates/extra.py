@@ -128,3 +128,29 @@ class CountDistinct(_Holistic):
         if array.size == 0:
             return 0.0
         return float(np.unique(array).size)
+
+    def segment_compute(self, sorted_values, starts, ends):
+        # Within a sorted segment, distinct values = 1 + number of
+        # positions where the value changes; a cumulative change count
+        # turns that into subtraction of segment-boundary prefix sums.
+        # NaNs sort to the end of each segment and compare unequal to
+        # everything, so they are handled separately: np.unique (the
+        # compute path) collapses all NaNs to a single distinct value.
+        changes = np.concatenate(
+            ([0], (sorted_values[1:] != sorted_values[:-1]).astype(np.int64))
+        )
+        # prefix[i] = change positions < i; changes strictly inside the
+        # non-NaN part are positions in (start, nonnan_end).
+        prefix = np.concatenate(([0], np.cumsum(changes)))
+        nan_prefix = np.concatenate(
+            ([0], np.cumsum(np.isnan(sorted_values).astype(np.int64)))
+        )
+        nans = nan_prefix[ends] - nan_prefix[starts]
+        nonnan_ends = ends - nans
+        has_values = nonnan_ends > starts
+        distinct = np.where(
+            has_values,
+            1 + prefix[nonnan_ends] - prefix[np.minimum(starts + 1, nonnan_ends)],
+            0,
+        )
+        return (distinct + (nans > 0)).astype(np.float64)

@@ -16,7 +16,13 @@ from .experiments import (
     throughput_panels,
 )
 from .harness import BoostSummary, ComparisonResult, PlanRun, compare_plans
-from .reporting import format_boost_summary_table, format_series, format_table
+from .reporting import (
+    format_boost_summary_table,
+    format_series,
+    format_table,
+    render_json,
+    write_json_report,
+)
 
 __all__ = [
     "BoostSummary",
@@ -39,7 +45,9 @@ __all__ = [
     "make_stream",
     "optimizer_overhead",
     "pearson_r",
+    "render_json",
     "run_panel",
     "scotty_comparison",
+    "write_json_report",
     "throughput_panels",
 ]

@@ -5,6 +5,8 @@ Commands
 ``optimize``      optimize an ASA-like SQL query and print the plans.
 ``experiment``    regenerate one of the paper's tables/figures.
 ``list``          list available experiment ids.
+``engines``       list registered execution paths; with ``--query``,
+                  show the physical path each window takes per engine.
 """
 
 from __future__ import annotations
@@ -107,6 +109,21 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_engines(args: argparse.Namespace) -> int:
+    from ..engine.executor import available_engines
+    from ..plans.render import to_tree
+
+    if not args.query:
+        for name in available_engines():
+            print(name)
+        return 0
+    planned = plan_query(args.query)
+    for name in available_engines():
+        print(to_tree(planned.best_plan, engine=name))
+        print()
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     for name, description in sorted(EXPERIMENTS.items()):
         print(f"{name:8s} {description}")
@@ -135,6 +152,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list", help="list experiment ids")
     p_list.set_defaults(func=_cmd_list)
+
+    p_eng = sub.add_parser("engines", help="list execution paths")
+    p_eng.add_argument(
+        "--query", default="", help="annotate this query's best plan"
+    )
+    p_eng.set_defaults(func=_cmd_engines)
     return parser
 
 

@@ -32,6 +32,7 @@ class PlanRun:
     pairs: int
     wall_seconds: float
     cost: int = 0
+    physical: int = 0
 
     def boost_over(self, other: "PlanRun") -> float:
         """Throughput ratio ``self / other`` (the paper's 'boost')."""
@@ -92,6 +93,7 @@ def _measure(name: str, result: ExecutionResult, cost: int = 0) -> PlanRun:
         pairs=result.stats.total_pairs,
         wall_seconds=result.stats.wall_seconds,
         cost=cost,
+        physical=result.stats.total_physical,
     )
 
 

@@ -15,6 +15,7 @@ subsets is the true optimum within the candidate pool.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from itertools import combinations
 from typing import Iterable
 
@@ -22,7 +23,47 @@ from ..errors import CostModelError
 from ..windows.coverage import CoverageSemantics, strictly_relates
 from ..windows.window import Window, WindowSet
 from .cost import CostModel, MinCostWCG, minimize_cost, prune_useless_factors
+from .factor import _divisors
 from .wcg import WindowCoverageGraph
+
+
+@lru_cache(maxsize=256)
+def _pool_cached(
+    user: tuple[Window, ...], semantics: CoverageSemantics
+) -> tuple[Window, ...]:
+    """Uncapped candidate pool for a window tuple (memoized).
+
+    The exhaustive search and its ablation benchmarks enumerate the
+    same pool for every subset size; windows are immutable and
+    hashable, so the pool is a pure function of ``(user, semantics)``.
+    """
+    pool: list[Window] = []
+    seen: set[Window] = set(user)
+    if semantics is CoverageSemantics.PARTITIONED_BY:
+        for window in user:
+            for rf in _divisors(window.range):
+                if rf == window.range:
+                    continue
+                factor = Window(rf, rf)
+                if factor in seen:
+                    continue
+                if strictly_relates(window, factor, semantics):
+                    pool.append(factor)
+                    seen.add(factor)
+    else:
+        divisors = set()
+        for window in user:
+            divisors.update(_divisors(window.slide))
+        r_max = max(w.range for w in user)
+        for sf in sorted(divisors):
+            for rf in range(sf, r_max + 1, sf):
+                factor = Window(rf, sf)
+                if factor in seen:
+                    continue
+                if any(strictly_relates(w, factor, semantics) for w in user):
+                    pool.append(factor)
+                    seen.add(factor)
+    return tuple(sorted(pool))
 
 
 def candidate_pool(
@@ -37,47 +78,14 @@ def candidate_pool(
     dividing some user slide and ``rf`` a multiple of ``sf`` up to the
     largest user range.  The pool is capped to keep the search finite.
     """
-    user = list(windows)
-    pool: list[Window] = []
-    seen: set[Window] = set(user)
-    if semantics is CoverageSemantics.PARTITIONED_BY:
-        for window in user:
-            for rf in range(1, window.range):
-                if window.range % rf != 0:
-                    continue
-                factor = Window(rf, rf)
-                if factor in seen:
-                    continue
-                if strictly_relates(window, factor, semantics):
-                    pool.append(factor)
-                    seen.add(factor)
-    else:
-        slides = {w.slide for w in user}
-        r_max = max(w.range for w in user)
-        divisors = set()
-        for slide in slides:
-            d = 1
-            while d * d <= slide:
-                if slide % d == 0:
-                    divisors.add(d)
-                    divisors.add(slide // d)
-                d += 1
-        for sf in sorted(divisors):
-            for rf in range(sf, r_max + 1, sf):
-                factor = Window(rf, sf)
-                if factor in seen:
-                    continue
-                if any(strictly_relates(w, factor, semantics) for w in user):
-                    pool.append(factor)
-                    seen.add(factor)
-    pool.sort()
+    pool = _pool_cached(tuple(windows), semantics)
     if len(pool) > max_candidates:
         raise CostModelError(
             f"candidate pool has {len(pool)} windows; exhaustive search is "
             f"capped at {max_candidates} (pass a larger max_candidates to "
             "override at your own peril)"
         )
-    return pool
+    return list(pool)
 
 
 def exhaustive_min_cost(

@@ -62,8 +62,29 @@ def _provider_lines(
     return lines
 
 
-def explain(result: OptimizationResult) -> str:
-    """Render the full optimization trace for ``result``."""
+def _physical_section(result: OptimizationResult, engine: str) -> list[str]:
+    """Physical execution paths of the best plan on ``engine``."""
+    from ..plans.render import physical_paths
+    from .rewrite import rewrite_plan
+
+    best = result.best
+    if best is None:
+        return [f"physical paths ({engine}): original plan only"]
+    plan = rewrite_plan(best, result.aggregate)
+    lines = [f"physical paths ({engine}):"]
+    for window, path in physical_paths(plan, engine).items():
+        lines.append(f"  {window.label}: {path}")
+    return lines
+
+
+def explain(result: OptimizationResult, engine: "str | None" = None) -> str:
+    """Render the full optimization trace for ``result``.
+
+    With ``engine`` given, append the physical execution path each
+    window of the winning plan takes on that engine (DESIGN.md §5) —
+    the logical/physical split makes "what the optimizer chose" and
+    "what the engine does" separately inspectable.
+    """
     lines = [
         "EXPLAIN multi-window aggregate optimization",
         f"aggregate : {result.aggregate.name} "
@@ -78,6 +99,8 @@ def explain(result: OptimizationResult) -> str:
             "no rewriting: holistic aggregates cannot merge sub-aggregates;"
         )
         lines.append(f"original plan cost = {result.baseline_cost}")
+        if engine is not None:
+            lines.extend(_physical_section(result, engine))
         return "\n".join(lines)
 
     model = CostModel(event_rate=result.event_rate)
@@ -133,4 +156,7 @@ def explain(result: OptimizationResult) -> str:
         f"decision: plan {best}; predicted speedup "
         f"{result.predicted_speedup:.2f}x over the original plan"
     )
+    if engine is not None:
+        lines.append("")
+        lines.extend(_physical_section(result, engine))
     return "\n".join(lines)

@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 from ..windows.coverage import (
@@ -45,8 +46,14 @@ class FactorCandidate:
         return (self.benefit, self.window) < (other.benefit, other.window)
 
 
-def _divisors(value: int) -> list[int]:
-    """All positive divisors of ``value``, ascending."""
+@lru_cache(maxsize=4096)
+def _divisors(value: int) -> tuple[int, ...]:
+    """All positive divisors of ``value``, ascending.
+
+    Memoized: the optimizer re-derives divisors of the same gcds for
+    every candidate during factor search (``bench_fig12`` measures the
+    overhead), and divisor sets are tiny and immutable.
+    """
     small, large = [], []
     d = 1
     while d * d <= value:
@@ -55,7 +62,7 @@ def _divisors(value: int) -> list[int]:
             if d != value // d:
                 large.append(value // d)
         d += 1
-    return small + large[::-1]
+    return tuple(small + large[::-1])
 
 
 def _read_cost(

@@ -1,14 +1,22 @@
-"""Streaming engines: columnar (fast path) and row-at-a-time (reference)."""
+"""Streaming engines: columnar (+ pane-partitioned fast path) and
+row-at-a-time / chunked streaming."""
 
 from .columnar import (
     WindowState,
     aggregate_from_provider,
     aggregate_raw,
     aggregate_raw_holistic,
+    holistic_segment_values,
     num_complete_instances,
 )
 from .events import EventBatch, encode_keys, make_batch
-from .executor import ExecutionResult, execute_plan, results_equal
+from .executor import (
+    ExecutionResult,
+    available_engines,
+    execute_plan,
+    register_engine,
+    results_equal,
+)
 from .outoforder import (
     ReorderBuffer,
     ReorderStats,
@@ -16,26 +24,44 @@ from .outoforder import (
     reorder_events,
     scramble_batch,
 )
+from .panes import (
+    PaneTable,
+    aggregate_raw_panes,
+    assemble_from_panes,
+    build_pane_table,
+    logical_raw_pairs,
+    pane_width,
+)
 from .stats import ExecutionStats
-from .streaming import StreamingExecutor
+from .streaming import ChunkedStreamingExecutor, StreamingExecutor
 
 __all__ = [
+    "ChunkedStreamingExecutor",
     "EventBatch",
-    "ReorderBuffer",
-    "ReorderStats",
-    "batch_from_unordered",
-    "reorder_events",
-    "scramble_batch",
     "ExecutionResult",
     "ExecutionStats",
+    "PaneTable",
+    "ReorderBuffer",
+    "ReorderStats",
     "StreamingExecutor",
     "WindowState",
     "aggregate_from_provider",
     "aggregate_raw",
     "aggregate_raw_holistic",
+    "aggregate_raw_panes",
+    "assemble_from_panes",
+    "available_engines",
+    "batch_from_unordered",
+    "build_pane_table",
     "encode_keys",
     "execute_plan",
+    "holistic_segment_values",
+    "logical_raw_pairs",
     "make_batch",
     "num_complete_instances",
+    "pane_width",
+    "register_engine",
+    "reorder_events",
     "results_equal",
+    "scramble_batch",
 ]

@@ -148,6 +148,39 @@ def aggregate_from_provider(
     return WindowState(window, tuple(comps), num_keys, n_inst)
 
 
+def holistic_segment_values(
+    codes: np.ndarray,
+    values: np.ndarray,
+    aggregate: AggregateFunction,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Evaluate a holistic aggregate per integer-coded group.
+
+    Returns ``(segment_ids, results)`` for the non-empty groups.  Values
+    are lexsorted by (code, value), so aggregates exposing a
+    ``segment_compute`` kernel (MEDIAN/QUANTILE via sorted-segment index
+    arithmetic) run in one vectorized pass; others fall back to a
+    per-segment ``compute`` loop.
+    """
+    order = np.lexsort((values, codes))
+    sorted_codes = codes[order]
+    sorted_values = values[order]
+    boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [sorted_codes.size]))
+    segment_ids = sorted_codes[starts]
+    results = aggregate.segment_compute(sorted_values, starts, ends)
+    if results is None:
+        results = np.fromiter(
+            (
+                aggregate.compute(sorted_values[lo:hi])
+                for lo, hi in zip(starts, ends)
+            ),
+            dtype=np.float64,
+            count=starts.size,
+        )
+    return segment_ids, np.asarray(results, dtype=np.float64)
+
+
 def aggregate_raw_holistic(
     batch: EventBatch,
     window: Window,
@@ -175,13 +208,8 @@ def aggregate_raw_holistic(
     values = np.concatenate(value_parts)
     if stats is not None:
         stats.record_pairs(window, int(codes.size))
-    order = np.argsort(codes, kind="stable")
-    codes, values = codes[order], values[order]
-    boundaries = np.flatnonzero(np.diff(codes)) + 1
-    starts = np.concatenate(([0], boundaries))
-    ends = np.concatenate((boundaries, [codes.size]))
-    for lo, hi in zip(starts, ends):
-        code = int(codes[lo])
-        key, instance = divmod(code, n_inst)
-        out[key, instance] = aggregate.compute(values[lo:hi])
+    if codes.size == 0:
+        return out
+    segment_ids, results = holistic_segment_values(codes, values, aggregate)
+    out.reshape(-1)[segment_ids] = results
     return out

@@ -62,6 +62,33 @@ class EventBatch:
                 float(self.values[i]),
             )
 
+    def iter_time_chunks(
+        self, chunk_ticks: int
+    ) -> Iterable[tuple[int, int, np.ndarray, np.ndarray, np.ndarray]]:
+        """Iterate ``(start, end, timestamps, keys, values)`` chunks.
+
+        Chunks tile ``[0, horizon)`` in ``chunk_ticks``-wide blocks (the
+        last one is clipped to the horizon).  Column slices are views,
+        not copies — this is the input iterator of the chunked streaming
+        executor, which advances its watermark one block at a time.
+        """
+        if chunk_ticks < 1:
+            raise ExecutionError(
+                f"chunk_ticks must be >= 1, got {chunk_ticks}"
+            )
+        lo = 0
+        for start in range(0, self.horizon, chunk_ticks):
+            end = min(start + chunk_ticks, self.horizon)
+            hi = int(np.searchsorted(self.timestamps, end, side="left"))
+            yield (
+                start,
+                end,
+                self.timestamps[lo:hi],
+                self.keys[lo:hi],
+                self.values[lo:hi],
+            )
+            lo = hi
+
     def slice_time(self, start: int, end: int) -> "EventBatch":
         """Events with ``start <= ts < end`` as a new batch."""
         lo = int(np.searchsorted(self.timestamps, start, side="left"))

@@ -1,16 +1,34 @@
-"""Plan execution facade.
+"""Plan execution facade and the engine/path registry.
 
-``execute_plan(plan, batch)`` runs a logical plan on a finite event
-batch with either engine and returns an :class:`ExecutionResult`
-bundling per-window result arrays with execution statistics.  This is
-the function the benchmark harness, the examples, and the equivalence
-tests all call.
+``execute_plan(plan, batch, engine=...)`` runs a logical plan on a
+finite event batch with any registered execution path and returns an
+:class:`ExecutionResult` bundling per-window result arrays with
+execution statistics.  This is the function the benchmark harness, the
+examples, and the equivalence tests all call.
+
+Registered paths (DESIGN.md §5):
+
+``columnar``
+    The original vectorized engine: every raw read materializes all
+    ``N * k`` (event, instance) pairs.
+``columnar-panes``
+    The pane-partitioned fast path: bin events once per pane table,
+    assemble instances with a vectorized gather+reduce.
+``streaming``
+    Row-at-a-time reference interpreter (the semantic oracle).
+``streaming-chunked``
+    Streaming semantics in vectorized watermark blocks with bounded
+    open state.
+
+All paths produce identical results and identical *logical* pair
+counts; they differ only in wall-clock and *physical* touches.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -25,8 +43,9 @@ from .columnar import (
     aggregate_raw_holistic,
 )
 from .events import EventBatch
+from .panes import execute_plan_panes
 from .stats import ExecutionStats
-from .streaming import StreamingExecutor
+from .streaming import ChunkedStreamingExecutor, StreamingExecutor
 
 Record = tuple[str, int, int, float]  # (window label, key, instance, value)
 
@@ -49,19 +68,55 @@ class ExecutionResult:
 
         With ``drop_empty=True``, NaN results (empty instances) are
         omitted — useful when comparing against engines that do not
-        emit empty instances.
+        emit empty instances.  Built columnar-first: key/instance
+        columns come from NumPy and tuples materialize once at the end.
         """
         records: list[Record] = []
         for window in sorted(self.results, key=lambda w: (w.range, w.slide)):
             array = self.results[window]
             label = f"W({window.range},{window.slide})"
-            for key in range(array.shape[0]):
-                for instance in range(array.shape[1]):
-                    value = float(array[key, instance])
-                    if drop_empty and np.isnan(value):
-                        continue
-                    records.append((label, key, instance, value))
+            num_keys, num_instances = array.shape
+            flat = array.reshape(-1)
+            keys = np.repeat(np.arange(num_keys), num_instances)
+            instances = np.tile(np.arange(num_instances), num_keys)
+            if drop_empty:
+                mask = ~np.isnan(flat)
+                flat, keys, instances = flat[mask], keys[mask], instances[mask]
+            records.extend(
+                zip(
+                    [label] * len(flat),
+                    keys.tolist(),
+                    instances.tolist(),
+                    flat.tolist(),
+                )
+            )
         return records
+
+
+EngineFn = Callable[..., ExecutionResult]
+
+_ENGINES: dict[str, EngineFn] = {}
+
+
+def register_engine(name: str) -> "Callable[[EngineFn], EngineFn]":
+    """Register an execution path under ``name`` (decorator).
+
+    The registered callable receives ``(plan, batch, **engine_kwargs)``
+    and must return an :class:`ExecutionResult`.  Registering an
+    existing name replaces the path — the hook third-party backends use
+    to shadow a built-in.
+    """
+
+    def decorator(fn: EngineFn) -> EngineFn:
+        _ENGINES[name] = fn
+        return fn
+
+    return decorator
+
+
+def available_engines() -> tuple[str, ...]:
+    """Names of all registered execution paths, sorted."""
+    return tuple(sorted(_ENGINES))
 
 
 def execute_plan(
@@ -69,26 +124,26 @@ def execute_plan(
     batch: EventBatch,
     engine: str = "columnar",
     validate: bool = True,
+    **engine_kwargs,
 ) -> ExecutionResult:
-    """Execute ``plan`` over ``batch``.
+    """Execute ``plan`` over ``batch`` on the ``engine`` path.
 
-    ``engine`` is ``"columnar"`` (vectorized, the default) or
-    ``"streaming"`` (row-at-a-time reference).
+    ``engine`` is any name in :func:`available_engines`; extra keyword
+    arguments are forwarded to the path (e.g. ``chunk_ticks`` for
+    ``streaming-chunked``).
     """
     if validate:
         validate_plan(plan)
-    if engine == "columnar":
-        return _execute_columnar(plan, batch)
-    if engine == "streaming":
-        executor = StreamingExecutor(plan, batch)
-        results = executor.run()
-        executor.stats.events = batch.num_events
-        return ExecutionResult(
-            plan=plan, results=results, stats=executor.stats, engine=engine
+    fn = _ENGINES.get(engine)
+    if fn is None:
+        raise ExecutionError(
+            f"unknown engine {engine!r}; available: "
+            + ", ".join(available_engines())
         )
-    raise ExecutionError(f"unknown engine {engine!r}")
+    return fn(plan, batch, **engine_kwargs)
 
 
+@register_engine("columnar")
 def _execute_columnar(plan: LogicalPlan, batch: EventBatch) -> ExecutionResult:
     stats = ExecutionStats(events=batch.num_events)
     started = time.perf_counter()
@@ -127,6 +182,42 @@ def _execute_columnar(plan: LogicalPlan, batch: EventBatch) -> ExecutionResult:
     stats.wall_seconds = time.perf_counter() - started
     return ExecutionResult(
         plan=plan, results=results, stats=stats, engine="columnar"
+    )
+
+
+@register_engine("columnar-panes")
+def _execute_columnar_panes(
+    plan: LogicalPlan, batch: EventBatch
+) -> ExecutionResult:
+    results, stats = execute_plan_panes(plan, batch)
+    return ExecutionResult(
+        plan=plan, results=results, stats=stats, engine="columnar-panes"
+    )
+
+
+@register_engine("streaming")
+def _execute_streaming(plan: LogicalPlan, batch: EventBatch) -> ExecutionResult:
+    executor = StreamingExecutor(plan, batch)
+    results = executor.run()
+    executor.stats.events = batch.num_events
+    return ExecutionResult(
+        plan=plan, results=results, stats=executor.stats, engine="streaming"
+    )
+
+
+@register_engine("streaming-chunked")
+def _execute_streaming_chunked(
+    plan: LogicalPlan,
+    batch: EventBatch,
+    chunk_ticks: "int | None" = None,
+) -> ExecutionResult:
+    executor = ChunkedStreamingExecutor(plan, batch, chunk_ticks=chunk_ticks)
+    results = executor.run()
+    return ExecutionResult(
+        plan=plan,
+        results=results,
+        stats=executor.stats,
+        engine="streaming-chunked",
     )
 
 

@@ -1,15 +1,26 @@
-"""The row-at-a-time streaming engine (reference semantics).
+"""The streaming engines: row-at-a-time (reference) and chunked.
 
-A deliberately simple, stateful, event-at-a-time interpreter of logical
-plans.  It exists to demonstrate — and let tests verify — that the
-rewritten plans are *streaming-executable*: operators keep bounded
-state (only open window instances), emit each instance's partial the
-moment the watermark passes its end, and downstream windows consume
-those partials incrementally, exactly like the paper's Trill plans.
+:class:`StreamingExecutor` is a deliberately simple, stateful,
+event-at-a-time interpreter of logical plans.  It exists to demonstrate
+— and let tests verify — that the rewritten plans are
+*streaming-executable*: operators keep bounded state (only open window
+instances), emit each instance's partial the moment the watermark
+passes its end, and downstream windows consume those partials
+incrementally, exactly like the paper's Trill plans.
 
-The columnar engine is the fast path; this engine is the semantic
-oracle.  Both must produce identical results and identical processed-
-pair counts (DESIGN.md invariants 5 and 6).
+:class:`ChunkedStreamingExecutor` keeps those streaming semantics —
+watermark-driven closes, bounded open state, partials flowing
+provider → consumer — but advances the watermark in timestamp *blocks*
+and applies the vectorized pane reduction of
+:mod:`~repro.engine.panes` to each block, replacing the per-event
+Python dispatch with NumPy kernels.  Its state per raw operator is a
+rolling per-(key, pane) buffer covering only the open instances plus
+the current block.
+
+The columnar engine is the fast path; the row-at-a-time engine is the
+semantic oracle.  All engines must produce identical results and
+identical *logical* processed-pair counts (DESIGN.md invariants 5
+and 6).
 """
 
 from __future__ import annotations
@@ -23,8 +34,9 @@ from ..errors import ExecutionError
 from ..plans.nodes import LogicalPlan, WindowAggregateNode
 from ..windows.coverage import covering_multiplier
 from ..windows.window import Window
-from .columnar import num_complete_instances
+from .columnar import holistic_segment_values, num_complete_instances
 from .events import EventBatch
+from .panes import logical_raw_pairs, pane_width
 from .stats import ExecutionStats
 
 
@@ -226,3 +238,381 @@ class StreamingExecutor:
     def max_open_instances(self) -> int:
         """Largest per-operator open-instance count (state boundedness)."""
         return max(op.open_instances for op in self._topo)
+
+
+# ----------------------------------------------------------------------
+# Chunked streaming: vectorized blocks, streaming semantics
+# ----------------------------------------------------------------------
+class _ChunkedOperator:
+    """Shared chunked machinery: contiguous closes, block emission."""
+
+    def __init__(
+        self,
+        window: Window,
+        aggregate: AggregateFunction,
+        num_keys: int,
+        num_instances: int,
+        stats: ExecutionStats,
+    ):
+        self.window = window
+        self.aggregate = aggregate
+        self.num_keys = num_keys
+        self.num_instances = num_instances
+        self.stats = stats
+        self.consumers: "list[_ChunkedSubAggOperator]" = []
+        self.results: "np.ndarray | None" = None
+        self.next_close = 0
+        self.max_retained = 0
+
+    def expose_results(self) -> None:
+        self.results = np.full(
+            (self.num_keys, self.num_instances), np.nan, dtype=np.float64
+        )
+
+    def _close_bound(self, watermark: int) -> int:
+        """Largest exclusive instance index closed at ``watermark``."""
+        if watermark < self.window.range:
+            return self.next_close
+        closed = (watermark - self.window.range) // self.window.slide + 1
+        return max(self.next_close, min(self.num_instances, closed))
+
+    def advance(self, watermark: int) -> None:
+        m1 = self._close_bound(watermark)
+        if m1 > self.next_close:
+            self._close_range(self.next_close, m1)
+            self.next_close = m1
+
+    def _close_range(self, m0: int, m1: int) -> None:
+        raise NotImplementedError
+
+    def _emit(self, m0: int, m1: int, components: tuple) -> None:
+        """Finalize a closed block into results and feed consumers."""
+        if self.results is not None:
+            self.results[:, m0:m1] = np.asarray(
+                self.aggregate.finalize(components), dtype=np.float64
+            )
+        for consumer in self.consumers:
+            consumer.accept_block(m0, m1, components)
+
+    def _note_retained(self, units: int) -> None:
+        if units > self.max_retained:
+            self.max_retained = units
+
+    @property
+    def retained_state(self) -> int:
+        """Current buffered state units (panes / partials / events)."""
+        return 0
+
+
+class _ChunkedRawOperator(_ChunkedOperator):
+    """Raw mergeable reads via a rolling per-(key, pane) buffer.
+
+    Each chunk is binned once (O(chunk events)); instances close with a
+    gather+reduce over their ``r/p`` panes.  Only panes at or after the
+    next open instance's start are retained.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.pane = pane_width(self.window)
+        self.stride = self.window.slide // self.pane
+        self.per_instance = self.window.range // self.pane
+        self.pane_offset = 0
+        self._panes = [
+            np.full((self.num_keys, 0), ident, dtype=np.float64)
+            for ident in self.aggregate.identity_components
+        ]
+
+    def _ensure_panes(self, upto: int) -> None:
+        """Grow the buffer to cover global panes ``[offset, upto)``."""
+        span = self._panes[0].shape[1]
+        missing = upto - self.pane_offset - span
+        if missing > 0:
+            self._panes = [
+                np.concatenate(
+                    (
+                        buf,
+                        np.full(
+                            (self.num_keys, missing), ident, dtype=np.float64
+                        ),
+                    ),
+                    axis=1,
+                )
+                for buf, ident in zip(
+                    self._panes, self.aggregate.identity_components
+                )
+            ]
+
+    def absorb(
+        self, ts: np.ndarray, keys: np.ndarray, values: np.ndarray
+    ) -> None:
+        if ts.size == 0:
+            return
+        self.stats.record_pairs(
+            self.window,
+            logical_raw_pairs(ts, self.window, self.num_instances),
+            physical=0,
+        )
+        self.stats.record_binned(ts.size)
+        panes = ts // self.pane
+        lo, hi = int(panes[0]), int(panes[-1])
+        self._ensure_panes(hi + 1)
+        span = hi - lo + 1
+        codes = keys * span + (panes - lo)
+        chunk = self.aggregate.segment_reduce(
+            codes, values, self.num_keys * span
+        )
+        at = lo - self.pane_offset
+        for ufunc, buf, part in zip(
+            self.aggregate.component_ufuncs, self._panes, chunk
+        ):
+            block = buf[:, at:at + span]
+            np.copyto(block, ufunc(block, part.reshape(self.num_keys, span)))
+        self._note_retained(self._panes[0].shape[1])
+
+    def _close_range(self, m0: int, m1: int) -> None:
+        self._ensure_panes((m1 - 1) * self.stride + self.per_instance)
+        index = (
+            self.stride * np.arange(m0, m1, dtype=np.int64)[:, None]
+            - self.pane_offset
+            + np.arange(self.per_instance, dtype=np.int64)[None, :]
+        )
+        self.stats.record_physical(
+            self.window, self.num_keys * (m1 - m0) * self.per_instance
+        )
+        components = tuple(
+            ufunc.reduce(buf[:, index], axis=2)
+            for ufunc, buf in zip(self.aggregate.component_ufuncs, self._panes)
+        )
+        self._emit(m0, m1, components)
+        cut = m1 * self.stride - self.pane_offset
+        if cut > 0:
+            self._panes = [buf[:, cut:] for buf in self._panes]
+            self.pane_offset = m1 * self.stride
+
+    @property
+    def retained_state(self) -> int:
+        return self._panes[0].shape[1]
+
+
+class _ChunkedHolisticOperator(_ChunkedOperator):
+    """Buffers raw events for open instances; segmented close."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._ts = np.empty(0, dtype=np.int64)
+        self._keys = np.empty(0, dtype=np.int64)
+        self._values = np.empty(0, dtype=np.float64)
+
+    def absorb(
+        self, ts: np.ndarray, keys: np.ndarray, values: np.ndarray
+    ) -> None:
+        if ts.size == 0:
+            return
+        self.stats.record_pairs(
+            self.window,
+            logical_raw_pairs(ts, self.window, self.num_instances),
+            physical=0,
+        )
+        self._ts = np.concatenate((self._ts, ts))
+        self._keys = np.concatenate((self._keys, keys))
+        self._values = np.concatenate((self._values, values))
+        self._note_retained(self._ts.size)
+
+    def _close_range(self, m0: int, m1: int) -> None:
+        if self.consumers:
+            raise ExecutionError(
+                f"holistic {self.aggregate.name} cannot feed downstream windows"
+            )
+        if self._ts.size:
+            k = self.window.instances_per_event
+            base = self._ts // self.window.slide
+            code_parts, value_parts = [], []
+            for j in range(k):
+                instance = base - j
+                valid = (instance >= m0) & (instance < m1)
+                code_parts.append(
+                    self._keys[valid] * self.num_instances + instance[valid]
+                )
+                value_parts.append(self._values[valid])
+            codes = np.concatenate(code_parts)
+            if codes.size:
+                self.stats.record_physical(self.window, int(codes.size))
+                segment_ids, computed = holistic_segment_values(
+                    codes, np.concatenate(value_parts), self.aggregate
+                )
+                self.results.reshape(-1)[segment_ids] = computed
+        # Drop events no longer covered by any open instance.
+        keep = self._ts >= m1 * self.window.slide
+        if not keep.all():
+            self._ts = self._ts[keep]
+            self._keys = self._keys[keep]
+            self._values = self._values[keep]
+
+    @property
+    def retained_state(self) -> int:
+        return int(self._ts.size)
+
+
+class _ChunkedSubAggOperator(_ChunkedOperator):
+    """Consumes provider partial blocks; covering-set gather on close."""
+
+    def __init__(self, provider: Window, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.provider = provider
+        self.multiplier = covering_multiplier(self.window, provider)
+        stride, rem = divmod(self.window.slide, provider.slide)
+        if rem:
+            raise ExecutionError(
+                f"{self.window} cannot read from {provider}: "
+                "slides incompatible"
+            )
+        self.stride = stride
+        self.offset = 0  # provider instance index of the first column
+        self._partials = [
+            np.full((self.num_keys, 0), ident, dtype=np.float64)
+            for ident in self.aggregate.identity_components
+        ]
+
+    def accept_block(self, p0: int, p1: int, components: tuple) -> None:
+        span = self._partials[0].shape[1]
+        if p0 != self.offset + span:
+            raise ExecutionError(
+                f"{self.window}: provider block [{p0}, {p1}) is not "
+                f"contiguous with buffered instances"
+            )
+        self._partials = [
+            np.concatenate((buf, np.asarray(part, dtype=np.float64)), axis=1)
+            for buf, part in zip(self._partials, components)
+        ]
+        self._note_retained(self._partials[0].shape[1])
+
+    def _close_range(self, m0: int, m1: int) -> None:
+        needed = (m1 - 1) * self.stride + self.multiplier
+        if needed > self.offset + self._partials[0].shape[1]:
+            raise ExecutionError(
+                f"{self.window} needs provider instance {needed - 1} of "
+                f"{self.provider}, which has not been emitted"
+            )
+        index = (
+            self.stride * np.arange(m0, m1, dtype=np.int64)[:, None]
+            - self.offset
+            + np.arange(self.multiplier, dtype=np.int64)[None, :]
+        )
+        self.stats.record_pairs(
+            self.window, self.num_keys * (m1 - m0) * self.multiplier
+        )
+        components = tuple(
+            ufunc.reduce(buf[:, index], axis=2)
+            for ufunc, buf in zip(
+                self.aggregate.component_ufuncs, self._partials
+            )
+        )
+        self._emit(m0, m1, components)
+        # Drop provider instances below the next open instance's
+        # covering set — but never past the provider's emitted frontier
+        # (when stride > M the frontier lags the cut target, and the
+        # next accept_block must still land contiguously).
+        span = self._partials[0].shape[1]
+        cut = min(m1 * self.stride - self.offset, span)
+        if cut > 0:
+            self._partials = [buf[:, cut:] for buf in self._partials]
+            self.offset += cut
+
+    @property
+    def retained_state(self) -> int:
+        return self._partials[0].shape[1]
+
+
+class ChunkedStreamingExecutor:
+    """Streaming execution in vectorized watermark blocks.
+
+    Semantics match :class:`StreamingExecutor` — identical results,
+    identical logical pair counts, bounded open state — but each block
+    of ``chunk_ticks`` timestamps is processed with the pane reduction
+    kernels instead of per-event Python dispatch.  ``chunk_ticks``
+    defaults to the largest window range, so each block typically
+    closes at least one instance of every window.
+    """
+
+    def __init__(
+        self,
+        plan: LogicalPlan,
+        batch: EventBatch,
+        chunk_ticks: "int | None" = None,
+    ):
+        self.plan = plan
+        self.batch = batch
+        self.stats = ExecutionStats()
+        if chunk_ticks is None:
+            chunk_ticks = max(n.window.range for n in plan.window_nodes())
+        if chunk_ticks < 1:
+            raise ExecutionError(
+                f"chunk_ticks must be >= 1, got {chunk_ticks}"
+            )
+        self.chunk_ticks = chunk_ticks
+        self._operators: dict[Window, _ChunkedOperator] = {}
+        self._raw_ops: "list[_ChunkedRawOperator | _ChunkedHolisticOperator]" = []
+        self._topo: list[_ChunkedOperator] = []
+        self._build()
+
+    def _build(self) -> None:
+        batch = self.batch
+        for node in self.plan.topological_window_order():
+            num_instances = num_complete_instances(node.window, batch.horizon)
+            args = (
+                node.window,
+                node.aggregate,
+                batch.num_keys,
+                num_instances,
+                self.stats,
+            )
+            operator: _ChunkedOperator
+            if node.provider is None:
+                if node.aggregate.mergeable:
+                    operator = _ChunkedRawOperator(*args)
+                else:
+                    operator = _ChunkedHolisticOperator(*args)
+                self._raw_ops.append(operator)
+            else:
+                provider_op = self._operators.get(node.provider)
+                if provider_op is None:
+                    raise ExecutionError(
+                        f"provider {node.provider} not built before "
+                        f"{node.window}"
+                    )
+                operator = _ChunkedSubAggOperator(node.provider, *args)
+                provider_op.consumers.append(operator)
+            if not node.is_factor:
+                operator.expose_results()
+            self._operators[node.window] = operator
+            self._topo.append(operator)
+
+    def run(self) -> "dict[Window, np.ndarray]":
+        """Process the batch block-by-block; return per-window results."""
+        started = time.perf_counter()
+        for _, end, ts, keys, values in self.batch.iter_time_chunks(
+            self.chunk_ticks
+        ):
+            for raw_op in self._raw_ops:
+                raw_op.absorb(ts, keys, values)
+            # Providers close (and hand blocks downstream) before
+            # consumers observe the new watermark: topological order.
+            for operator in self._topo:
+                operator.advance(end)
+        for operator in self._topo:
+            operator.advance(self.batch.horizon)
+        self.stats.events = self.batch.num_events
+        self.stats.wall_seconds = time.perf_counter() - started
+        return {
+            node.window: self._operators[node.window].results
+            for node in self.plan.user_window_nodes()
+        }
+
+    def max_retained_state(self) -> int:
+        """Largest per-operator buffered-state high-water mark."""
+        return max(op.max_retained for op in self._topo)
+
+    def retained_by_window(self) -> "dict[Window, int]":
+        """Per-window high-water marks (panes / partials / events)."""
+        return {w: op.max_retained for w, op in self._operators.items()}

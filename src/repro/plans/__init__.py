@@ -9,7 +9,7 @@ from .nodes import (
     UnionNode,
     WindowAggregateNode,
 )
-from .render import to_flink, to_tree, to_trill
+from .render import physical_path, physical_paths, to_flink, to_tree, to_trill
 from .validate import validate_plan
 
 __all__ = [
@@ -21,6 +21,8 @@ __all__ = [
     "UnionNode",
     "WindowAggregateNode",
     "original_plan",
+    "physical_path",
+    "physical_paths",
     "to_flink",
     "to_tree",
     "to_trill",

@@ -9,6 +9,9 @@ favour readability over exact C#/Java syntax.
 
 from __future__ import annotations
 
+import math
+
+from ..windows.coverage import covering_multiplier
 from ..windows.units import format_duration
 from ..windows.window import Window
 from .nodes import (
@@ -19,6 +22,37 @@ from .nodes import (
     UnionNode,
     WindowAggregateNode,
 )
+
+
+def physical_path(node: WindowAggregateNode, engine: str) -> str:
+    """Describe the physical operator ``engine`` uses for ``node``.
+
+    The pane math is duplicated from :mod:`repro.engine.panes`
+    (``p = gcd(r, s)``) rather than imported, keeping ``plans`` free of
+    an engine dependency; DESIGN.md §5 documents the path taxonomy.
+    """
+    window = node.window
+    if node.provider is not None:
+        multiplier = covering_multiplier(window, node.provider)
+        return f"subagg-gather[M={multiplier}]"
+    if not node.aggregate.mergeable:
+        return "raw-segmented-scan[holistic]"
+    if engine in ("columnar-panes", "streaming-chunked"):
+        pane = math.gcd(window.range, window.slide)
+        return f"panes[p={pane}, r/p={window.range // pane}]"
+    if engine == "streaming":
+        return f"event-loop[k={window.range // window.slide}]"
+    return f"raw-materialize[k={window.range // window.slide}]"
+
+
+def physical_paths(
+    plan: LogicalPlan, engine: str
+) -> "dict[Window, str]":
+    """window → physical-path description for every aggregate node."""
+    return {
+        node.window: physical_path(node, engine)
+        for node in plan.window_nodes()
+    }
 
 
 def _window_call(window: Window, style: str) -> str:
@@ -108,9 +142,17 @@ def _render_expression(plan: LogicalPlan, style: str) -> str:
     return "\n".join(lines)
 
 
-def to_tree(plan: LogicalPlan) -> str:
-    """ASCII tree of the plan, root at the top (Figure 2(a) style)."""
-    lines: list[str] = [f"[{plan.description}]"]
+def to_tree(plan: LogicalPlan, engine: "str | None" = None) -> str:
+    """ASCII tree of the plan, root at the top (Figure 2(a) style).
+
+    With ``engine`` given, each aggregate line is annotated with the
+    physical execution path that engine would use (``via panes[...]``,
+    ``via subagg-gather[...]``, ...).
+    """
+    header = f"[{plan.description}]"
+    if engine is not None:
+        header += f" engine={engine}"
+    lines: list[str] = [header]
 
     def label(node: PlanNode) -> str:
         if isinstance(node, SourceNode):
@@ -124,8 +166,13 @@ def to_tree(plan: LogicalPlan) -> str:
                 dur += f" every {format_duration(window.slide)}"
             origin = "raw" if node.reads_raw else f"from {node.provider.label}"
             tag = " (factor)" if node.is_factor else ""
+            physical = (
+                "" if engine is None
+                else f" via {physical_path(node, engine)}"
+            )
             return (
                 f"Agg[{node.aggregate.name} over {dur}] <- {origin}{tag}"
+                f"{physical}"
             )
         if isinstance(node, UnionNode):
             return "Union"

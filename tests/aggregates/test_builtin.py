@@ -164,3 +164,40 @@ class TestTaxonomy:
         assert Max().semantics is CoverageSemantics.COVERED_BY
         for agg in (Sum(), Count(), Avg(), Stdev()):
             assert agg.semantics is CoverageSemantics.PARTITIONED_BY
+
+
+class TestSegmentCompute:
+    """Vectorized holistic kernels agree with per-group compute."""
+
+    @pytest.mark.parametrize(
+        "aggregate", [Median(), Quantile(0.25), Quantile(0.9)],
+        ids=lambda a: a.name,
+    )
+    def test_matches_compute_on_random_segments(self, aggregate):
+        rng = np.random.default_rng(9)
+        lengths = rng.integers(1, 12, 40)
+        segments = [rng.normal(0, 10, n) for n in lengths]
+        sorted_values = np.concatenate([np.sort(s) for s in segments])
+        ends = np.cumsum(lengths)
+        starts = ends - lengths
+        got = aggregate.segment_compute(sorted_values, starts, ends)
+        expected = [aggregate.compute(s) for s in segments]
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_mergeable_aggregates_have_no_kernel(self):
+        starts = np.array([0])
+        ends = np.array([2])
+        values = np.array([1.0, 2.0])
+        assert Min().segment_compute(values, starts, ends) is None
+        assert Sum().segment_compute(values, starts, ends) is None
+
+    def test_nan_values_propagate_like_compute(self):
+        # NaNs sort to the segment end; the kernel must propagate them
+        # exactly like np.median/np.quantile, not skip them.
+        aggregate = Median()
+        sorted_values = np.array([1.0, 2.0, 3.0, 1.0, 2.0, np.nan])
+        starts = np.array([0, 3])
+        ends = np.array([3, 6])
+        got = aggregate.segment_compute(sorted_values, starts, ends)
+        assert got[0] == 2.0
+        assert math.isnan(got[1])

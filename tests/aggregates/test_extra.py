@@ -130,3 +130,40 @@ class TestEndToEndWithEngine:
         original = execute_plan(original_plan(windows, agg), batch)
         optimized = execute_plan(rewrite_plan(result.best, agg), batch)
         assert results_equal(original, optimized)
+
+
+class TestCountDistinctSegmentKernel:
+    def test_matches_compute_on_random_segments(self):
+        aggregate = CountDistinct()
+        rng = np.random.default_rng(17)
+        lengths = rng.integers(1, 15, 30)
+        segments = [rng.integers(0, 5, n).astype(float) for n in lengths]
+        sorted_values = np.concatenate([np.sort(s) for s in segments])
+        ends = np.cumsum(lengths)
+        starts = ends - lengths
+        got = aggregate.segment_compute(sorted_values, starts, ends)
+        expected = [aggregate.compute(s) for s in segments]
+        np.testing.assert_allclose(got, expected)
+
+    def test_boundary_between_equal_values_not_merged(self):
+        # Adjacent segments ending/starting with the same value must
+        # not leak distinct counts across the boundary.
+        sorted_values = np.array([1.0, 2.0, 2.0, 3.0])
+        starts = np.array([0, 2])
+        ends = np.array([2, 4])
+        got = CountDistinct().segment_compute(sorted_values, starts, ends)
+        np.testing.assert_allclose(got, [2.0, 2.0])
+
+    def test_nans_collapse_to_one_distinct_like_unique(self):
+        aggregate = CountDistinct()
+        # Segments: [1, nan, nan], [nan], [2, 3]
+        sorted_values = np.array([1.0, np.nan, np.nan, np.nan, 2.0, 3.0])
+        starts = np.array([0, 3, 4])
+        ends = np.array([3, 4, 6])
+        got = aggregate.segment_compute(sorted_values, starts, ends)
+        expected = [
+            aggregate.compute([1.0, np.nan, np.nan]),
+            aggregate.compute([np.nan]),
+            aggregate.compute([2.0, 3.0]),
+        ]
+        np.testing.assert_allclose(got, expected)

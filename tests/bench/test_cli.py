@@ -69,3 +69,24 @@ class TestExperimentCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "R-5-tumbling" in out and "S-10-hopping" in out
+
+
+class TestEnginesCommand:
+    def test_lists_registered_paths(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for name in ("columnar", "columnar-panes", "streaming", "streaming-chunked"):
+            assert name in out
+
+    def test_annotates_query_plan(self, capsys):
+        query = (
+            "SELECT DeviceID, System.Window().Id, Min(T) AS MinTemp "
+            "FROM Input TIMESTAMP BY EntryTime "
+            "GROUP BY DeviceID, Windows("
+            "Window('20 min', TumblingWindow(minute, 20)), "
+            "Window('40 min', TumblingWindow(minute, 40)))"
+        )
+        assert main(["engines", "--query", query]) == 0
+        out = capsys.readouterr().out
+        assert "engine=columnar-panes" in out
+        assert "via panes[p=" in out

@@ -53,3 +53,20 @@ class TestExplain:
     def test_event_rate_shown(self, example7_windows):
         text = explain(optimize(example7_windows, MIN, event_rate=7))
         assert "η = 7" in text
+
+
+class TestPhysicalPathSection:
+    def test_engine_section_appended(self, example7_windows):
+        result = optimize(example7_windows, MIN)
+        text = explain(result, engine="columnar-panes")
+        assert "physical paths (columnar-panes):" in text
+        assert "panes[p=" in text
+
+    def test_no_section_by_default(self, example7_windows):
+        result = optimize(example7_windows, MIN)
+        assert "physical paths" not in explain(result)
+
+    def test_holistic_engine_section(self):
+        result = optimize(WindowSet([Window(20, 20), Window(40, 40)]), MEDIAN)
+        text = explain(result, engine="columnar")
+        assert "physical paths" in text

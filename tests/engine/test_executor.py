@@ -91,3 +91,90 @@ class TestResultsEqual:
         a = execute_plan(plan, batch)
         b = execute_plan(plan, batch, engine="streaming")
         assert results_equal(a, b)
+
+
+class TestEngineRegistry:
+    def test_all_builtin_paths_registered(self):
+        from repro.engine.executor import available_engines
+
+        assert set(available_engines()) >= {
+            "columnar",
+            "columnar-panes",
+            "streaming",
+            "streaming-chunked",
+        }
+
+    def test_registry_is_extensible(self, batch):
+        from repro.engine.executor import (
+            _ENGINES,
+            execute_plan,
+            register_engine,
+        )
+
+        @register_engine("echo")
+        def _echo(plan, batch, **kwargs):
+            return execute_plan(plan, batch, engine="columnar")
+
+        try:
+            plan = original_plan(WindowSet([Window(10, 10)]), MIN)
+            result = execute_plan(plan, batch, engine="echo")
+            assert result.stats.events == batch.num_events
+        finally:
+            del _ENGINES["echo"]
+
+    def test_engine_kwargs_forwarded(self, batch):
+        plan = original_plan(WindowSet([Window(10, 10)]), MIN)
+        result = execute_plan(
+            plan, batch, engine="streaming-chunked", chunk_ticks=17
+        )
+        assert result.stats.events == batch.num_events
+
+
+class TestLogicalPhysicalSplit:
+    def test_naive_paths_mirror_logical(self, batch):
+        plan = original_plan(WindowSet([Window(20, 10)]), MIN)
+        result = execute_plan(plan, batch, engine="columnar")
+        assert result.stats.total_physical == result.stats.total_pairs
+        assert result.stats.physical_fraction == 1.0
+
+    def test_pane_path_reports_fewer_physical(self, batch):
+        plan = original_plan(WindowSet([Window(60, 10)]), MIN)  # k = 6
+        fast = execute_plan(plan, batch, engine="columnar-panes")
+        assert fast.stats.total_physical < fast.stats.total_pairs
+        assert 0 < fast.stats.physical_fraction < 1
+
+    def test_stats_merge_combines_both_counters(self):
+        from repro.engine.stats import ExecutionStats
+
+        a = ExecutionStats(events=5)
+        a.record_pairs(Window(10, 10), 100)
+        a.record_binned(5)
+        b = ExecutionStats(events=3)
+        b.record_pairs(Window(10, 10), 50, physical=7)
+        a.merge(b)
+        assert a.events == 8
+        assert a.pairs_per_window[Window(10, 10)] == 150
+        assert a.physical_per_window[Window(10, 10)] == 107
+        assert a.events_binned == 5
+        assert a.total_physical == 112
+
+
+class TestRecordsVectorized:
+    def test_multi_key_order_is_key_major(self):
+        batch = make_batch(
+            [0, 5, 12, 18], [1.0, 2.0, 3.0, 4.0],
+            keys=[0, 1, 0, 1], num_keys=2, horizon=20,
+        )
+        plan = original_plan(WindowSet([Window(10, 10)]), MIN)
+        records = execute_plan(plan, batch).to_records()
+        assert [(r[1], r[2]) for r in records] == [
+            (0, 0), (0, 1), (1, 0), (1, 1)
+        ]
+        assert records[0][3] == 1.0 and records[3][3] == 4.0
+
+    def test_record_types_are_python_scalars(self, batch):
+        plan = original_plan(WindowSet([Window(10, 10)]), MIN)
+        label, key, instance, value = execute_plan(plan, batch).to_records()[0]
+        assert isinstance(key, int)
+        assert isinstance(instance, int)
+        assert isinstance(value, float)

@@ -1,0 +1,157 @@
+"""Property-based equivalence across every registered engine path.
+
+DESIGN.md invariants 5–6 extended to the physical-path registry: for
+random window sets (tumbling and hopping), random streams, and every
+plan variant (original / rewritten / factor windows), all registered
+paths must produce identical results *and* identical logical pair
+counts — and the logical counts must still equal the cost model's
+prediction on aligned constant-rate streams even though the fast paths
+physically do less work.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.registry import AVG, MAX, MIN, SUM
+from repro.core.cost import CostModel
+from repro.core.optimizer import min_cost_wcg_with_factors, optimize
+from repro.core.rewrite import rewrite_plan
+from repro.engine.events import make_batch
+from repro.engine.executor import (
+    available_engines,
+    execute_plan,
+    results_equal,
+)
+from repro.plans.builder import original_plan
+from repro.windows.coverage import CoverageSemantics
+from repro.windows.window import Window, WindowSet
+
+ALL_ENGINES = (
+    "columnar",
+    "columnar-panes",
+    "streaming",
+    "streaming-chunked",
+)
+
+tumbling_sets = st.lists(
+    st.sampled_from([4, 5, 6, 8, 10, 12, 15, 20]),
+    min_size=2,
+    max_size=4,
+    unique=True,
+).map(lambda ranges: WindowSet([Window(r, r) for r in ranges]))
+
+hopping_sets = st.lists(
+    st.tuples(st.sampled_from([2, 3, 5, 6]), st.integers(2, 4)),
+    min_size=2,
+    max_size=3,
+    unique=True,
+).map(lambda pairs: WindowSet(_dedupe(Window(k * s, s) for s, k in pairs)))
+
+
+def _dedupe(windows):
+    seen, out = set(), []
+    for w in windows:
+        if w not in seen:
+            seen.add(w)
+            out.append(w)
+    return out
+
+
+def _random_batch(seed: int, horizon: int = 130, num_keys: int = 2):
+    rng = np.random.default_rng(seed)
+    n = rng.integers(horizon // 2, horizon * 2)
+    ts = np.sort(rng.integers(0, horizon - 1, n))
+    keys = rng.integers(0, num_keys, n)
+    values = rng.normal(0, 100, n)
+    return make_batch(ts, values, keys=keys, num_keys=num_keys, horizon=horizon)
+
+
+def _all_variants(windows, aggregate):
+    result = optimize(windows, aggregate)
+    plans = [original_plan(windows, aggregate)]
+    if result.without_factors is not None:
+        plans.append(rewrite_plan(result.without_factors, aggregate))
+    if result.with_factors is not None:
+        plans.append(
+            rewrite_plan(result.with_factors, aggregate, description="factors")
+        )
+    return plans
+
+
+def test_registry_exposes_all_paths():
+    assert set(ALL_ENGINES) <= set(available_engines())
+
+
+@pytest.mark.parametrize("aggregate", [MIN, MAX], ids=lambda a: a.name)
+@given(windows=hopping_sets, seed=st.integers(0, 10_000))
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_all_paths_agree_on_hopping_sets(aggregate, windows, seed):
+    batch = _random_batch(seed)
+    for plan in _all_variants(windows, aggregate):
+        reference = None
+        for engine in ALL_ENGINES:
+            result = execute_plan(plan, batch, engine=engine)
+            if reference is None:
+                reference = result
+            else:
+                assert results_equal(reference, result)
+                assert (
+                    reference.stats.pairs_per_window
+                    == result.stats.pairs_per_window
+                )
+
+
+@pytest.mark.parametrize("aggregate", [SUM, AVG], ids=lambda a: a.name)
+@given(windows=tumbling_sets, seed=st.integers(0, 10_000))
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_all_paths_agree_on_tumbling_sets(aggregate, windows, seed):
+    batch = _random_batch(seed)
+    for plan in _all_variants(windows, aggregate):
+        reference = None
+        for engine in ALL_ENGINES:
+            result = execute_plan(plan, batch, engine=engine)
+            if reference is None:
+                reference = result
+            else:
+                assert results_equal(reference, result)
+                assert (
+                    reference.stats.pairs_per_window
+                    == result.stats.pairs_per_window
+                )
+
+
+@given(windows=tumbling_sets, periods=st.integers(1, 3))
+@settings(max_examples=10, deadline=None)
+def test_fast_path_logical_pairs_match_cost_model(windows, periods):
+    """The pane path's *logical* counters still equal the analytic cost
+    model exactly, even though its physical touches are fewer."""
+    model = CostModel()
+    period = model.hyper_period(windows)
+    horizon = periods * period
+    ts = np.arange(horizon)
+    batch = make_batch(ts, np.sin(ts / 3.0), horizon=horizon)
+
+    gmin, _ = min_cost_wcg_with_factors(
+        windows, CoverageSemantics.PARTITIONED_BY
+    )
+    plan = rewrite_plan(gmin, MIN)
+    for engine in ("columnar-panes", "streaming-chunked"):
+        result = execute_plan(plan, batch, engine=engine)
+        assert result.stats.total_pairs == periods * gmin.total_cost
+        # Physical work never exceeds logical on constant-rate streams
+        # once the plan has any hopping or multi-pane window; at the
+        # very least it must stay within logical + one binning pass.
+        assert (
+            result.stats.total_physical
+            <= result.stats.total_pairs + batch.num_events
+        )

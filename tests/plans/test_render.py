@@ -4,7 +4,13 @@ from repro.aggregates.registry import MIN, SUM
 from repro.core.optimizer import min_cost_wcg_with_factors
 from repro.core.rewrite import rewrite_plan
 from repro.plans.builder import original_plan
-from repro.plans.render import to_flink, to_tree, to_trill
+from repro.plans.render import (
+    physical_path,
+    physical_paths,
+    to_flink,
+    to_tree,
+    to_trill,
+)
 from repro.windows.coverage import CoverageSemantics
 from repro.windows.window import Window, WindowSet
 
@@ -70,3 +76,39 @@ class TestTreeRenderer:
     def test_tree_shows_raw_origin(self, example6_windows):
         text = to_tree(original_plan(example6_windows, MIN))
         assert text.count("<- raw") == 4
+
+
+class TestPhysicalPathAnnotation:
+    def test_tree_annotates_paths_for_engine(self):
+        text = to_tree(_factor_plan(), engine="columnar-panes")
+        assert "engine=columnar-panes" in text
+        assert "via panes[p=" in text
+        assert "via subagg-gather[M=" in text
+
+    def test_raw_paths_differ_by_engine(self, example6_windows):
+        plan = original_plan(WindowSet([Window(40, 10)]), MIN)
+        assert "panes[p=10, r/p=4]" in physical_path(
+            plan.window_nodes()[0], "columnar-panes"
+        )
+        assert "raw-materialize[k=4]" in physical_path(
+            plan.window_nodes()[0], "columnar"
+        )
+        assert "event-loop[k=4]" in physical_path(
+            plan.window_nodes()[0], "streaming"
+        )
+
+    def test_paths_for_every_window(self):
+        plan = _factor_plan()
+        paths = physical_paths(plan, "streaming-chunked")
+        assert set(paths) == set(plan.windows)
+
+    def test_holistic_path(self):
+        from repro.aggregates.registry import MEDIAN
+
+        plan = original_plan(WindowSet([Window(20, 20)]), MEDIAN)
+        assert physical_path(
+            plan.window_nodes()[0], "columnar-panes"
+        ) == "raw-segmented-scan[holistic]"
+
+    def test_tree_unannotated_without_engine(self):
+        assert "via " not in to_tree(_factor_plan())
