@@ -1,0 +1,143 @@
+"""Ablation: live plan switching vs cold restart (beyond the paper).
+
+The live :class:`~repro.runtime.QuerySession` registers queries
+mid-stream by re-optimizing one shared group and switching plans at a
+watermark boundary — transplanting operator state and replaying at
+most the reorder buffer plus one chunk (DESIGN.md §6).  The naive
+alternative a service without the runtime would take is a **cold
+restart**: re-execute the whole history under the new workload's plan.
+
+This ablation measures, at several stream sizes:
+
+* steady-state session throughput vs the batch chunked engine on the
+  same final workload (the price of liveness);
+* plan-switch latency (the register call, including re-optimization
+  and the generation rebuild) vs the cold-restart cost of re-running
+  the prefix;
+
+and emits machine-readable ``BENCH_session.json`` for the CI perf
+trajectory.
+"""
+
+import os
+import time
+from pathlib import Path
+
+from repro.aggregates.registry import MIN
+from repro.bench.reporting import format_table, write_json_report
+from repro.core.multiquery import Query, optimize_workload
+from repro.engine.executor import execute_plan
+from repro.runtime import QuerySession
+from repro.windows.window import Window, WindowSet
+from repro.workloads.streams import constant_rate_stream
+
+JSON_PATH = Path(
+    os.environ.get(
+        "REPRO_BENCH_JSON",
+        Path(__file__).parent / "results" / "BENCH_session.json",
+    )
+)
+
+BASE = Query("base", WindowSet([Window(400, 200), Window(800, 400)]), MIN)
+JOINER = Query("joiner", WindowSet([Window(100, 100)]), MIN)
+REGISTER_FRACTION = 0.8
+
+
+def _run_session(rows, horizon, register_at):
+    session = QuerySession(num_keys=1, max_lateness=0, hysteresis=None)
+    session.register(BASE)
+    started = time.perf_counter()
+    for i, (ts, key, value) in enumerate(rows):
+        if i == register_at:
+            session.register(JOINER)
+        session.push(ts, key, value)
+    session.finish(horizon=horizon)
+    wall = time.perf_counter() - started
+    switch = next(
+        s for s in session.switches if s.generation > 1
+    )
+    return session, wall, switch
+
+
+def test_session_ablation_report(report_sink, bench_events):
+    rows_table = []
+    series = []
+    for events in (bench_events // 4, bench_events):
+        stream = constant_rate_stream(events, seed=1)
+        rows = list(stream.rows())
+        register_at = int(len(rows) * REGISTER_FRACTION)
+
+        session, session_wall, switch = _run_session(
+            rows, stream.horizon, register_at
+        )
+
+        # Batch reference: the final workload, cold, on the chunked
+        # engine (no reorder buffer, no liveness machinery).
+        workload = optimize_workload([BASE, JOINER])
+        plan = workload.groups[0].plan
+        batch_result = execute_plan(plan, stream, engine="streaming-chunked")
+
+        # Cold restart: what registering mid-stream would cost without
+        # watermark-safe switching — re-run the whole prefix under the
+        # new plan.
+        prefix = stream.slice_time(0, int(stream.horizon * REGISTER_FRACTION))
+        restart_started = time.perf_counter()
+        execute_plan(plan, prefix, engine="streaming-chunked")
+        restart_seconds = time.perf_counter() - restart_started
+
+        session_throughput = events / session_wall
+        speedup = restart_seconds / switch.seconds
+        rows_table.append(
+            (
+                f"{events:,}",
+                f"{session_throughput / 1e3:,.0f}",
+                f"{batch_result.stats.throughput / 1e3:,.0f}",
+                f"{switch.seconds * 1e3:.2f}",
+                f"{restart_seconds * 1e3:.2f}",
+                f"{speedup:,.0f}x",
+            )
+        )
+        series.append(
+            {
+                "events": events,
+                "session_throughput": session_throughput,
+                "batch_throughput": batch_result.stats.throughput,
+                "switch_seconds": switch.seconds,
+                "cold_restart_seconds": restart_seconds,
+                "switch_speedup": speedup,
+                "session_physical": session.stats().total_physical,
+                "batch_physical": batch_result.stats.total_physical,
+            }
+        )
+    # The point of the runtime: switch latency is O(group
+    # re-optimization), independent of history, while a cold restart
+    # re-pays the whole prefix.  At toy history sizes the fixed
+    # optimizer cost can exceed a (trivial) restart, so gate only the
+    # largest measured size (and loosely — CI machines are noisy).
+    largest = series[-1]
+    assert largest["switch_seconds"] < largest["cold_restart_seconds"]
+    report_sink(
+        "ablation_session",
+        format_table(
+            [
+                "events",
+                "session K ev/s",
+                "batch K ev/s",
+                "switch ms",
+                "cold restart ms",
+                "speedup",
+            ],
+            rows_table,
+            title="Live session: plan-switch latency vs cold restart",
+        ),
+    )
+    path = write_json_report(
+        JSON_PATH,
+        {
+            "benchmark": "session",
+            "events": bench_events,
+            "register_fraction": REGISTER_FRACTION,
+            "series": series,
+        },
+    )
+    assert path.exists()

@@ -50,6 +50,7 @@ from .engine import (
 )
 from .errors import ReproError
 from .plans import LogicalPlan, original_plan, to_flink, to_tree, to_trill
+from .runtime import PlanSwitchRecord, QuerySession
 from .slicing import execute_sliced
 from .sql import compile_query, parse, plan_query
 from .windows import (
@@ -79,6 +80,8 @@ __all__ = [
     "MIN",
     "MinCostWCG",
     "OptimizationResult",
+    "PlanSwitchRecord",
+    "QuerySession",
     "ReproError",
     "available_engines",
     "STDEV",

@@ -7,6 +7,9 @@ Commands
 ``list``          list available experiment ids.
 ``engines``       list registered execution paths; with ``--query``,
                   show the physical path each window takes per engine.
+``session``       run a live :class:`~repro.runtime.QuerySession` over
+                  a synthetic stream, registering the given queries
+                  one at a time mid-stream (DESIGN.md §6).
 """
 
 from __future__ import annotations
@@ -124,6 +127,58 @@ def _cmd_engines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_session(args: argparse.Namespace) -> int:
+    from ..runtime import QuerySession
+    from ..workloads.streams import constant_rate_stream
+
+    stream = constant_rate_stream(
+        args.events, num_keys=args.keys, rate=args.rate, seed=args.seed
+    )
+    session = QuerySession(
+        num_keys=args.keys,
+        max_lateness=args.lateness,
+        hysteresis=None if args.no_adapt else args.hysteresis,
+    )
+    rows = list(stream.rows())
+    # First query opens before any data; the rest spread over the
+    # first half of the stream — the live-dashboard shape.
+    points = {
+        (i * len(rows)) // (2 * max(1, len(args.query))): q
+        for i, q in enumerate(args.query)
+    }
+    for i, (ts, key, value) in enumerate(rows):
+        if i in points:
+            name = session.register(points[i])
+            print(f"[wm {session.watermark:>6}] registered {name!r}")
+        session.push(ts, key, value)
+    results = session.finish(horizon=stream.horizon)
+
+    print()
+    print("plan switches:")
+    for switch in session.switches:
+        print(f"  {switch}")
+    print()
+    print("emitted results:")
+    for name, by_window in sorted(results.items()):
+        for window, emitted in sorted(
+            by_window.items(), key=lambda kv: (kv[0].range, kv[0].slide)
+        ):
+            print(
+                f"  {name:10s} {window}: instances "
+                f"[{emitted.start_instance}, {emitted.frontier})"
+            )
+    stats = session.stats()
+    print()
+    print(
+        f"events={session.reorder_stats.accepted:,} "
+        f"late={session.reorder_stats.late_dropped:,} "
+        f"pairs={stats.total_pairs:,} "
+        f"physical={stats.total_physical:,} "
+        f"throughput={stats.throughput / 1e3:,.0f}K ev/s"
+    )
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     for name, description in sorted(EXPERIMENTS.items()):
         print(f"{name:8s} {description}")
@@ -158,6 +213,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--query", default="", help="annotate this query's best plan"
     )
     p_eng.set_defaults(func=_cmd_engines)
+
+    p_ses = sub.add_parser(
+        "session", help="run a live session, registering queries mid-stream"
+    )
+    p_ses.add_argument(
+        "query", nargs="+", help="queries to register one at a time"
+    )
+    p_ses.add_argument("--events", type=int, default=100_000)
+    p_ses.add_argument("--keys", type=int, default=4)
+    p_ses.add_argument("--rate", type=int, default=2)
+    p_ses.add_argument("--lateness", type=int, default=8)
+    p_ses.add_argument("--seed", type=int, default=1)
+    p_ses.add_argument("--hysteresis", type=float, default=0.25)
+    p_ses.add_argument(
+        "--no-adapt",
+        action="store_true",
+        help="disable rate-driven re-planning",
+    )
+    p_ses.set_defaults(func=_cmd_session)
     return parser
 
 

@@ -3,12 +3,16 @@
 The paper's cost model is static: it prices plans for one assumed event
 rate η.  Section VI calls out "how to dynamically adjust cost estimates
 at runtime by keeping track of the input event rates" as future work.
-This module prototypes exactly that:
+This module provides exactly that:
 
 * :class:`RateEstimator` — an exponentially-weighted estimate of the
   stream's events-per-tick rate, fed from observed batches;
-* :class:`AdaptiveOptimizer` — re-optimizes when the estimated rate
-  drifts past a hysteresis threshold, caching plans per rate;
+* :class:`RateController` — estimator + hysteresis replan gate: the
+  policy object a *live* :class:`~repro.runtime.QuerySession` feeds
+  from real chunk boundaries (rate drift there triggers a watermark-
+  safe plan switch, DESIGN.md §6);
+* :class:`AdaptiveOptimizer` — re-optimizes when the controller
+  triggers, caching plans per rate;
 * :func:`simulate_adaptive` — replays a rate trace epoch by epoch and
   accounts the cost of the adaptive policy against two references: the
   static plan optimized once for the initial rate, and the oracle that
@@ -76,6 +80,42 @@ class RateEstimator:
         return max(1, round(self.rate))
 
 
+class RateController:
+    """EWMA rate estimator behind a hysteresis replan gate.
+
+    :meth:`observe` feeds one observation window and returns the new
+    integer rate when the drift against the currently-planned rate
+    exceeds ``hysteresis`` (meaning: re-plan now), else ``None``.  The
+    caller decides what re-planning means — the simulator re-optimizes
+    one query, the live session re-prices every shared group.
+    """
+
+    def __init__(
+        self,
+        hysteresis: float = 0.25,
+        alpha: float = 0.3,
+        initial_rate: "float | None" = None,
+    ):
+        if hysteresis < 0:
+            raise CostModelError("hysteresis must be >= 0")
+        self.hysteresis = hysteresis
+        self.estimator = RateEstimator(alpha=alpha, initial_rate=initial_rate)
+        self.planned_rate: "int | None" = (
+            None if initial_rate is None else max(1, round(initial_rate))
+        )
+
+    def observe(self, events: int, ticks: int) -> "int | None":
+        """Feed one observation; return the new rate iff a replan is due."""
+        self.estimator.observe(events, ticks)
+        rate = self.estimator.integer_rate
+        if self.planned_rate is not None:
+            drift = abs(rate - self.planned_rate) / self.planned_rate
+            if drift <= self.hysteresis:
+                return None
+        self.planned_rate = rate
+        return rate
+
+
 @dataclass
 class PlanSwitch:
     """Record of one re-optimization decision."""
@@ -101,13 +141,11 @@ class AdaptiveOptimizer:
         hysteresis: float = 0.25,
         alpha: float = 0.3,
     ):
-        if hysteresis < 0:
-            raise CostModelError("hysteresis must be >= 0")
         self.windows = windows
         self.aggregate = aggregate
+        self.controller = RateController(hysteresis=hysteresis, alpha=alpha)
+        self.estimator = self.controller.estimator
         self.hysteresis = hysteresis
-        self.estimator = RateEstimator(alpha=alpha)
-        self._planned_rate: int | None = None
         self._cache: dict[int, OptimizationResult] = {}
         self._current: OptimizationResult | None = None
         self.switches: list[PlanSwitch] = []
@@ -120,12 +158,9 @@ class AdaptiveOptimizer:
 
     def observe(self, events: int, ticks: int, epoch: int = 0) -> bool:
         """Feed an observation; returns True when the plan changed."""
-        self.estimator.observe(events, ticks)
-        rate = self.estimator.integer_rate
-        if self._planned_rate is not None:
-            drift = abs(rate - self._planned_rate) / self._planned_rate
-            if drift <= self.hysteresis:
-                return False
+        rate = self.controller.observe(events, ticks)
+        if rate is None:
+            return False
         result = self._cache.get(rate)
         if result is None:
             result = optimize(self.windows, self.aggregate, event_rate=rate)
@@ -134,7 +169,6 @@ class AdaptiveOptimizer:
             self._current.best, result.best
         )
         self._current = result
-        self._planned_rate = rate
         if changed:
             self.switches.append(
                 PlanSwitch(

@@ -20,6 +20,19 @@ at a time; this module extends the framework to a query *workload*:
 The result is compared against per-query optimization: the shared plan
 is never worse, because the merged WCG's provider options are a
 superset of every individual query's.
+
+Two consumption modes share the same group machinery:
+
+* :func:`optimize_workload` — the original *batch* mode: a frozen set
+  of queries optimized in one shot (the paper's evaluation setting);
+* :class:`IncrementalWorkload` — the *diff* mode a live
+  :class:`~repro.runtime.QuerySession` drives: queries register and
+  deregister one at a time, and each mutation re-optimizes **only the
+  affected (aggregate, semantics) group**, leaving every other group's
+  plan object untouched.  The (query, window) → operator-window
+  routing table is stable across generations: merged operators keep
+  their windows, so a re-optimization changes *providers*, never the
+  operator a result is read from.
 """
 
 from __future__ import annotations
@@ -33,8 +46,8 @@ from ..plans.nodes import LogicalPlan
 from ..windows.coverage import CoverageSemantics
 from ..windows.window import Window, WindowSet
 from .cost import CostModel, MinCostWCG
-from .optimizer import min_cost_wcg_with_factors, optimize
-from .rewrite import rewrite_plan
+from .optimizer import optimize
+from .planner import PlannedWindows, plan_windows
 
 
 @dataclass(frozen=True)
@@ -125,7 +138,11 @@ class WorkloadPlan:
         return "\n".join(lines)
 
 
-def _group_key(query: Query):
+#: A workload group identity: (aggregate name, coverage semantics).
+GroupKey = tuple[str, "CoverageSemantics | None"]
+
+
+def _group_key(query: Query) -> GroupKey:
     semantics = query.aggregate.semantics
     return (query.aggregate.name, semantics)
 
@@ -137,6 +154,43 @@ def _merge_window_sets(queries: Sequence[Query]) -> WindowSet:
             if window not in merged:
                 merged.add(window)
     return merged
+
+
+def plan_shared_group(
+    members: Sequence[Query],
+    event_rate: int = 1,
+    enable_factor_windows: bool = True,
+) -> tuple[SharedGroup, PlannedWindows]:
+    """Optimize one (aggregate, semantics) group through the shared
+    :mod:`~repro.core.planner` pipeline.
+
+    Returns the group (costs over the *group* hyper-period — batch mode
+    rescales them to the workload period) plus the full
+    :class:`~repro.core.planner.PlannedWindows`, whose ``best_plan`` is
+    executable even for holistic groups (the original independent plan,
+    Section III-A).
+    """
+    aggregate = members[0].aggregate
+    semantics = aggregate.semantics
+    combined = _merge_window_sets(members)
+    planned = plan_windows(
+        combined,
+        aggregate,
+        event_rate=event_rate,
+        enable_factor_windows=enable_factor_windows,
+        label=f"shared[{aggregate.name}]",
+    )
+    group = SharedGroup(
+        aggregate=aggregate,
+        semantics=semantics,
+        queries=list(members),
+        combined=combined,
+    )
+    if semantics is not None:
+        group.gmin = planned.optimization.best
+        group.plan = planned.best_plan
+        group.shared_cost = group.gmin.total_cost
+    return group, planned
 
 
 def optimize_workload(
@@ -177,8 +231,10 @@ def optimize_workload(
 
     for (_, semantics), members in groups.items():
         aggregate = members[0].aggregate
-        group = SharedGroup(
-            aggregate=aggregate, semantics=semantics, queries=members
+        group, _ = plan_shared_group(
+            members,
+            event_rate=event_rate,
+            enable_factor_windows=enable_factor_windows,
         )
         group_baseline = 0
         for query in members:
@@ -194,23 +250,174 @@ def optimize_workload(
             )
             workload.independent_cost += scale * result.best_cost
         if semantics is not None:
-            group.combined = _merge_window_sets(members)
-            if enable_factor_windows:
-                group.gmin, _ = min_cost_wcg_with_factors(
-                    group.combined, semantics, model
-                )
-            else:
-                from .optimizer import min_cost_wcg
-
-                group.gmin = min_cost_wcg(group.combined, semantics, model)
-            group.plan = rewrite_plan(
-                group.gmin,
-                aggregate,
-                description=f"shared[{aggregate.name}]",
-            )
             group_scale = workload_period // group.gmin.period
             group.shared_cost = group_scale * group.gmin.total_cost
         else:
             group.shared_cost = group_baseline
         workload.groups.append(group)
     return workload
+
+
+# ----------------------------------------------------------------------
+# Incremental mode: the workload as a living object
+# ----------------------------------------------------------------------
+@dataclass
+class WorkloadDelta:
+    """What one register/deregister/re-rate mutation changed.
+
+    A live session consumes deltas as switch instructions: ``plan`` is
+    the group's new executable plan (``None`` when the group retired
+    with its last query), and ``provider_change`` says whether the
+    window→provider map actually differs — when it does not, operators
+    keep running untouched and no plan switch happens at all.
+    """
+
+    generation: int
+    key: GroupKey
+    group: "SharedGroup | None"
+    plan: "LogicalPlan | None"
+    reason: str  # "register" | "deregister" | "rate"
+    provider_change: bool
+
+    @property
+    def retired(self) -> bool:
+        return self.group is None
+
+
+def _plan_shape(plan: "LogicalPlan | None"):
+    """The part of a plan that forces an operator change: the
+    window→provider map plus which windows are user-facing (a factor
+    window promoted to a user window needs its operator re-issued with
+    an emission sink, and vice versa)."""
+    if plan is None:
+        return None
+    return (
+        plan.provider_map(),
+        frozenset(node.window for node in plan.user_window_nodes()),
+    )
+
+
+class IncrementalWorkload:
+    """A query workload that changes while it runs.
+
+    Maintains one optimized :class:`SharedGroup` per (aggregate,
+    semantics) key under three mutations — :meth:`register`,
+    :meth:`deregister`, and :meth:`set_event_rate` — re-optimizing
+    **only** the group a mutation touches.  Unaffected groups keep
+    their exact ``SharedGroup`` objects (identity, not just equality),
+    which is what lets a live session leave their operators running
+    through a switch.
+
+    The :meth:`routing` table maps every registered (query name,
+    requested window) to its operator window and is stable across
+    generations: re-optimizing a group rewires *providers*, never the
+    window an operator is keyed by.
+    """
+
+    def __init__(
+        self, event_rate: int = 1, enable_factor_windows: bool = True
+    ):
+        if event_rate < 1:
+            raise CostModelError(f"event_rate must be >= 1, got {event_rate}")
+        self.event_rate = event_rate
+        self.enable_factor_windows = enable_factor_windows
+        self.generation = 0
+        self.queries: dict[str, Query] = {}
+        self.groups: dict[GroupKey, SharedGroup] = {}
+        self.planned: dict[GroupKey, PlannedWindows] = {}
+        self.plans: dict[GroupKey, LogicalPlan] = {}
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def group_of(self, name: str) -> GroupKey:
+        query = self.queries.get(name)
+        if query is None:
+            raise CostModelError(f"no registered query named {name!r}")
+        return _group_key(query)
+
+    def _rebuild_group(self, key: GroupKey, reason: str) -> WorkloadDelta:
+        """Re-optimize one group from its current members."""
+        members = [
+            q for q in self.queries.values() if _group_key(q) == key
+        ]
+        old_shape = _plan_shape(self.plans.get(key))
+        self.generation += 1
+        if not members:
+            self.groups.pop(key, None)
+            self.planned.pop(key, None)
+            self.plans.pop(key, None)
+            return WorkloadDelta(
+                generation=self.generation,
+                key=key,
+                group=None,
+                plan=None,
+                reason=reason,
+                provider_change=old_shape is not None,
+            )
+        group, planned = plan_shared_group(
+            members,
+            event_rate=self.event_rate,
+            enable_factor_windows=self.enable_factor_windows,
+        )
+        plan = planned.best_plan
+        self.groups[key] = group
+        self.planned[key] = planned
+        self.plans[key] = plan
+        return WorkloadDelta(
+            generation=self.generation,
+            key=key,
+            group=group,
+            plan=plan,
+            reason=reason,
+            provider_change=_plan_shape(plan) != old_shape,
+        )
+
+    def register(self, query: Query) -> WorkloadDelta:
+        """Add one query; re-optimize only its group."""
+        if query.name in self.queries:
+            raise CostModelError(
+                f"query name {query.name!r} is already registered"
+            )
+        self.queries[query.name] = query
+        return self._rebuild_group(_group_key(query), "register")
+
+    def deregister(self, name: str) -> WorkloadDelta:
+        """Remove one query; re-optimize (or retire) only its group."""
+        key = self.group_of(name)
+        del self.queries[name]
+        return self._rebuild_group(key, "deregister")
+
+    def set_event_rate(self, event_rate: int) -> list[WorkloadDelta]:
+        """Re-price every group at a new rate.
+
+        Returns one delta per group; only those with
+        ``provider_change=True`` require a plan switch — the rest keep
+        byte-identical provider maps and their operators keep running.
+        """
+        if event_rate < 1:
+            raise CostModelError(
+                f"event_rate must be >= 1, got {event_rate}"
+            )
+        if event_rate == self.event_rate:
+            return []
+        self.event_rate = event_rate
+        return [
+            self._rebuild_group(key, "rate") for key in list(self.groups)
+        ]
+
+    def routing(self) -> "dict[tuple[str, Window], Window]":
+        """(query name, requested window) → operator window, workload-wide."""
+        table: dict[tuple[str, Window], Window] = {}
+        for group in self.groups.values():
+            table.update(group.routing())
+        return table
+
+    def as_batch(self) -> WorkloadPlan:
+        """The equivalent one-shot optimization of the current queries
+        (the reference the session-equivalence tests compare against)."""
+        return optimize_workload(
+            list(self.queries.values()),
+            event_rate=self.event_rate,
+            enable_factor_windows=self.enable_factor_windows,
+        )

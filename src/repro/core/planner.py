@@ -1,0 +1,107 @@
+"""The one optimize→rewrite pipeline every front end shares.
+
+Before the live runtime existed, each entry point re-implemented the
+same sequence — the SQL compiler (`sql/compile.plan_query`), the
+multi-query workload optimizer (`core/multiquery`), and the examples
+all called :func:`~repro.core.optimizer.optimize` and
+:func:`~repro.core.rewrite.rewrite_plan` with slightly different
+plumbing.  :func:`plan_windows` is now the single entry point: window
+set + aggregate in, :class:`PlannedWindows` out, carrying the
+optimization result and every executable plan variant.
+
+Holistic aggregates (no coverage semantics) come back with only the
+original plan — exactly the Section III-A fallback every caller had
+duplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..aggregates.base import AggregateFunction
+from ..plans.builder import original_plan
+from ..plans.nodes import LogicalPlan
+from ..windows.coverage import CoverageSemantics
+from ..windows.window import Window, WindowSet
+from .optimizer import OptimizationResult, optimize
+from .rewrite import rewrite_plan
+
+
+@dataclass
+class PlannedWindows:
+    """Optimization outcome plus every executable plan variant."""
+
+    optimization: OptimizationResult
+    original: LogicalPlan
+    rewritten: "LogicalPlan | None"
+    with_factors: "LogicalPlan | None"
+
+    @property
+    def best_plan(self) -> LogicalPlan:
+        """The plan the optimizer recommends executing."""
+        best = self.optimization.best
+        if best is None:
+            return self.original
+        if (
+            self.optimization.with_factors is best
+            and self.with_factors is not None
+        ):
+            return self.with_factors
+        if (
+            self.rewritten is not None
+            and best is self.optimization.without_factors
+        ):
+            return self.rewritten
+        return self.original
+
+    @property
+    def best_cost(self) -> int:
+        return self.optimization.best_cost
+
+
+def plan_windows(
+    windows: "WindowSet | list[Window] | tuple[Window, ...]",
+    aggregate: AggregateFunction,
+    event_rate: int = 1,
+    enable_factor_windows: bool = True,
+    source_name: str = "Input",
+    label: "str | None" = None,
+    semantics_override: "CoverageSemantics | None" = None,
+) -> PlannedWindows:
+    """Optimize a window set and rewrite every variant into plans.
+
+    ``label`` overrides the rewritten plans' description (the workload
+    optimizer labels shared group plans ``shared[<aggregate>]``).
+    """
+    optimization = optimize(
+        windows,
+        aggregate,
+        event_rate=event_rate,
+        enable_factor_windows=enable_factor_windows,
+        semantics_override=semantics_override,
+    )
+    original = original_plan(
+        optimization.windows, aggregate, source_name=source_name
+    )
+    rewritten = None
+    with_factors = None
+    if optimization.without_factors is not None:
+        rewritten = rewrite_plan(
+            optimization.without_factors,
+            aggregate,
+            source_name=source_name,
+            description=label or "rewritten",
+        )
+    if optimization.with_factors is not None:
+        with_factors = rewrite_plan(
+            optimization.with_factors,
+            aggregate,
+            source_name=source_name,
+            description=label or "rewritten+factors",
+        )
+    return PlannedWindows(
+        optimization=optimization,
+        original=original,
+        rewritten=rewritten,
+        with_factors=with_factors,
+    )

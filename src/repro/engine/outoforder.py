@@ -28,14 +28,37 @@ from .events import EventBatch
 Event = tuple[int, int, float]  # (timestamp, key, value)
 
 
+#: Default bound on *retained* late events (counters stay exact).
+DEFAULT_LATE_EVENT_CAP = 64
+
+
 @dataclass
 class ReorderStats:
-    """Counters of a reorder pass."""
+    """Counters of a reorder pass.
+
+    ``late_events`` retains at most ``late_event_cap`` dropped events
+    (the earliest ones — debugging wants the first offenders); an
+    unbounded list would contradict the bounded-state guarantee every
+    operator downstream of this front door maintains (DESIGN.md §5).
+    The *counters* — ``late_dropped``, ``max_observed_lateness`` — are
+    exact regardless of the cap.
+    """
 
     accepted: int = 0
     late_dropped: int = 0
     max_observed_lateness: int = 0
     late_events: list[Event] = field(default_factory=list)
+    late_event_cap: int = DEFAULT_LATE_EVENT_CAP
+    late_events_elided: int = 0
+
+    def note_late(self, event: Event, keep: bool) -> None:
+        """Count one late drop; retain the event within the cap."""
+        self.late_dropped += 1
+        if keep:
+            if len(self.late_events) < self.late_event_cap:
+                self.late_events.append(event)
+            else:
+                self.late_events_elided += 1
 
     @property
     def total(self) -> int:
@@ -50,13 +73,22 @@ class ReorderBuffer:
     ``flush`` drains the remainder at end of stream.
     """
 
-    def __init__(self, max_lateness: int, keep_late_events: bool = False):
+    def __init__(
+        self,
+        max_lateness: int,
+        keep_late_events: bool = False,
+        late_event_cap: int = DEFAULT_LATE_EVENT_CAP,
+    ):
         if max_lateness < 0:
             raise ExecutionError(
                 f"max_lateness must be >= 0, got {max_lateness}"
             )
+        if late_event_cap < 0:
+            raise ExecutionError(
+                f"late_event_cap must be >= 0, got {late_event_cap}"
+            )
         self.max_lateness = max_lateness
-        self.stats = ReorderStats()
+        self.stats = ReorderStats(late_event_cap=late_event_cap)
         self._keep_late = keep_late_events
         self._heap: list[Event] = []
         self._max_seen = -1
@@ -71,13 +103,11 @@ class ReorderBuffer:
         if ts < 0:
             raise ExecutionError(f"timestamps must be >= 0, got {ts}")
         if ts < self.watermark:
-            self.stats.late_dropped += 1
             lateness = self.watermark - ts
             self.stats.max_observed_lateness = max(
                 self.stats.max_observed_lateness, lateness
             )
-            if self._keep_late:
-                self.stats.late_events.append((ts, key, value))
+            self.stats.note_late((ts, key, value), self._keep_late)
             return
         self.stats.accepted += 1
         heapq.heappush(self._heap, (ts, self._sequence, key, value))

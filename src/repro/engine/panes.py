@@ -58,20 +58,28 @@ def pane_width(window: Window) -> int:
 
 
 def logical_raw_pairs(
-    timestamps: np.ndarray, window: Window, num_instances: int
+    timestamps: np.ndarray,
+    window: Window,
+    num_instances: "int | None",
+    start_instance: int = 0,
 ) -> int:
     """(event, instance) pairs :func:`aggregate_raw` would materialize.
 
     Event at ``ts`` joins instances ``ts//s - j`` for ``j in [0, k)``
-    intersected with ``[0, num_instances)``; counting the intersection
-    per event is O(N) instead of O(N * k).
+    intersected with ``[start_instance, num_instances)``; counting the
+    intersection per event is O(N) instead of O(N * k).
+    ``num_instances=None`` means unbounded above (live operators), and
+    ``start_instance`` clips below (operators activated mid-stream own
+    no instance before their aligned start).
     """
-    if num_instances <= 0 or timestamps.size == 0:
+    if timestamps.size == 0:
+        return 0
+    if num_instances is not None and num_instances <= start_instance:
         return 0
     k = window.instances_per_event
     base = timestamps // window.slide
-    hi = np.minimum(base, k - 1)
-    lo = np.maximum(base - (num_instances - 1), 0)
+    hi = base if num_instances is None else np.minimum(base, num_instances - 1)
+    lo = np.maximum(base - (k - 1), start_instance)
     return int(np.maximum(hi - lo + 1, 0).sum())
 
 

@@ -26,6 +26,7 @@ and 6).
 from __future__ import annotations
 
 import time
+from typing import Callable
 
 import numpy as np
 
@@ -38,6 +39,10 @@ from .columnar import holistic_segment_values, num_complete_instances
 from .events import EventBatch
 from .panes import logical_raw_pairs, pane_width
 from .stats import ExecutionStats
+
+#: Live emission callback: ``(window, m0, m1, finalized_block)`` where
+#: the block is a fresh ``(num_keys, m1 - m0)`` float array.
+EmitSink = Callable[[Window, int, int, np.ndarray], None]
 
 
 class _StreamingWindowOperator:
@@ -244,27 +249,55 @@ class StreamingExecutor:
 # Chunked streaming: vectorized blocks, streaming semantics
 # ----------------------------------------------------------------------
 class _ChunkedOperator:
-    """Shared chunked machinery: contiguous closes, block emission."""
+    """Shared chunked machinery: contiguous closes, block emission.
+
+    Beyond the finite-batch mode the :class:`ChunkedStreamingExecutor`
+    uses, operators support the live-session protocol (DESIGN.md §6):
+
+    * ``num_instances=None`` runs unbounded — instances close purely by
+      watermark, forever;
+    * ``start_instance`` makes the operator own only instances at or
+      after an aligned start (operators activated mid-stream never
+      close — or emit — instances whose inputs predate activation);
+    * ``sink`` receives every finalized block ``(window, m0, m1,
+      values)`` so a session can route results to subscriptions instead
+      of a preallocated array;
+    * :meth:`handoff` / :meth:`adopt` transplant buffered state between
+      plan generations when a plan switch keeps an operator's
+      ``(window, aggregate, provider)`` shape;
+    * :meth:`cap_instances` turns an operator into a *draining* one
+      that finishes its already-open instances and then retires,
+      handing all later instances to its replacement.
+    """
 
     def __init__(
         self,
         window: Window,
         aggregate: AggregateFunction,
         num_keys: int,
-        num_instances: int,
+        num_instances: "int | None",
         stats: ExecutionStats,
+        *,
+        start_instance: int = 0,
+        sink: "EmitSink | None" = None,
     ):
         self.window = window
         self.aggregate = aggregate
         self.num_keys = num_keys
         self.num_instances = num_instances
         self.stats = stats
+        self.start_instance = start_instance
+        self.sink = sink
         self.consumers: "list[_ChunkedSubAggOperator]" = []
         self.results: "np.ndarray | None" = None
-        self.next_close = 0
+        self.next_close = start_instance
         self.max_retained = 0
 
     def expose_results(self) -> None:
+        if self.num_instances is None:
+            raise ExecutionError(
+                "unbounded operators emit through a sink, not a result array"
+            )
         self.results = np.full(
             (self.num_keys, self.num_instances), np.nan, dtype=np.float64
         )
@@ -274,7 +307,9 @@ class _ChunkedOperator:
         if watermark < self.window.range:
             return self.next_close
         closed = (watermark - self.window.range) // self.window.slide + 1
-        return max(self.next_close, min(self.num_instances, closed))
+        if self.num_instances is not None:
+            closed = min(self.num_instances, closed)
+        return max(self.next_close, closed)
 
     def advance(self, watermark: int) -> None:
         m1 = self._close_bound(watermark)
@@ -287,10 +322,14 @@ class _ChunkedOperator:
 
     def _emit(self, m0: int, m1: int, components: tuple) -> None:
         """Finalize a closed block into results and feed consumers."""
-        if self.results is not None:
-            self.results[:, m0:m1] = np.asarray(
+        if self.results is not None or self.sink is not None:
+            block = np.asarray(
                 self.aggregate.finalize(components), dtype=np.float64
             )
+            if self.results is not None:
+                self.results[:, m0:m1] = block
+            if self.sink is not None:
+                self.sink(self.window, m0, m1, block)
         for consumer in self.consumers:
             consumer.accept_block(m0, m1, components)
 
@@ -302,6 +341,55 @@ class _ChunkedOperator:
     def retained_state(self) -> int:
         """Current buffered state units (panes / partials / events)."""
         return 0
+
+    # ------------------------------------------------------------------
+    # Live-session protocol: draining caps and state handoff
+    # ------------------------------------------------------------------
+    def cap_instances(self, bound: int) -> None:
+        """Stop owning instances at or beyond ``bound`` (drain mode)."""
+        bound = max(bound, self.next_close)
+        if self.num_instances is None or bound < self.num_instances:
+            self.num_instances = bound
+
+    @property
+    def drained(self) -> bool:
+        """True once every owned instance has closed (safe to retire)."""
+        return (
+            self.num_instances is not None
+            and self.next_close >= self.num_instances
+        )
+
+    @property
+    def handoff_key(self) -> tuple:
+        """Operators with equal keys hold transplant-compatible state."""
+        provider = getattr(self, "provider", None)
+        return (
+            type(self).__name__,
+            self.window,
+            self.aggregate.name,
+            provider,
+            self.num_keys,
+        )
+
+    def handoff(self) -> dict:
+        """Export transplantable state (buffers move, not copy)."""
+        return {
+            "key": self.handoff_key,
+            "next_close": self.next_close,
+            "start_instance": self.start_instance,
+            "max_retained": self.max_retained,
+        }
+
+    def adopt(self, state: dict) -> None:
+        """Adopt a predecessor's exported state (same ``handoff_key``)."""
+        if state["key"] != self.handoff_key:
+            raise ExecutionError(
+                f"cannot adopt state across incompatible operators: "
+                f"{state['key']} -> {self.handoff_key}"
+            )
+        self.next_close = state["next_close"]
+        self.start_instance = state["start_instance"]
+        self.max_retained = state["max_retained"]
 
 
 class _ChunkedRawOperator(_ChunkedOperator):
@@ -317,7 +405,7 @@ class _ChunkedRawOperator(_ChunkedOperator):
         self.pane = pane_width(self.window)
         self.stride = self.window.slide // self.pane
         self.per_instance = self.window.range // self.pane
-        self.pane_offset = 0
+        self.pane_offset = self.start_instance * self.stride
         self._panes = [
             np.full((self.num_keys, 0), ident, dtype=np.float64)
             for ident in self.aggregate.identity_components
@@ -350,11 +438,32 @@ class _ChunkedRawOperator(_ChunkedOperator):
             return
         self.stats.record_pairs(
             self.window,
-            logical_raw_pairs(ts, self.window, self.num_instances),
+            logical_raw_pairs(
+                ts, self.window, self.num_instances, self.start_instance
+            ),
             physical=0,
         )
-        self.stats.record_binned(ts.size)
         panes = ts // self.pane
+        # Clip to the panes the owned instance range [start, cap) reads:
+        # pre-start events belong only to instances this operator never
+        # closes, post-cap events only to its replacement's instances.
+        lo_cut = 0
+        if panes.size and panes[0] < self.pane_offset:
+            lo_cut = int(np.searchsorted(panes, self.pane_offset, side="left"))
+        hi_cut = panes.size
+        if self.num_instances is not None:
+            last_pane = (
+                (self.num_instances - 1) * self.stride + self.per_instance
+            )
+            hi_cut = int(np.searchsorted(panes, last_pane, side="left"))
+        if lo_cut or hi_cut < panes.size:
+            ts = ts[lo_cut:hi_cut]
+            keys = keys[lo_cut:hi_cut]
+            values = values[lo_cut:hi_cut]
+            panes = panes[lo_cut:hi_cut]
+        if ts.size == 0:
+            return
+        self.stats.record_binned(ts.size)
         lo, hi = int(panes[0]), int(panes[-1])
         self._ensure_panes(hi + 1)
         span = hi - lo + 1
@@ -390,6 +499,16 @@ class _ChunkedRawOperator(_ChunkedOperator):
             self._panes = [buf[:, cut:] for buf in self._panes]
             self.pane_offset = m1 * self.stride
 
+    def handoff(self) -> dict:
+        state = super().handoff()
+        state.update(pane_offset=self.pane_offset, panes=self._panes)
+        return state
+
+    def adopt(self, state: dict) -> None:
+        super().adopt(state)
+        self.pane_offset = state["pane_offset"]
+        self._panes = state["panes"]
+
     @property
     def retained_state(self) -> int:
         return self._panes[0].shape[1]
@@ -411,9 +530,19 @@ class _ChunkedHolisticOperator(_ChunkedOperator):
             return
         self.stats.record_pairs(
             self.window,
-            logical_raw_pairs(ts, self.window, self.num_instances),
+            logical_raw_pairs(
+                ts, self.window, self.num_instances, self.start_instance
+            ),
             physical=0,
         )
+        if self.num_instances is not None:
+            # Drop events past the owned range (drain mode): they only
+            # cover instances the replacement operator owns.
+            end = (self.num_instances - 1) * self.window.slide + self.window.range
+            cut = int(np.searchsorted(ts, end, side="left"))
+            ts, keys, values = ts[:cut], keys[:cut], values[:cut]
+            if ts.size == 0:
+                return
         self._ts = np.concatenate((self._ts, ts))
         self._keys = np.concatenate((self._keys, keys))
         self._values = np.concatenate((self._values, values))
@@ -424,6 +553,8 @@ class _ChunkedHolisticOperator(_ChunkedOperator):
             raise ExecutionError(
                 f"holistic {self.aggregate.name} cannot feed downstream windows"
             )
+        span = m1 - m0
+        block = np.full((self.num_keys, span), np.nan, dtype=np.float64)
         if self._ts.size:
             k = self.window.instances_per_event
             base = self._ts // self.window.slide
@@ -432,7 +563,7 @@ class _ChunkedHolisticOperator(_ChunkedOperator):
                 instance = base - j
                 valid = (instance >= m0) & (instance < m1)
                 code_parts.append(
-                    self._keys[valid] * self.num_instances + instance[valid]
+                    self._keys[valid] * span + (instance[valid] - m0)
                 )
                 value_parts.append(self._values[valid])
             codes = np.concatenate(code_parts)
@@ -441,13 +572,28 @@ class _ChunkedHolisticOperator(_ChunkedOperator):
                 segment_ids, computed = holistic_segment_values(
                     codes, np.concatenate(value_parts), self.aggregate
                 )
-                self.results.reshape(-1)[segment_ids] = computed
+                block.reshape(-1)[segment_ids] = computed
+        if self.results is not None:
+            self.results[:, m0:m1] = block
+        if self.sink is not None:
+            self.sink(self.window, m0, m1, block)
         # Drop events no longer covered by any open instance.
         keep = self._ts >= m1 * self.window.slide
         if not keep.all():
             self._ts = self._ts[keep]
             self._keys = self._keys[keep]
             self._values = self._values[keep]
+
+    def handoff(self) -> dict:
+        state = super().handoff()
+        state.update(ts=self._ts, keys=self._keys, values=self._values)
+        return state
+
+    def adopt(self, state: dict) -> None:
+        super().adopt(state)
+        self._ts = state["ts"]
+        self._keys = state["keys"]
+        self._values = state["values"]
 
     @property
     def retained_state(self) -> int:
@@ -468,18 +614,28 @@ class _ChunkedSubAggOperator(_ChunkedOperator):
                 "slides incompatible"
             )
         self.stride = stride
-        self.offset = 0  # provider instance index of the first column
+        # Provider instance index of the first buffered column.
+        self.offset = self.start_instance * stride
         self._partials = [
             np.full((self.num_keys, 0), ident, dtype=np.float64)
             for ident in self.aggregate.identity_components
         ]
 
     def accept_block(self, p0: int, p1: int, components: tuple) -> None:
-        span = self._partials[0].shape[1]
-        if p0 != self.offset + span:
+        expected = self.offset + self._partials[0].shape[1]
+        if p1 <= expected:
+            # Entirely before our coverage: a carried-over provider
+            # still draining instances an earlier generation owned.
+            return
+        if p0 > expected:
             raise ExecutionError(
                 f"{self.window}: provider block [{p0}, {p1}) is not "
                 f"contiguous with buffered instances"
+            )
+        if p0 < expected:
+            skip = expected - p0
+            components = tuple(
+                np.asarray(part)[:, skip:] for part in components
             )
         self._partials = [
             np.concatenate((buf, np.asarray(part, dtype=np.float64)), axis=1)
@@ -518,6 +674,16 @@ class _ChunkedSubAggOperator(_ChunkedOperator):
         if cut > 0:
             self._partials = [buf[:, cut:] for buf in self._partials]
             self.offset += cut
+
+    def handoff(self) -> dict:
+        state = super().handoff()
+        state.update(offset=self.offset, partials=self._partials)
+        return state
+
+    def adopt(self, state: dict) -> None:
+        super().adopt(state)
+        self.offset = state["offset"]
+        self._partials = state["partials"]
 
     @property
     def retained_state(self) -> int:

@@ -1,0 +1,24 @@
+"""The live query runtime: long-lived sessions over unbounded streams.
+
+This package composes the layers the rest of the repo builds — the SQL
+front end, the shared-workload optimizer, the chunked streaming engine,
+and the out-of-order front door — into one long-lived object,
+:class:`QuerySession`: the service shape of the paper's motivating
+Azure IoT Central scenario, where dashboards open and close
+continuously over a single device stream.
+
+See DESIGN.md §6 for the generation/switch model and invariant 9 for
+the observational-equivalence contract.
+"""
+
+from .session import (
+    PlanSwitchRecord,
+    QuerySession,
+    WindowResults,
+)
+
+__all__ = [
+    "PlanSwitchRecord",
+    "QuerySession",
+    "WindowResults",
+]

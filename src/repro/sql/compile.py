@@ -4,7 +4,15 @@
 (one aggregate function over a window set, all durations normalized to
 a common tick unit) and produces the window set.  ``plan_query`` is the
 end-to-end pipeline the examples use: parse → compile → optimize →
-rewrite, returning all three plans (original, rewritten, factor).
+rewrite (through the shared :mod:`repro.core.planner` pipeline),
+returning all three plans (original, rewritten, factor).
+
+``compile_registration`` is the *session* target: it stops after
+semantic analysis and hands back a workload
+:class:`~repro.core.multiquery.Query`, because a live
+:class:`~repro.runtime.QuerySession` optimizes registrations
+*together* (one shared plan per (aggregate, semantics) group), not one
+query at a time.
 """
 
 from __future__ import annotations
@@ -13,10 +21,9 @@ from dataclasses import dataclass
 
 from ..aggregates.base import AggregateFunction
 from ..aggregates.registry import get_aggregate
-from ..core.optimizer import OptimizationResult, optimize
-from ..core.rewrite import rewrite_plan
+from ..core.optimizer import OptimizationResult
+from ..core.planner import plan_windows
 from ..errors import SqlSemanticError
-from ..plans.builder import original_plan
 from ..plans.nodes import LogicalPlan
 from ..windows.units import to_ticks
 from ..windows.window import Window, WindowSet
@@ -123,35 +130,37 @@ def plan_query(
 ) -> PlannedQuery:
     """Parse, compile, optimize, and rewrite a query end to end."""
     compiled = compile_query(text)
-    optimization = optimize(
+    planned = plan_windows(
         compiled.window_set,
         compiled.aggregate,
         event_rate=event_rate,
         enable_factor_windows=enable_factor_windows,
+        source_name=compiled.source,
     )
-    original = original_plan(
-        compiled.window_set, compiled.aggregate, source_name=compiled.source
-    )
-    rewritten = None
-    with_factors = None
-    if optimization.without_factors is not None:
-        rewritten = rewrite_plan(
-            optimization.without_factors,
-            compiled.aggregate,
-            source_name=compiled.source,
-            description="rewritten",
-        )
-    if optimization.with_factors is not None:
-        with_factors = rewrite_plan(
-            optimization.with_factors,
-            compiled.aggregate,
-            source_name=compiled.source,
-            description="rewritten+factors",
-        )
     return PlannedQuery(
         compiled=compiled,
-        optimization=optimization,
-        original=original,
-        rewritten=rewritten,
-        with_factors=with_factors,
+        optimization=planned.optimization,
+        original=planned.original,
+        rewritten=planned.rewritten,
+        with_factors=planned.with_factors,
+    )
+
+
+def compile_registration(text_or_query: "str | Query", name: str = ""):
+    """Compile SQL into a workload query for session registration.
+
+    This is the deferred-optimization target: no plan is produced here
+    — a :class:`~repro.runtime.QuerySession` (or
+    :class:`~repro.core.multiquery.IncrementalWorkload`) merges the
+    registration into its (aggregate, semantics) group and re-optimizes
+    the *group*, so a dashboard opening its fifth query shares plans
+    with the first four instead of planning alone.
+    """
+    from ..core.multiquery import Query as WorkloadQuery
+
+    compiled = compile_query(text_or_query)
+    return WorkloadQuery(
+        name=name or compiled.alias or f"q_{compiled.aggregate.name}",
+        windows=compiled.window_set,
+        aggregate=compiled.aggregate,
     )

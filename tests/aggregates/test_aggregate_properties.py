@@ -29,10 +29,24 @@ def _partial_of(agg, values):
     return agg.reduce_stack(agg.lift(np.asarray(values, dtype=np.float64)))
 
 
-def _close(a: float, b: float) -> bool:
+def _close(a: float, b: float, scale: float = 1.0) -> bool:
+    """Tolerant comparison for finalized aggregates.
+
+    The absolute tolerance scales with the input magnitude: STDEV's
+    ``sumsq - sum²/n`` finalization cancels catastrophically when the
+    true deviation is ~0, leaving noise of order ``ulp(n·v²)`` whose
+    square root is proportional to ``v`` — a fixed absolute tolerance
+    rejects mathematically-equal merges of large equal values.
+    """
     if math.isnan(a) and math.isnan(b):
         return True
-    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-6)
+    return math.isclose(
+        a, b, rel_tol=1e-9, abs_tol=1e-6 * max(1.0, scale)
+    )
+
+
+def _scale(values) -> float:
+    return max((abs(v) for v in values), default=1.0)
 
 
 @pytest.mark.parametrize("agg", MERGEABLE, ids=lambda a: a.name)
@@ -49,7 +63,7 @@ def test_theorem_5_disjoint_partition(agg, values, split):
         merged = _partial_of(agg, left)
     else:
         merged = agg.combine(_partial_of(agg, left), _partial_of(agg, right))
-    assert _close(float(agg.finalize(merged)), whole)
+    assert _close(float(agg.finalize(merged)), whole, _scale(values))
 
 
 @pytest.mark.parametrize("agg", OVERLAP_SAFE, ids=lambda a: a.name)
@@ -67,7 +81,9 @@ def test_theorem_6_overlapping_partition(agg, values, lo, hi):
     left = values[:hi]          # overlap: values[lo:hi] shared
     right = values[lo:]
     merged = agg.combine(_partial_of(agg, left), _partial_of(agg, right))
-    assert _close(float(agg.finalize(merged)), agg.compute(values))
+    assert _close(
+        float(agg.finalize(merged)), agg.compute(values), _scale(values)
+    )
 
 
 @pytest.mark.parametrize("agg", MERGEABLE, ids=lambda a: a.name)
@@ -81,7 +97,9 @@ def test_combine_is_commutative(agg, values):
     pb = _partial_of(agg, values[half:])
     ab = agg.combine(pa, pb)
     ba = agg.combine(pb, pa)
-    assert _close(float(agg.finalize(ab)), float(agg.finalize(ba)))
+    assert _close(
+        float(agg.finalize(ab)), float(agg.finalize(ba)), _scale(values)
+    )
 
 
 @pytest.mark.parametrize("agg", MERGEABLE, ids=lambda a: a.name)
@@ -96,7 +114,9 @@ def test_combine_is_associative(agg, values):
     pa, pb, pc = (_partial_of(agg, p) for p in parts)
     left = agg.combine(agg.combine(pa, pb), pc)
     right = agg.combine(pa, agg.combine(pb, pc))
-    assert _close(float(agg.finalize(left)), float(agg.finalize(right)))
+    assert _close(
+        float(agg.finalize(left)), float(agg.finalize(right)), _scale(values)
+    )
 
 
 @pytest.mark.parametrize("agg", MERGEABLE, ids=lambda a: a.name)
@@ -113,4 +133,6 @@ def test_segment_reduce_matches_per_segment_compute(agg, values):
         expected = agg.compute(
             [v for v, c in zip(values, codes) if c == segment]
         )
-        assert _close(float(np.asarray(finalized)[segment]), expected)
+        assert _close(
+            float(np.asarray(finalized)[segment]), expected, _scale(values)
+        )

@@ -1,0 +1,170 @@
+"""Tests for the incremental workload diff (live sessions' optimizer).
+
+The contract: every mutation re-optimizes only the touched (aggregate,
+semantics) group; untouched groups keep their exact objects; and the
+incremental path lands on the same plans and costs as the batch
+optimizer given the same final queries.
+"""
+
+import pytest
+
+from repro.aggregates.registry import MAX, MEDIAN, MIN, SUM
+from repro.core.multiquery import (
+    IncrementalWorkload,
+    Query,
+    optimize_workload,
+)
+from repro.errors import CostModelError
+from repro.windows.window import Window, WindowSet
+
+
+def _q(name, ranges, aggregate=MIN):
+    return Query(
+        name=name,
+        windows=WindowSet([Window(r, r) for r in ranges]),
+        aggregate=aggregate,
+    )
+
+
+class TestIncrementalVsBatch:
+    def test_register_one_at_a_time_matches_batch(self):
+        queries = [
+            _q("a", [20, 40]),
+            _q("b", [30, 60]),
+            _q("c", [20, 40], SUM),
+            _q("d", [30], MEDIAN),
+        ]
+        incremental = IncrementalWorkload()
+        for query in queries:
+            incremental.register(query)
+        batch = optimize_workload(queries)
+        assert len(incremental.groups) == len(batch.groups)
+        for group in batch.groups:
+            key = (group.aggregate.name, group.semantics)
+            live = incremental.groups[key]
+            assert set(live.combined) == set(group.combined)
+            if group.gmin is not None:
+                assert live.gmin.provider == group.gmin.provider
+                assert live.gmin.total_cost == group.gmin.total_cost
+                assert (
+                    live.plan.provider_map() == group.plan.provider_map()
+                )
+
+    def test_deregister_matches_batch_of_remaining(self):
+        incremental = IncrementalWorkload()
+        for query in [_q("a", [20, 40]), _q("b", [10]), _q("c", [30])]:
+            incremental.register(query)
+        incremental.deregister("b")
+        batch = optimize_workload([_q("a", [20, 40]), _q("c", [30])])
+        live = incremental.groups[("min", batch.groups[0].semantics)]
+        assert live.gmin.provider == batch.groups[0].gmin.provider
+
+    def test_last_query_retires_group(self):
+        incremental = IncrementalWorkload()
+        incremental.register(_q("a", [20]))
+        delta = incremental.deregister("a")
+        assert delta.retired
+        assert delta.plan is None
+        assert incremental.groups == {}
+
+
+class TestGroupIsolation:
+    def test_mutation_leaves_other_groups_untouched(self):
+        incremental = IncrementalWorkload()
+        incremental.register(_q("a", [20, 40], MIN))
+        incremental.register(_q("b", [30], SUM))
+        min_group = incremental.groups[
+            incremental.group_of("a")
+        ]
+        delta = incremental.register(_q("c", [60], SUM))
+        assert delta.key[0] == "sum"
+        # The MIN group object is identical — not rebuilt, not copied.
+        assert incremental.groups[incremental.group_of("a")] is min_group
+
+    def test_min_and_max_are_separate_groups(self):
+        incremental = IncrementalWorkload()
+        incremental.register(_q("a", [20], MIN))
+        incremental.register(_q("b", [20], MAX))
+        assert len(incremental.groups) == 2
+
+
+class TestDeltas:
+    def test_noop_shape_change_is_flagged(self):
+        incremental = IncrementalWorkload()
+        incremental.register(_q("a", [20, 40]))
+        # Same windows again: combined set unchanged -> same providers.
+        delta = incremental.register(_q("b", [20, 40]))
+        assert not delta.provider_change
+
+    def test_provider_change_flagged_on_new_window(self):
+        incremental = IncrementalWorkload()
+        incremental.register(_q("a", [20, 40]))
+        delta = incremental.register(_q("b", [10]))
+        assert delta.provider_change
+
+    def test_rate_change_returns_deltas_only_when_shape_flips(self):
+        incremental = IncrementalWorkload()
+        incremental.register(
+            Query(
+                "f",
+                WindowSet([Window(6, 3), Window(8, 4)]),
+                MIN,
+            )
+        )
+        assert incremental.set_event_rate(1) == []  # unchanged rate
+        deltas = incremental.set_event_rate(5)
+        assert len(deltas) == 1
+        # The W(2,1) factor window becomes profitable at rate 5.
+        assert deltas[0].provider_change
+        assert Window(2, 1) in deltas[0].plan.windows
+
+    def test_generation_increments_per_mutation(self):
+        incremental = IncrementalWorkload()
+        incremental.register(_q("a", [20]))
+        incremental.register(_q("b", [30]))
+        incremental.deregister("a")
+        assert incremental.generation == 3
+
+
+class TestRoutingStability:
+    def test_routing_keys_stable_across_generations(self):
+        incremental = IncrementalWorkload()
+        incremental.register(_q("a", [20, 40]))
+        before = incremental.routing()
+        incremental.register(_q("b", [10]))  # reroutes providers
+        after = incremental.routing()
+        for key, target in before.items():
+            assert after[key] == target  # same operator window
+
+    def test_routing_covers_all_queries(self):
+        incremental = IncrementalWorkload()
+        incremental.register(_q("a", [20, 40]))
+        incremental.register(_q("b", [30], SUM))
+        routing = incremental.routing()
+        assert routing[("a", Window(20, 20))] == Window(20, 20)
+        assert routing[("b", Window(30, 30))] == Window(30, 30)
+
+
+class TestValidation:
+    def test_duplicate_name_rejected(self):
+        incremental = IncrementalWorkload()
+        incremental.register(_q("a", [20]))
+        with pytest.raises(CostModelError):
+            incremental.register(_q("a", [30]))
+
+    def test_unknown_deregister_rejected(self):
+        with pytest.raises(CostModelError):
+            IncrementalWorkload().deregister("ghost")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(CostModelError):
+            IncrementalWorkload(event_rate=0)
+        with pytest.raises(CostModelError):
+            IncrementalWorkload().set_event_rate(0)
+
+    def test_as_batch_round_trip(self):
+        incremental = IncrementalWorkload()
+        incremental.register(_q("a", [20, 40]))
+        incremental.register(_q("b", [30]))
+        batch = incremental.as_batch()
+        assert sum(len(g.queries) for g in batch.groups) == 2

@@ -68,6 +68,39 @@ class TestReorderBuffer:
         list(buffer.push(1, 0, 2.0))
         assert buffer.stats.late_events == [(1, 0, 2.0)]
 
+    def test_retained_late_events_are_capped(self):
+        """Counters stay exact; the retained list is bounded (the
+        bounded-state guarantee of DESIGN.md §5 applies to the front
+        door too)."""
+        buffer = ReorderBuffer(
+            max_lateness=0, keep_late_events=True, late_event_cap=3
+        )
+        list(buffer.push(100, 0, 1.0))
+        for ts in range(10):
+            list(buffer.push(ts, 0, float(ts)))
+        assert buffer.stats.late_dropped == 10
+        assert len(buffer.stats.late_events) == 3
+        assert buffer.stats.late_events == [
+            (0, 0, 0.0),
+            (1, 0, 1.0),
+            (2, 0, 2.0),
+        ]
+        assert buffer.stats.late_events_elided == 7
+        assert buffer.stats.max_observed_lateness == 100
+
+    def test_default_cap_bounds_memory_without_keep(self):
+        buffer = ReorderBuffer(max_lateness=0)
+        list(buffer.push(1000, 0, 1.0))
+        for ts in range(500):
+            list(buffer.push(ts, 0, 0.0))
+        assert buffer.stats.late_dropped == 500
+        assert buffer.stats.late_events == []
+        assert buffer.stats.late_events_elided == 0
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ExecutionError):
+            ReorderBuffer(max_lateness=0, late_event_cap=-1)
+
 
 class TestBatchFromUnordered:
     def test_round_trip_equals_sorted_batch(self):

@@ -1,0 +1,61 @@
+"""Stream builders for the live-session runtime tests.
+
+Integer-valued streams make every built-in mergeable aggregate's
+partial arithmetic *exact* in float64, so session output must be
+**bit**-identical to a cold batch run regardless of how the live chunk
+boundaries fall (DESIGN.md invariant 9's strongest form).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.multiquery import optimize_workload
+from repro.engine.events import EventBatch
+from repro.engine.executor import execute_plan
+from repro.plans.builder import original_plan
+
+
+def integer_stream(
+    ticks: int,
+    rate: int = 2,
+    num_keys: int = 2,
+    seed: int = 0,
+    rate_segments: "tuple[tuple[int, int], ...] | None" = None,
+) -> EventBatch:
+    """A sorted stream of integer-valued events.
+
+    ``rate_segments`` overrides ``rate`` with ``(rate, span_ticks)``
+    pieces — the rate-drift traces the adaptive tests replay.
+    """
+    rng = np.random.default_rng(seed)
+    parts = []
+    t0 = 0
+    segments = rate_segments or ((rate, ticks),)
+    for seg_rate, span in segments:
+        if seg_rate > 0:
+            parts.append(np.repeat(np.arange(t0, t0 + span), seg_rate))
+        t0 += span
+    ts = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+    n = ts.size
+    return EventBatch(
+        timestamps=ts.astype(np.int64),
+        keys=rng.integers(0, num_keys, n).astype(np.int64),
+        values=rng.integers(0, 1000, n).astype(np.float64),
+        horizon=t0,
+        num_keys=num_keys,
+    )
+
+
+def cold_reference(queries, batch):
+    """Per-(query, window) result arrays of a cold batch optimization —
+    the invariant-9 reference every session test compares against."""
+    workload = optimize_workload(list(queries))
+    out = {}
+    for group in workload.groups:
+        plan = group.plan or original_plan(group.combined, group.aggregate)
+        result = execute_plan(plan, batch, engine="streaming-chunked")
+        for query in group.queries:
+            for window in query.windows:
+                out[(query.name, window)] = result.results[window]
+    return out

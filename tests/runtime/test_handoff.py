@@ -1,0 +1,175 @@
+"""Unit tests for the chunked operators' live-session protocol:
+unbounded mode, aligned starts, handoff/adopt, draining caps, and the
+emission sink (the machinery DESIGN.md §6 builds the session on)."""
+
+import numpy as np
+import pytest
+
+from repro.aggregates.registry import MIN, SUM
+from repro.engine.stats import ExecutionStats
+from repro.engine.streaming import (
+    _ChunkedRawOperator,
+    _ChunkedSubAggOperator,
+)
+from repro.errors import ExecutionError
+from repro.windows.window import Window
+
+
+def _run_chunks(op, ts, keys, values, horizon, chunk=16):
+    for start in range(0, horizon, chunk):
+        end = min(start + chunk, horizon)
+        lo = int(np.searchsorted(ts, start))
+        hi = int(np.searchsorted(ts, end))
+        op.absorb(ts[lo:hi], keys[lo:hi], values[lo:hi])
+        op.advance(end)
+
+
+class _Collect:
+    def __init__(self):
+        self.blocks = []
+
+    def __call__(self, window, m0, m1, block):
+        self.blocks.append((m0, m1, block))
+
+    def concat(self):
+        return np.concatenate([b for _, _, b in self.blocks], axis=1)
+
+
+@pytest.fixture
+def stream():
+    rng = np.random.default_rng(3)
+    n = 400
+    ts = np.sort(rng.integers(0, 200, n)).astype(np.int64)
+    keys = np.zeros(n, dtype=np.int64)
+    values = rng.integers(0, 100, n).astype(np.float64)
+    return ts, keys, values
+
+
+class TestUnboundedSink:
+    def test_unbounded_raw_emits_same_as_batch(self, stream):
+        ts, keys, values = stream
+        window = Window(20, 10)
+        sink = _Collect()
+        op = _ChunkedRawOperator(
+            window, MIN, 1, None, ExecutionStats(), sink=sink
+        )
+        _run_chunks(op, ts, keys, values, horizon=200)
+        emitted = sink.concat()
+        bounded = _ChunkedRawOperator(window, MIN, 1, 19, ExecutionStats())
+        bounded.expose_results()
+        _run_chunks(bounded, ts, keys, values, horizon=200)
+        np.testing.assert_array_equal(emitted, bounded.results)
+
+    def test_expose_results_rejected_when_unbounded(self):
+        op = _ChunkedRawOperator(
+            Window(10, 10), MIN, 1, None, ExecutionStats()
+        )
+        with pytest.raises(ExecutionError):
+            op.expose_results()
+
+
+class TestHandoff:
+    def test_mid_stream_handoff_is_seamless(self, stream):
+        """Splitting a run across a handoff at an arbitrary watermark
+        produces the same emissions as an uninterrupted operator."""
+        ts, keys, values = stream
+        window = Window(20, 10)
+        sink = _Collect()
+        first = _ChunkedRawOperator(
+            window, SUM, 1, None, ExecutionStats(), sink=sink
+        )
+        cut = int(np.searchsorted(ts, 96))
+        _run_chunks(first, ts[:cut], keys[:cut], values[:cut], horizon=96)
+        second = _ChunkedRawOperator(
+            window, SUM, 1, None, ExecutionStats(), sink=sink
+        )
+        second.adopt(first.handoff())
+        _run_chunks(
+            second, ts[cut:], keys[cut:], values[cut:], horizon=200
+        )
+        reference_sink = _Collect()
+        whole = _ChunkedRawOperator(
+            window, SUM, 1, None, ExecutionStats(), sink=reference_sink
+        )
+        _run_chunks(whole, ts, keys, values, horizon=200)
+        np.testing.assert_array_equal(
+            sink.concat(), reference_sink.concat()
+        )
+
+    def test_incompatible_adopt_rejected(self):
+        stats = ExecutionStats()
+        donor = _ChunkedRawOperator(Window(20, 10), MIN, 1, None, stats)
+        heir = _ChunkedRawOperator(Window(20, 10), SUM, 1, None, stats)
+        with pytest.raises(ExecutionError):
+            heir.adopt(donor.handoff())
+
+
+class TestDrainingCap:
+    def test_cap_limits_owned_instances(self, stream):
+        ts, keys, values = stream
+        window = Window(20, 10)
+        sink = _Collect()
+        op = _ChunkedRawOperator(
+            window, MIN, 1, None, ExecutionStats(), sink=sink
+        )
+        op.cap_instances(5)
+        _run_chunks(op, ts, keys, values, horizon=200)
+        assert op.drained
+        assert max(m1 for _, m1, _ in sink.blocks) == 5
+
+    def test_cap_never_revokes_closed_instances(self):
+        op = _ChunkedRawOperator(
+            Window(10, 10), MIN, 1, None, ExecutionStats()
+        )
+        op.advance(55)  # closes instances 0..4
+        op.cap_instances(2)
+        assert op.num_instances == 5  # clamped to next_close
+
+
+class TestAlignedStart:
+    def test_start_instance_skips_earlier_instances(self, stream):
+        ts, keys, values = stream
+        window = Window(20, 10)
+        sink = _Collect()
+        op = _ChunkedRawOperator(
+            window,
+            MIN,
+            1,
+            None,
+            ExecutionStats(),
+            start_instance=8,
+            sink=sink,
+        )
+        _run_chunks(op, ts, keys, values, horizon=200)
+        assert min(m0 for m0, _, _ in sink.blocks) == 8
+        bounded = _ChunkedRawOperator(window, MIN, 1, 19, ExecutionStats())
+        bounded.expose_results()
+        _run_chunks(bounded, ts, keys, values, horizon=200)
+        np.testing.assert_array_equal(
+            sink.concat(), bounded.results[:, 8:]
+        )
+
+
+class TestSubAggClipping:
+    def test_stale_provider_blocks_ignored(self):
+        stats = ExecutionStats()
+        provider = Window(10, 10)
+        consumer = _ChunkedSubAggOperator(
+            provider,
+            Window(20, 20),
+            MIN,
+            1,
+            None,
+            stats,
+            start_instance=3,
+        )
+        # Blocks before the consumer's coverage (provider instances
+        # < 6) are a draining predecessor's traffic: ignored.
+        consumer.accept_block(4, 6, (np.full((1, 2), 5.0),))
+        assert consumer.retained_state == 0
+        # Partial overlap is clipped to the uncovered suffix.
+        consumer.accept_block(5, 8, (np.full((1, 3), 7.0),))
+        assert consumer.retained_state == 2
+        # A genuine gap is still an error.
+        with pytest.raises(ExecutionError):
+            consumer.accept_block(10, 12, (np.full((1, 2), 1.0),))

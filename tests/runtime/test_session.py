@@ -1,0 +1,477 @@
+"""Tests for the live :class:`~repro.runtime.QuerySession`.
+
+The contract under test is DESIGN.md invariant 9: whatever schedule of
+register/deregister/rate-shift a session lives through, every emitted
+result is identical to a cold batch run of the final workload over the
+same events — plan switches are observationally invisible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregates.registry import MEDIAN, MIN, SUM
+from repro.core.multiquery import Query, optimize_workload
+from repro.engine.executor import execute_plan
+from repro.engine.outoforder import scramble_batch
+from repro.errors import ExecutionError
+from repro.plans.builder import original_plan
+from repro.runtime import QuerySession
+from repro.windows.window import Window, WindowSet
+
+from session_streams import cold_reference, integer_stream
+
+
+@pytest.fixture
+def int_stream():
+    return integer_stream(ticks=800, rate=2, num_keys=2, seed=11)
+
+
+def assert_session_matches(session_results, cold, queries, horizon):
+    """Emitted ranges bit-identical to cold run; frontiers complete."""
+    for query in queries:
+        for window in query.windows:
+            emitted = session_results[query.name][window]
+            reference = cold[(query.name, window)]
+            assert emitted.frontier == reference.shape[1], (
+                query.name,
+                window,
+            )
+            segment = reference[:, emitted.start_instance:emitted.frontier]
+            np.testing.assert_array_equal(emitted.values, segment)
+
+
+QA = Query("a", WindowSet([Window(20, 10), Window(40, 20)]), MIN)
+QB = Query("b", WindowSet([Window(30, 10)]), MIN)
+QC = Query("c", WindowSet([Window(24, 12)]), SUM)
+QD = Query("d", WindowSet([Window(30, 15)]), MEDIAN)
+
+
+class TestBatchEquivalence:
+    def test_register_before_data_equals_batch(self, int_stream):
+        queries = [QA, QB, QC, QD]
+        cold = cold_reference(queries, int_stream)
+        session = QuerySession(num_keys=2, hysteresis=None)
+        for query in queries:
+            session.register(query)
+        session.push_many(int_stream.rows())
+        results = session.finish(horizon=int_stream.horizon)
+        for query in queries:
+            for window in query.windows:
+                emitted = results[query.name][window]
+                assert emitted.start_instance == 0
+        assert_session_matches(results, cold, queries, int_stream.horizon)
+
+    @pytest.mark.parametrize("order_seed", [0, 1, 2])
+    def test_one_at_a_time_interleaved_equals_batch(
+        self, int_stream, order_seed
+    ):
+        """Satellite: N queries registered one at a time, in random
+        order, interleaved with data — per-window results identical to
+        the batch multiquery optimization on the same stream."""
+        rng = np.random.default_rng(order_seed)
+        queries = [QA, QB, QC, QD]
+        order = rng.permutation(len(queries))
+        rows = list(int_stream.rows())
+        # Registration points spread through the first half of the
+        # stream, in random order.
+        points = sorted(
+            rng.integers(0, len(rows) // 2, len(queries)).tolist()
+        )
+        schedule = dict(zip(points, order))
+        cold = cold_reference(queries, int_stream)
+        session = QuerySession(num_keys=2, hysteresis=None)
+        registered = []
+        for i, (ts, key, value) in enumerate(rows):
+            if i in schedule:
+                query = queries[schedule[i]]
+                session.register(query)
+                registered.append(query.name)
+            session.push(ts, key, value)
+        for query in queries:
+            if query.name not in registered:
+                session.register(query)
+        results = session.finish(horizon=int_stream.horizon)
+        assert_session_matches(results, cold, queries, int_stream.horizon)
+
+    def test_out_of_order_input_same_results(self, int_stream):
+        queries = [QA, QC]
+        cold = cold_reference(queries, int_stream)
+        scrambled = scramble_batch(int_stream, max_lateness=9, seed=3)
+        session = QuerySession(num_keys=2, max_lateness=9, hysteresis=None)
+        for query in queries:
+            session.register(query)
+        session.push_many(scrambled)
+        results = session.finish(horizon=int_stream.horizon)
+        assert session.reorder_stats.late_dropped == 0
+        assert_session_matches(results, cold, queries, int_stream.horizon)
+
+    def test_logical_pairs_match_cold_run(self, int_stream):
+        queries = [QA, QB]
+        workload = optimize_workload(queries)
+        plan = workload.groups[0].plan
+        cold = execute_plan(plan, int_stream, engine="streaming-chunked")
+        session = QuerySession(num_keys=2, hysteresis=None)
+        for query in queries:
+            session.register(query)
+        session.push_many(int_stream.rows())
+        session.finish(horizon=int_stream.horizon)
+        assert (
+            session.stats().pairs_per_window == cold.stats.pairs_per_window
+        )
+
+
+class TestPlanSwitching:
+    def test_registration_reroutes_providers_seamlessly(self):
+        """Adding W(10,10) turns existing raw readers into
+        sub-aggregate readers; the displaced operators drain exactly
+        their straddling instances."""
+        stream = integer_stream(ticks=1500, rate=3, num_keys=2, seed=5)
+        qa = Query("a", WindowSet([Window(20, 20), Window(40, 40)]), MIN)
+        qb = Query("b", WindowSet([Window(10, 10)]), MIN)
+        cold = cold_reference([qa, qb], stream)
+        session = QuerySession(num_keys=2, hysteresis=None)
+        session.register(qa)
+        rows = list(stream.rows())
+        for i, (ts, key, value) in enumerate(rows):
+            if i == len(rows) // 2:
+                session.register(qb)
+            session.push(ts, key, value)
+        results = session.finish(horizon=stream.horizon)
+        assert_session_matches(results, cold, [qa, qb], stream.horizon)
+        switch = session.switches[-1]
+        assert switch.reason == "register"
+        assert switch.draining >= 1  # the displaced raw reader
+
+    def test_deregistering_provider_owner(self):
+        """Removing the query that owns a provider window reroutes the
+        survivors back to raw; the dropped provider drains only while
+        its last consumer still needs it."""
+        stream = integer_stream(ticks=1500, rate=3, num_keys=2, seed=6)
+        qa = Query("a", WindowSet([Window(20, 20), Window(40, 40)]), MIN)
+        qb = Query("b", WindowSet([Window(10, 10)]), MIN)
+        cold = cold_reference([qa], stream)
+        session = QuerySession(num_keys=2, hysteresis=None)
+        session.register(qa)
+        session.register(qb)
+        rows = list(stream.rows())
+        for i, (ts, key, value) in enumerate(rows):
+            if i == len(rows) // 2:
+                session.deregister("b")
+            session.push(ts, key, value)
+        results = session.finish(horizon=stream.horizon)
+        assert_session_matches(results, cold, [qa], stream.horizon)
+        # Every draining operator eventually retired.
+        for runtime in session._groups.values():
+            assert runtime.draining == []
+
+    def test_deregistered_results_stay_readable(self, int_stream):
+        session = QuerySession(num_keys=2, hysteresis=None)
+        session.register(QA)
+        session.register(QB)
+        rows = list(int_stream.rows())
+        for i, (ts, key, value) in enumerate(rows):
+            if i == len(rows) // 2:
+                session.deregister("b")
+            session.push(ts, key, value)
+        results = session.finish(horizon=int_stream.horizon)
+        emitted = results["b"][Window(30, 10)]
+        # Window results are plan-independent (invariant 5), so the
+        # partial emission must match a cold run of just that window.
+        reference = execute_plan(
+            original_plan(WindowSet([Window(30, 10)]), MIN),
+            int_stream,
+            engine="streaming-chunked",
+        ).results[Window(30, 10)]
+        segment = reference[:, emitted.start_instance:emitted.frontier]
+        np.testing.assert_array_equal(emitted.values, segment)
+        assert emitted.frontier < reference.shape[1]  # stopped early
+
+    def test_rate_drift_triggers_live_replan(self):
+        """The W(6,3)/W(8,4) plan provably flips with the rate; a rate
+        ramp must flip it live without disturbing results."""
+        stream = integer_stream(
+            ticks=1800,
+            num_keys=1,
+            seed=7,
+            rate_segments=((1, 600), (30, 600), (1, 600)),
+        )
+        query = Query("f", WindowSet([Window(6, 3), Window(8, 4)]), MIN)
+        cold = cold_reference([query], stream)
+        session = QuerySession(
+            num_keys=1, hysteresis=0.5, alpha=0.6, chunk_ticks=24
+        )
+        session.register(query)
+        session.push_many(stream.rows())
+        results = session.finish(horizon=stream.horizon)
+        assert_session_matches(results, cold, [query], stream.horizon)
+        rate_switches = [
+            s for s in session.switches if s.reason == "rate"
+        ]
+        assert rate_switches, "rate drift should have re-planned live"
+        assert any(s.rate > 10 for s in rate_switches)
+
+    def test_factor_window_promoted_to_user_window(self):
+        """Registering a query whose window already runs as a *factor*
+        window must re-issue the operator with an emission sink (state
+        adopted, nothing fresh) — the regression the plan 'shape'
+        includes user-facing-ness for."""
+        stream = integer_stream(ticks=1600, rate=2, num_keys=1, seed=13)
+        qa = Query("a", WindowSet([Window(40, 20), Window(80, 40)]), MIN)
+        # W(20,20) is exactly the factor window the optimizer inserts
+        # for qa's windows.
+        qb = Query("b", WindowSet([Window(20, 20)]), MIN)
+        cold = cold_reference([qa, qb], stream)
+        session = QuerySession(num_keys=1, hysteresis=None)
+        session.register(qa)
+        factor_windows = {
+            w
+            for rt in session._groups.values()
+            for w, op in rt.ops.items()
+            if op.sink is None
+        }
+        assert Window(20, 20) in factor_windows
+        rows = list(stream.rows())
+        for i, (ts, key, value) in enumerate(rows):
+            if i == len(rows) // 2:
+                session.register(qb)
+            session.push(ts, key, value)
+        results = session.finish(horizon=stream.horizon)
+        assert_session_matches(results, cold, [qa, qb], stream.horizon)
+        emitted = results["b"][Window(20, 20)]
+        assert emitted.frontier > emitted.start_instance > 0
+        switch = session.switches[-1]
+        assert switch.adopted >= 3 and switch.fresh == 0
+
+    def test_hysteresis_suppresses_switches_on_stable_rate(self):
+        stream = integer_stream(ticks=1200, rate=4, num_keys=1, seed=8)
+        query = Query("f", WindowSet([Window(6, 3), Window(8, 4)]), MIN)
+        session = QuerySession(
+            num_keys=1, event_rate=4, hysteresis=0.5, chunk_ticks=24
+        )
+        session.register(query)
+        session.push_many(stream.rows())
+        session.finish(horizon=stream.horizon)
+        assert [s.reason for s in session.switches] == ["register"]
+
+
+class TestBoundedWork:
+    def test_late_registration_never_recomputes_history(self):
+        """Registering at 90% of the stream must cost ~10% of the
+        query's full-stream physical work, not a history replay."""
+        stream = integer_stream(ticks=4000, rate=2, num_keys=1, seed=9)
+        qa = Query("a", WindowSet([Window(20, 10)]), MIN)
+        qb = Query("b", WindowSet([Window(16, 8)]), SUM)
+        rows = list(stream.rows())
+
+        def run(register_b_at):
+            session = QuerySession(num_keys=1, hysteresis=None)
+            session.register(qa)
+            for i, (ts, key, value) in enumerate(rows):
+                if i == register_b_at:
+                    session.register(qb)
+                session.push(ts, key, value)
+            session.finish(horizon=stream.horizon)
+            return session.stats().total_physical
+
+        without_b = run(register_b_at=None)
+        late = run(register_b_at=int(len(rows) * 0.9))
+        full = run(register_b_at=0)
+        b_full_cost = full - without_b
+        b_late_cost = late - without_b
+        # 10% of the stream remains; allow 3x slack for alignment and
+        # the switch's partial-chunk flush.
+        assert b_late_cost <= 0.3 * b_full_cost
+
+    def test_switch_itself_absorbs_at_most_one_chunk(self):
+        """The physical work done *inside* a switch is bounded by the
+        buffered partial chunk — never the stream history."""
+        stream = integer_stream(ticks=3000, rate=2, num_keys=1, seed=10)
+        qa = Query("a", WindowSet([Window(20, 10)]), MIN)
+        qb = Query("b", WindowSet([Window(16, 8)]), SUM)
+        session = QuerySession(num_keys=1, hysteresis=None, chunk_ticks=40)
+        session.register(qa)
+        rows = list(stream.rows())
+        for ts, key, value in rows[: int(len(rows) * 0.8)]:
+            session.push(ts, key, value)
+        before = session.stats().total_physical
+        session.register(qb)
+        during_switch = session.stats().total_physical - before
+        # One chunk of 40 ticks at rate 2 is 80 events; binning plus
+        # closing work for open instances is a small multiple of that.
+        assert during_switch < 80 * 20
+
+    def test_retained_state_stays_bounded(self):
+        stream = integer_stream(ticks=6000, rate=2, num_keys=1, seed=12)
+        query = Query("a", WindowSet([Window(20, 10), Window(40, 20)]), MIN)
+        session = QuerySession(num_keys=1, hysteresis=None)
+        session.register(query)
+        session.push_many(stream.rows())
+        session.finish(horizon=stream.horizon)
+        # Panes retained per operator: O(r/p + chunk/p), never O(stream).
+        assert session.max_retained_state() < 200
+
+
+class TestSessionApi:
+    def test_sql_registration(self, int_stream):
+        session = QuerySession(num_keys=2, hysteresis=None)
+        name = session.register(
+            "SELECT MIN(Reading) FROM Sensors "
+            "GROUP BY WINDOWS(HOPPING(second, 20, 10))"
+        )
+        assert name == "q1"
+        session.push_many(int_stream.rows())
+        results = session.finish(horizon=int_stream.horizon)
+        emitted = results["q1"][Window(20, 10)]
+        reference = execute_plan(
+            original_plan(WindowSet([Window(20, 10)]), MIN),
+            int_stream,
+            engine="streaming-chunked",
+        ).results[Window(20, 10)]
+        np.testing.assert_array_equal(emitted.values, reference)
+
+    def test_duplicate_name_rejected(self):
+        session = QuerySession(hysteresis=None)
+        session.register(QA)
+        with pytest.raises(Exception):
+            session.register(QA)
+
+    def test_unknown_deregister_rejected(self):
+        session = QuerySession(hysteresis=None)
+        with pytest.raises(ExecutionError):
+            session.deregister("ghost")
+
+    def test_key_range_validated(self):
+        session = QuerySession(num_keys=2, hysteresis=None)
+        session.register(QA)
+        with pytest.raises(ExecutionError):
+            session.push(0, 2, 1.0)
+
+    def test_push_after_finish_rejected(self):
+        session = QuerySession(hysteresis=None)
+        session.register(QA)
+        session.finish()
+        with pytest.raises(ExecutionError):
+            session.push(0, 0, 1.0)
+
+    def test_new_query_on_shared_window_starts_at_frontier(
+        self, int_stream
+    ):
+        """A query registering a window that already runs subscribes
+        from the operator's close frontier — no recomputation, no gap."""
+        session = QuerySession(num_keys=2, hysteresis=None)
+        session.register(QA)
+        rows = list(int_stream.rows())
+        half = len(rows) // 2
+        for ts, key, value in rows[:half]:
+            session.push(ts, key, value)
+        twin = Query("a2", QA.windows, MIN)
+        session.register(twin)
+        for ts, key, value in rows[half:]:
+            session.push(ts, key, value)
+        results = session.finish(horizon=int_stream.horizon)
+        for window in QA.windows:
+            original = results["a"][window]
+            late = results["a2"][window]
+            assert late.start_instance > 0
+            assert late.frontier == original.frontier
+            np.testing.assert_array_equal(
+                late.values,
+                original.values[:, late.start_instance:],
+            )
+
+    def test_reregistered_name_keeps_archived_results(self, int_stream):
+        """Re-using a retired query's name must not shadow what it
+        already emitted — the archive moves to a suffixed name."""
+        session = QuerySession(num_keys=2, hysteresis=None)
+        session.register(QA)
+        session.register(QB)
+        rows = list(int_stream.rows())
+        third = len(rows) // 3
+        for ts, key, value in rows[:third]:
+            session.push(ts, key, value)
+        session.deregister("b")
+        for ts, key, value in rows[third : 2 * third]:
+            session.push(ts, key, value)
+        session.register(QB)  # same name again
+        for ts, key, value in rows[2 * third :]:
+            session.push(ts, key, value)
+        results = session.finish(horizon=int_stream.horizon)
+        archived = [name for name in results if name.startswith("b@g")]
+        assert len(archived) == 1
+        old = results[archived[0]][Window(30, 10)]
+        new = results["b"][Window(30, 10)]
+        assert old.start_instance == 0
+        assert new.start_instance >= old.frontier
+        reference = execute_plan(
+            original_plan(WindowSet([Window(30, 10)]), MIN),
+            int_stream,
+            engine="streaming-chunked",
+        ).results[Window(30, 10)]
+        np.testing.assert_array_equal(
+            old.values, reference[:, : old.frontier]
+        )
+        np.testing.assert_array_equal(
+            new.values, reference[:, new.start_instance : new.frontier]
+        )
+
+    def test_drain_results_consumes_and_reassembles(self, int_stream):
+        """Polling drain_results keeps subscriptions empty between
+        polls; the drained pieces concatenate to the full answer."""
+        queries = [QA, QC]
+        cold = cold_reference(queries, int_stream)
+        session = QuerySession(num_keys=2, hysteresis=None)
+        for query in queries:
+            session.register(query)
+        rows = list(int_stream.rows())
+        pieces = []
+        for i, (ts, key, value) in enumerate(rows):
+            session.push(ts, key, value)
+            if i % 400 == 399:
+                pieces.append(session.drain_results())
+        session.finish(horizon=int_stream.horizon)
+        pieces.append(session.drain_results())
+        for query in queries:
+            for window in query.windows:
+                parts = [
+                    p[query.name][window]
+                    for p in pieces
+                    if query.name in p and window in p[query.name]
+                ]
+                # Consumed: each piece starts where the previous ended.
+                for left, right in zip(parts, parts[1:]):
+                    assert right.start_instance == left.frontier
+                stitched = np.concatenate(
+                    [p.values for p in parts], axis=1
+                )
+                reference = cold[(query.name, window)]
+                assert parts[-1].frontier == reference.shape[1]
+                np.testing.assert_array_equal(stitched, reference)
+
+    def test_rate_replan_not_swallowed_by_switch_flush(self):
+        """A replan decision made during a register()'s sync flush must
+        stay pending and apply at the next push — the observed rate
+        reaches the workload either way."""
+        stream = integer_stream(ticks=1200, rate=20, num_keys=1, seed=14)
+        session = QuerySession(
+            num_keys=1, hysteresis=0.1, alpha=1.0, chunk_ticks=10
+        )
+        session.register(Query("a", WindowSet([Window(20, 10)]), MIN))
+        rows = list(stream.rows())
+        for i, (ts, key, value) in enumerate(rows):
+            if i == len(rows) // 2:
+                # The register triggers a mid-chunk sync flush that can
+                # cross an epoch boundary and observe the drift.
+                session.register(
+                    Query("b", WindowSet([Window(16, 8)]), SUM)
+                )
+            session.push(ts, key, value)
+        session.finish(horizon=stream.horizon)
+        assert session.workload.event_rate == 20
+
+    def test_watermark_and_generation_progress(self, int_stream):
+        session = QuerySession(num_keys=2, hysteresis=None)
+        session.register(QA)
+        assert session.generation == 1
+        session.push_many(int_stream.rows())
+        assert session.watermark > 0
+        assert session.queries == ("a",)
