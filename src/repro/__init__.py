@@ -50,7 +50,7 @@ from .engine import (
 )
 from .errors import ReproError
 from .plans import LogicalPlan, original_plan, to_flink, to_tree, to_trill
-from .runtime import PlanSwitchRecord, QuerySession
+from .runtime import PlanSwitchRecord, QuerySession, SessionCore, ShardedSession
 from .slicing import execute_sliced
 from .sql import compile_query, parse, plan_query
 from .windows import (
@@ -82,6 +82,8 @@ __all__ = [
     "OptimizationResult",
     "PlanSwitchRecord",
     "QuerySession",
+    "SessionCore",
+    "ShardedSession",
     "ReproError",
     "available_engines",
     "STDEV",

@@ -9,7 +9,14 @@ Commands
                   show the physical path each window takes per engine.
 ``session``       run a live :class:`~repro.runtime.QuerySession` over
                   a synthetic stream, registering the given queries
-                  one at a time mid-stream (DESIGN.md §6).
+                  one at a time mid-stream (DESIGN.md §6).  With
+                  ``--shards N`` (N > 1) the stream runs on the
+                  key-sharded :class:`~repro.runtime.ShardedSession`
+                  instead (DESIGN.md §7); ``--shard-backend`` picks
+                  the serial oracle or the multiprocessing pool.
+``bench``         benchmark utilities; ``bench compare`` diffs two
+                  ``BENCH_*.json`` reports and exits non-zero on
+                  regressions beyond a threshold (the CI perf gate).
 """
 
 from __future__ import annotations
@@ -44,7 +51,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     planned = plan_query(args.query, enable_factor_windows=not args.no_factors)
     print(planned.optimization.summary())
     print()
-    print(to_tree(planned.best_plan))
+    print(to_tree(planned.best_plan, shards=args.shards))
     if args.trill:
         print()
         print("Trill expression:")
@@ -128,17 +135,30 @@ def _cmd_engines(args: argparse.Namespace) -> int:
 
 
 def _cmd_session(args: argparse.Namespace) -> int:
-    from ..runtime import QuerySession
+    from ..runtime import QuerySession, ShardedSession
     from ..workloads.streams import constant_rate_stream
 
     stream = constant_rate_stream(
         args.events, num_keys=args.keys, rate=args.rate, seed=args.seed
     )
-    session = QuerySession(
-        num_keys=args.keys,
-        max_lateness=args.lateness,
-        hysteresis=None if args.no_adapt else args.hysteresis,
-    )
+    if args.shards > 1:
+        session = ShardedSession(
+            num_keys=args.keys,
+            num_shards=args.shards,
+            backend=args.shard_backend,
+            max_lateness=args.lateness,
+            hysteresis=None if args.no_adapt else args.hysteresis,
+        )
+        print(
+            f"sharded session: x{args.shards} key-hash shards "
+            f"({args.shard_backend} backend)"
+        )
+    else:
+        session = QuerySession(
+            num_keys=args.keys,
+            max_lateness=args.lateness,
+            hysteresis=None if args.no_adapt else args.hysteresis,
+        )
     rows = list(stream.rows())
     # First query opens before any data; the rest spread over the
     # first half of the stream — the live-dashboard shape.
@@ -176,7 +196,22 @@ def _cmd_session(args: argparse.Namespace) -> int:
         f"physical={stats.total_physical:,} "
         f"throughput={stats.throughput / 1e3:,.0f}K ev/s"
     )
+    if args.shards > 1:
+        session.close()
     return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from .compare import compare_files
+
+    code, text = compare_files(
+        args.baseline,
+        args.current,
+        threshold=args.threshold,
+        portable_only=args.portable_only,
+    )
+    print(text)
+    return code
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -197,6 +232,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("query", help="the query text")
     p_opt.add_argument("--no-factors", action="store_true")
     p_opt.add_argument("--trill", action="store_true", help="print Trill form")
+    p_opt.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="annotate the plan with its key-shard fan-out (DESIGN.md §7)",
+    )
     p_opt.set_defaults(func=_cmd_optimize)
 
     p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
@@ -231,7 +272,43 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable rate-driven re-planning",
     )
+    p_ses.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="run on a key-sharded session with this many hash shards "
+        "(1 = single-core QuerySession; DESIGN.md §7)",
+    )
+    p_ses.add_argument(
+        "--shard-backend",
+        choices=("serial", "process"),
+        default="serial",
+        help="where shard cores run: in-process (deterministic oracle) "
+        "or one worker process per shard",
+    )
     p_ses.set_defaults(func=_cmd_session)
+
+    p_bench = sub.add_parser("bench", help="benchmark utilities")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_cmp = bench_sub.add_parser(
+        "compare",
+        help="diff two BENCH_*.json reports; exit non-zero on regression",
+    )
+    p_cmp.add_argument("baseline", help="baseline BENCH_*.json path")
+    p_cmp.add_argument("current", help="current BENCH_*.json path")
+    p_cmp.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="relative regression tolerance (default 0.2 = 20%%)",
+    )
+    p_cmp.add_argument(
+        "--portable-only",
+        action="store_true",
+        help="gate only machine-independent metrics (speedups, logical/"
+        "physical counters) — use when comparing across hardware",
+    )
+    p_cmp.set_defaults(func=_cmd_bench_compare)
     return parser
 
 

@@ -1,0 +1,183 @@
+"""Regression diffing of machine-readable ``BENCH_*.json`` reports.
+
+CI stores every benchmark's JSON payload (the perf trajectory); this
+module diffs two such payloads metric-by-metric and classifies each
+numeric leaf by its key name:
+
+* *higher-is-better* — ``throughput``, ``speedup``, ``gain``, ...;
+* *lower-is-better* — ``seconds``, ``physical``, ``pairs``, ...;
+* everything else (``events``, ``shards``, fractions-as-parameters) is
+  a run parameter used for matching, never gated.
+
+A metric *regresses* when it moves in its bad direction by more than
+the threshold (relative).  Wall-clock metrics are machine-dependent:
+``portable_only`` gates the exit code on dimensionless ratios and
+deterministic work counters only, which is what CI uses when the
+baseline file was produced on different hardware.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Key-name fragments marking a lower-is-better metric.
+LOWER_IS_BETTER = (
+    "seconds",
+    "_ms",
+    "physical",
+    "pairs",
+    "dropped",
+    "elided",
+    "evicted",
+    "retained",
+)
+
+#: Key-name fragments marking a higher-is-better metric.
+HIGHER_IS_BETTER = ("throughput", "speedup", "gain", "boost", "events_per_sec")
+
+#: Key-name fragments of machine-independent metrics (dimensionless
+#: ratios and deterministic counters) — safe to gate across hardware.
+PORTABLE = ("speedup", "gain", "boost", "physical", "pairs", "fraction")
+
+
+@dataclass
+class MetricDelta:
+    """One metric compared between a baseline and a current report."""
+
+    path: str
+    baseline: float
+    current: float
+    direction: str  # "higher" | "lower"
+
+    @property
+    def portable(self) -> bool:
+        leaf = self.path.rsplit(".", 1)[-1].lower()
+        return any(tag in leaf for tag in PORTABLE)
+
+    @property
+    def change(self) -> float:
+        """Relative movement in the *good* direction (+ improved).
+
+        A zero baseline has no finite relative scale: any movement off
+        it is reported as ±inf so a counter growing from 0 can never
+        slip under a percentage threshold."""
+        if self.baseline == 0:
+            if self.current == 0:
+                return 0.0
+            grew_is_good = self.direction == "higher"
+            return float("inf") if grew_is_good else float("-inf")
+        raw = (self.current - self.baseline) / abs(self.baseline)
+        return raw if self.direction == "higher" else -raw
+
+    def regressed(self, threshold: float) -> bool:
+        return self.change < -threshold
+
+
+def _direction(key: str) -> "str | None":
+    leaf = key.lower()
+    if any(tag in leaf for tag in HIGHER_IS_BETTER):
+        return "higher"
+    if any(tag in leaf for tag in LOWER_IS_BETTER):
+        return "lower"
+    return None
+
+
+def diff_reports(
+    baseline, current, path: str = ""
+) -> "list[MetricDelta]":
+    """Recursively diff two JSON payloads into metric deltas.
+
+    Dicts match by key, lists by index; structure present on only one
+    side is skipped (new benchmarks are not regressions)."""
+    deltas: list[MetricDelta] = []
+    if isinstance(baseline, dict) and isinstance(current, dict):
+        for key in baseline:
+            if key not in current:
+                continue
+            child = f"{path}.{key}" if path else key
+            deltas.extend(diff_reports(baseline[key], current[key], child))
+        return deltas
+    if isinstance(baseline, list) and isinstance(current, list):
+        for i, (b, c) in enumerate(zip(baseline, current)):
+            deltas.extend(diff_reports(b, c, f"{path}[{i}]"))
+        return deltas
+    if isinstance(baseline, bool) or isinstance(current, bool):
+        return deltas
+    if isinstance(baseline, (int, float)) and isinstance(
+        current, (int, float)
+    ):
+        key = path.rsplit(".", 1)[-1]
+        direction = _direction(key)
+        if direction is not None:
+            deltas.append(
+                MetricDelta(
+                    path=path,
+                    baseline=float(baseline),
+                    current=float(current),
+                    direction=direction,
+                )
+            )
+    return deltas
+
+
+def format_comparison(
+    deltas: "list[MetricDelta]",
+    threshold: float,
+    portable_only: bool = False,
+) -> str:
+    """Render the comparison; regressions are flagged with ``!``."""
+    from .reporting import format_table
+
+    rows = []
+    for delta in sorted(deltas, key=lambda d: d.change):
+        gated = not portable_only or delta.portable
+        flag = "!" if gated and delta.regressed(threshold) else ""
+        rows.append(
+            (
+                flag,
+                delta.path,
+                f"{delta.baseline:,.4g}",
+                f"{delta.current:,.4g}",
+                f"{delta.change * 100:+.1f}%",
+                delta.direction,
+                "yes" if delta.portable else "no",
+            )
+        )
+    return format_table(
+        ["", "metric", "baseline", "current", "change", "better", "portable"],
+        rows,
+        title=f"benchmark comparison (regression threshold "
+        f"{threshold * 100:.0f}%"
+        + (", gating portable metrics only)" if portable_only else ")"),
+    )
+
+
+def compare_files(
+    baseline_path: "str | Path",
+    current_path: "str | Path",
+    threshold: float = 0.2,
+    portable_only: bool = False,
+) -> "tuple[int, str]":
+    """Diff two ``BENCH_*.json`` files.
+
+    Returns ``(exit_code, rendered report)``: exit code 1 when any
+    gated metric regressed by more than ``threshold``, else 0.
+    """
+    baseline = json.loads(Path(baseline_path).read_text())
+    current = json.loads(Path(current_path).read_text())
+    deltas = diff_reports(baseline, current)
+    gated = [
+        d for d in deltas if (not portable_only or d.portable)
+    ]
+    regressions = [d for d in gated if d.regressed(threshold)]
+    text = format_comparison(deltas, threshold, portable_only)
+    if regressions:
+        text += (
+            f"\n{len(regressions)} metric(s) regressed beyond "
+            f"{threshold * 100:.0f}%"
+        )
+    else:
+        text += "\nno regressions beyond the threshold"
+    return (1 if regressions else 0), text

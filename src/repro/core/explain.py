@@ -77,13 +77,32 @@ def _physical_section(result: OptimizationResult, engine: str) -> list[str]:
     return lines
 
 
-def explain(result: OptimizationResult, engine: "str | None" = None) -> str:
+def _shard_section(result: OptimizationResult, shards: int) -> list[str]:
+    """Key-shard fan-out of the winning plan (DESIGN.md §7)."""
+    from ..plans.render import shard_merge_description
+
+    return [
+        f"shard fan-out (x{shards} key-hash shards):",
+        "  plan replicated per shard over a disjoint key slice; "
+        "workload mutations broadcast at one safe watermark",
+        f"  merge ({result.aggregate.name}): "
+        f"{shard_merge_description(result.aggregate)}",
+    ]
+
+
+def explain(
+    result: OptimizationResult,
+    engine: "str | None" = None,
+    shards: "int | None" = None,
+) -> str:
     """Render the full optimization trace for ``result``.
 
     With ``engine`` given, append the physical execution path each
     window of the winning plan takes on that engine (DESIGN.md §5) —
     the logical/physical split makes "what the optimizer chose" and
-    "what the engine does" separately inspectable.
+    "what the engine does" separately inspectable.  With ``shards``
+    given, also append the key-shard fan-out the sharded runtime would
+    execute the plan under (DESIGN.md §7).
     """
     lines = [
         "EXPLAIN multi-window aggregate optimization",
@@ -101,6 +120,8 @@ def explain(result: OptimizationResult, engine: "str | None" = None) -> str:
         lines.append(f"original plan cost = {result.baseline_cost}")
         if engine is not None:
             lines.extend(_physical_section(result, engine))
+        if shards is not None:
+            lines.extend(_shard_section(result, shards))
         return "\n".join(lines)
 
     model = CostModel(event_rate=result.event_rate)
@@ -159,4 +180,7 @@ def explain(result: OptimizationResult, engine: "str | None" = None) -> str:
     if engine is not None:
         lines.append("")
         lines.extend(_physical_section(result, engine))
+    if shards is not None:
+        lines.append("")
+        lines.extend(_shard_section(result, shards))
     return "\n".join(lines)

@@ -146,3 +146,187 @@ def encode_keys(raw_keys: Sequence) -> tuple[np.ndarray, dict]:
             mapping[key] = len(mapping)
         ids[i] = mapping[key]
     return ids, mapping
+
+
+# ----------------------------------------------------------------------
+# Key-sharded partitioning (DESIGN.md §7)
+# ----------------------------------------------------------------------
+#: Fibonacci-hashing multiplier (2^64 / φ): consecutive dense key ids
+#: spread low-discrepancy across shards, so round-robin keys stay
+#: balanced at any shard count.
+_FIB_MIX = np.uint64(0x9E3779B97F4A7C15)
+
+
+def shard_assignment(num_keys: int, num_shards: int) -> np.ndarray:
+    """Deterministic key → shard map for a dense id space.
+
+    Returns an ``(num_keys,)`` int64 array with entries in
+    ``[0, num_shards)``.  The map is a pure function of its arguments —
+    every participant (coordinator, workers, tests) derives the same
+    partition without communicating.
+    """
+    if num_keys < 1:
+        raise ExecutionError(f"num_keys must be >= 1, got {num_keys}")
+    if num_shards < 1:
+        raise ExecutionError(f"num_shards must be >= 1, got {num_shards}")
+    keys = np.arange(num_keys, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        hashed = (keys * _FIB_MIX) >> np.uint64(32)
+    return (hashed % np.uint64(num_shards)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class BatchShard:
+    """One shard's slice of a partitioned :class:`EventBatch`.
+
+    ``batch`` re-encodes keys into the shard's *local* dense id space
+    (``0 .. len(global_keys) - 1``, ascending global order); shards that
+    own no keys carry an empty batch with one dummy local key.
+    ``indices`` are the events' positions in the source batch, so
+    :func:`merge_batch_shards` can reassemble the original bit-exactly
+    (including arrival order among equal timestamps).
+    """
+
+    shard: int
+    batch: EventBatch
+    global_keys: np.ndarray  # (local_num_keys,) local id -> global id
+    indices: np.ndarray  # (num_events,) positions in the source batch
+
+
+class KeyPartitioner:
+    """Vectorized key-space partitioner shared by all sharding layers.
+
+    Precomputes, for a dense global key space and a shard count, the
+    key → shard map, each shard's owned-key list, and the global → local
+    dense re-encoding.  Partitioning preserves the batch invariants:
+    column slices stay timestamp-sorted (stable mask selection), the
+    horizon is inherited unchanged, and local key ids are dense.
+    """
+
+    def __init__(
+        self,
+        num_keys: int,
+        num_shards: int,
+        assignment: "np.ndarray | None" = None,
+    ):
+        if assignment is None:
+            assignment = shard_assignment(num_keys, num_shards)
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.shape != (num_keys,):
+            raise ExecutionError(
+                f"assignment must have shape ({num_keys},), "
+                f"got {assignment.shape}"
+            )
+        if num_keys and (
+            assignment.min() < 0 or assignment.max() >= num_shards
+        ):
+            raise ExecutionError(
+                f"assignment entries must lie in [0, {num_shards})"
+            )
+        self.num_keys = num_keys
+        self.num_shards = num_shards
+        self.shard_of = assignment
+        self.owned = [
+            np.flatnonzero(assignment == shard) for shard in range(num_shards)
+        ]
+        # Global key -> local dense id within its owning shard.
+        self.local_id = np.empty(num_keys, dtype=np.int64)
+        for owned in self.owned:
+            self.local_id[owned] = np.arange(owned.size, dtype=np.int64)
+
+    def local_num_keys(self, shard: int) -> int:
+        """Local dense-id space size (>= 1 even for empty shards)."""
+        return max(1, int(self.owned[shard].size))
+
+    def split_arrays(
+        self, ts: np.ndarray, keys: np.ndarray, values: np.ndarray
+    ) -> "list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]":
+        """Split sorted columns into per-shard ``(ts, local_keys,
+        values, indices)`` slices (the live session's hot path)."""
+        shards = self.shard_of[keys]
+        local = self.local_id[keys]
+        out = []
+        for shard in range(self.num_shards):
+            mask = shards == shard
+            idx = np.flatnonzero(mask)
+            out.append((ts[idx], local[idx], values[idx], idx))
+        return out
+
+    def partition(self, batch: EventBatch) -> "list[BatchShard]":
+        """Partition ``batch`` into one :class:`BatchShard` per shard."""
+        if batch.num_keys != self.num_keys:
+            raise ExecutionError(
+                f"batch has {batch.num_keys} keys, partitioner expects "
+                f"{self.num_keys}"
+            )
+        out = []
+        for shard, (ts, local, values, idx) in enumerate(
+            self.split_arrays(batch.timestamps, batch.keys, batch.values)
+        ):
+            out.append(
+                BatchShard(
+                    shard=shard,
+                    batch=EventBatch(
+                        timestamps=ts,
+                        keys=local,
+                        values=values,
+                        horizon=batch.horizon,
+                        num_keys=self.local_num_keys(shard),
+                    ),
+                    global_keys=self.owned[shard],
+                    indices=idx,
+                )
+            )
+        return out
+
+
+def partition_batch(
+    batch: EventBatch,
+    num_shards: int,
+    assignment: "np.ndarray | None" = None,
+) -> "list[BatchShard]":
+    """Hash-partition ``batch`` by key into ``num_shards`` slices.
+
+    Each slice is timestamp-sorted with the parent's horizon and a
+    local dense key space — a valid :class:`EventBatch` any engine or
+    session core can consume directly.  The union of slices is exactly
+    the input: :func:`merge_batch_shards` reassembles it bit-for-bit.
+    """
+    return KeyPartitioner(
+        batch.num_keys, num_shards, assignment=assignment
+    ).partition(batch)
+
+
+def merge_batch_shards(
+    shards: Sequence[BatchShard],
+    num_keys: "int | None" = None,
+    horizon: "int | None" = None,
+) -> EventBatch:
+    """Inverse of :func:`partition_batch`: scatter shard slices back to
+    source positions, restoring the original batch exactly."""
+    if not shards:
+        raise ExecutionError("cannot merge zero shards")
+    total = sum(s.batch.num_events for s in shards)
+    ts = np.empty(total, dtype=np.int64)
+    keys = np.empty(total, dtype=np.int64)
+    values = np.empty(total, dtype=np.float64)
+    for shard in shards:
+        if shard.batch.num_events == 0:
+            continue
+        ts[shard.indices] = shard.batch.timestamps
+        keys[shard.indices] = shard.global_keys[shard.batch.keys]
+        values[shard.indices] = shard.batch.values
+    if num_keys is None:
+        num_keys = max(
+            (int(s.global_keys.max()) + 1 for s in shards if s.global_keys.size),
+            default=1,
+        )
+    if horizon is None:
+        horizon = max(s.batch.horizon for s in shards)
+    return EventBatch(
+        timestamps=ts,
+        keys=keys,
+        values=values,
+        horizon=horizon,
+        num_keys=num_keys,
+    )

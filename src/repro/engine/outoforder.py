@@ -117,6 +117,32 @@ class ReorderBuffer:
             out_ts, _, out_key, out_value = heapq.heappop(self._heap)
             yield (out_ts, out_key, out_value)
 
+    def accept_sorted(
+        self, count: int, first_ts: int, last_ts: int
+    ) -> None:
+        """Account a pre-sorted batch that bypasses the heap (the
+        sorted fast path of batch ingestion).
+
+        Only valid on an in-order front door (``max_lateness == 0``)
+        with nothing buffered, and only for a batch starting at or
+        after the newest seen timestamp — otherwise the bypass could
+        reorder events relative to earlier pushes.  Keeps the exact
+        ``accepted`` counter and the watermark coherent with
+        :meth:`push`.
+        """
+        if self.max_lateness != 0 or self._heap:
+            raise ExecutionError(
+                "sorted-batch bypass requires max_lateness=0 and an "
+                "empty reorder buffer; push events individually instead"
+            )
+        if first_ts < self._max_seen:
+            raise ExecutionError(
+                f"sorted batch starts at {first_ts}, before the newest "
+                f"seen timestamp {self._max_seen}"
+            )
+        self.stats.accepted += count
+        self._max_seen = max(self._max_seen, last_ts)
+
     def flush(self) -> Iterator[Event]:
         """Drain all buffered events (end of stream)."""
         while self._heap:

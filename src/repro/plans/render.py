@@ -55,6 +55,32 @@ def physical_paths(
     }
 
 
+def shard_merge_description(aggregate) -> str:
+    """The coordinator's merge step for ``aggregate`` (DESIGN.md §7).
+
+    Single source of truth for the merge-mode wording — the plan tree
+    header and ``core.explain`` both render it, and they must never
+    drift apart.
+    """
+    if not aggregate.mergeable:
+        return "per-key rows concatenate; global reads raw-forward"
+    return "per-key rows concatenate; global partials combine"
+
+
+def shard_fanout(plan: LogicalPlan, shards: int) -> str:
+    """One-line description of how ``plan`` fans out over key shards.
+
+    The sharded runtime (DESIGN.md §7) replicates the *whole* plan on
+    every shard over a disjoint key slice; what differs per aggregate
+    is only the coordinator's merge step, which this line names.
+    """
+    aggregate = next(iter(plan.window_nodes())).aggregate
+    return (
+        f"x{shards} key-hash shards (plan replicated per shard; "
+        f"{shard_merge_description(aggregate)})"
+    )
+
+
 def _window_call(window: Window, style: str) -> str:
     if style == "trill":
         if window.is_tumbling:
@@ -142,17 +168,27 @@ def _render_expression(plan: LogicalPlan, style: str) -> str:
     return "\n".join(lines)
 
 
-def to_tree(plan: LogicalPlan, engine: "str | None" = None) -> str:
+def to_tree(
+    plan: LogicalPlan,
+    engine: "str | None" = None,
+    shards: "int | None" = None,
+) -> str:
     """ASCII tree of the plan, root at the top (Figure 2(a) style).
 
     With ``engine`` given, each aggregate line is annotated with the
     physical execution path that engine would use (``via panes[...]``,
-    ``via subagg-gather[...]``, ...).
+    ``via subagg-gather[...]``, ...).  With ``shards`` given, the
+    header is annotated with the key-shard fan-out the sharded runtime
+    would execute the plan under (DESIGN.md §7).
     """
     header = f"[{plan.description}]"
     if engine is not None:
         header += f" engine={engine}"
+    if shards is not None:
+        header += f" shards={shards}"
     lines: list[str] = [header]
+    if shards is not None:
+        lines.append(f"  fan-out: {shard_fanout(plan, shards)}")
 
     def label(node: PlanNode) -> str:
         if isinstance(node, SourceNode):

@@ -2,23 +2,50 @@
 
 This package composes the layers the rest of the repo builds — the SQL
 front end, the shared-workload optimizer, the chunked streaming engine,
-and the out-of-order front door — into one long-lived object,
-:class:`QuerySession`: the service shape of the paper's motivating
-Azure IoT Central scenario, where dashboards open and close
-continuously over a single device stream.
+and the out-of-order front door — into long-lived session objects:
+
+* :class:`QuerySession` — one :class:`~repro.runtime.core.SessionCore`
+  behind one reorder buffer: the single-process service shape of the
+  paper's motivating Azure IoT Central scenario.
+* :class:`ShardedSession` — N cores over a hash-partitioned key space
+  behind one coordinator clock, with pluggable execution backends
+  (deterministic serial, or a ``multiprocessing`` worker pool) and a
+  partial-merge coordinator (DESIGN.md §7, invariant 10).
 
 See DESIGN.md §6 for the generation/switch model and invariant 9 for
 the observational-equivalence contract.
 """
 
-from .session import (
+from .core import (
+    DEFAULT_RETIRED_RESULT_CAP,
+    RegisterAck,
+    SessionCore,
+    ShardReport,
+)
+from .results import (
+    PartialResults,
     PlanSwitchRecord,
-    QuerySession,
     WindowResults,
+    finalize_partials,
+)
+from .session import QuerySession
+from .sharding import (
+    ProcessShardBackend,
+    SerialShardBackend,
+    ShardedSession,
 )
 
 __all__ = [
+    "DEFAULT_RETIRED_RESULT_CAP",
+    "PartialResults",
     "PlanSwitchRecord",
+    "ProcessShardBackend",
     "QuerySession",
+    "RegisterAck",
+    "SerialShardBackend",
+    "SessionCore",
+    "ShardReport",
+    "ShardedSession",
     "WindowResults",
+    "finalize_partials",
 ]

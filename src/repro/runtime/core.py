@@ -1,0 +1,605 @@
+""":class:`SessionCore` — the embeddable single-shard session engine.
+
+The core is everything a live session does *after* its out-of-order
+front door: chunked event buffering, one :class:`GroupRuntime` per
+(aggregate, semantics) group, watermark-safe plan switching, and
+subscription routing.  It deliberately owns **no** reorder buffer and
+**no** rate controller — those belong to whoever feeds it:
+
+* :class:`~repro.runtime.QuerySession` wraps one core behind a
+  :class:`~repro.engine.outoforder.ReorderBuffer` and a
+  :class:`~repro.core.adaptive.RateController` (the single-process
+  service shape);
+* :class:`~repro.runtime.sharding.ShardedSession` embeds N cores — one
+  per key shard, in-process or in worker processes — and drives them
+  all from one coordinator clock, which is what makes shard-count
+  invariance (DESIGN.md invariant 10) provable: every core sees the
+  same watermark sequence regardless of how keys were split.
+
+Because the core never advances time on its own (``ingest`` self-rolls
+chunk boundaries only in the standalone path; ``buffer_arrays`` never
+does), a coordinator can hold N cores at identical watermarks by
+construction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.multiquery import (
+    GroupKey,
+    IncrementalWorkload,
+    Query,
+    WorkloadDelta,
+)
+from ..engine.stats import ExecutionStats
+from ..errors import ExecutionError
+from ..windows.window import Window
+from .group import GroupRuntime
+from .results import (
+    PartialResults,
+    PartialSubscription,
+    PlanSwitchRecord,
+    Subscription,
+    WindowResults,
+)
+
+#: Default bound on retained *retired* subscriptions (the ``name@gN``
+#: archive plus plainly-deregistered queries).  Counters stay exact —
+#: mirrors ``ReorderStats.late_event_cap``.
+DEFAULT_RETIRED_RESULT_CAP = 64
+
+#: Result-routing scopes a query can register under.
+SCOPES = ("per_key", "global")
+
+#: Post-flush callback: ``(watermark, events_absorbed)``.
+FlushHook = Callable[[int, int], None]
+
+
+@dataclass
+class RegisterAck:
+    """What one core reports back from a workload mutation.
+
+    A sharding coordinator broadcasts mutations and cross-checks the
+    acks: every shard must agree on the generation, the chunk width,
+    and each subscription's aligned start instance — they are pure
+    functions of the (identical) mutation history, so disagreement
+    means a desynced shard, never a tolerable race.
+    """
+
+    name: str
+    generation: int
+    chunk_ticks: int
+    watermark: int
+    starts: "dict[tuple[str, Window], int]" = field(default_factory=dict)
+
+
+@dataclass
+class ShardReport:
+    """One core's emitted results: per-key rows plus cross-key partials."""
+
+    results: "dict[str, dict[Window, WindowResults]]"
+    partials: "dict[tuple[str, Window], PartialResults]"
+
+
+def resolve_registration_query(
+    query: "str | Query", name: str, next_auto: Callable[[], str]
+) -> Query:
+    """Normalize a registration argument (SQL text or a workload
+    query) into a named :class:`Query`."""
+    if isinstance(query, str):
+        from ..sql.compile import compile_registration
+
+        return compile_registration(query, name=name or next_auto())
+    if name and name != query.name:
+        return Query(
+            name=name, windows=query.windows, aggregate=query.aggregate
+        )
+    return query
+
+
+class EpochRateObserver:
+    """Chunk-sized epoch accounting feeding a rate controller.
+
+    Shared by every front door (:class:`~repro.runtime.QuerySession`
+    and :class:`~repro.runtime.sharding.ShardedSession`) so the replan
+    *timing policy* — when an epoch closes, when a drift decision is
+    parked — has exactly one implementation: a divergence here would
+    silently break the shard-count invariance of replan timing
+    (DESIGN.md invariant 10).
+
+    A due replan is parked in :attr:`pending_rate`, never applied
+    inline: a switch advances operators up to the reorder watermark,
+    which is only safe once the front door's release iterator has
+    fully drained, so the owner applies it at its next push boundary
+    via :meth:`take_pending`.
+    """
+
+    def __init__(self, controller):
+        self.controller = controller
+        self.epoch_start = 0
+        self.epoch_events = 0
+        self.pending_rate: "int | None" = None
+
+    def observe_flush(
+        self,
+        watermark: int,
+        count: int,
+        chunk_ticks: int,
+        has_queries: bool,
+    ) -> None:
+        """Account one flush; park a replan decision when the EWMA
+        drift beats the controller's hysteresis."""
+        self.epoch_events += count
+        if watermark - self.epoch_start < chunk_ticks:
+            return
+        events = self.epoch_events
+        ticks = watermark - self.epoch_start
+        self.epoch_start = watermark
+        self.epoch_events = 0
+        if self.controller is None or ticks <= 0:
+            return
+        rate = self.controller.observe(events, ticks)
+        if rate is None or not has_queries:
+            return
+        self.pending_rate = rate
+
+    def take_pending(self) -> "int | None":
+        """Claim the parked replan decision (clears it)."""
+        rate, self.pending_rate = self.pending_rate, None
+        return rate
+
+
+class SessionCore:
+    """A single-shard live-session engine over pre-ordered input.
+
+    Parameters
+    ----------
+    num_keys:
+        Dense key-id space this core owns (fixed per core).
+    chunk_ticks:
+        Watermark-block width.  Default: the largest registered window
+        range, recomputed at every switch.
+    event_rate / enable_factor_windows:
+        Cost-model inputs of the embedded
+        :class:`~repro.core.multiquery.IncrementalWorkload`.
+    max_retired_results:
+        Retention cap on retired subscriptions (``None`` = unbounded).
+        Evictions are counted exactly in
+        :attr:`retired_results_evicted` / :attr:`retired_instances_evicted`.
+    on_flush:
+        Called as ``on_flush(watermark, events)`` after every flush —
+        the hook the front doors hang epoch/rate accounting on.
+    """
+
+    def __init__(
+        self,
+        num_keys: int = 1,
+        chunk_ticks: "int | None" = None,
+        event_rate: int = 1,
+        enable_factor_windows: bool = True,
+        max_retired_results: "int | None" = DEFAULT_RETIRED_RESULT_CAP,
+        on_flush: "FlushHook | None" = None,
+    ):
+        if num_keys < 1:
+            raise ExecutionError(f"num_keys must be >= 1, got {num_keys}")
+        if max_retired_results is not None and max_retired_results < 0:
+            raise ExecutionError(
+                f"max_retired_results must be >= 0, got {max_retired_results}"
+            )
+        self.num_keys = num_keys
+        self.workload = IncrementalWorkload(
+            event_rate=event_rate,
+            enable_factor_windows=enable_factor_windows,
+        )
+        self.max_retired_results = max_retired_results
+        self.on_flush = on_flush
+        self._fixed_chunk = chunk_ticks
+        self._chunk_ticks = chunk_ticks or 1
+        self._chunk_start = 0
+        self._chunk_end = self._chunk_ticks
+        self._buf_chunks: "list[tuple[np.ndarray, np.ndarray, np.ndarray]]" = []
+        self._buf_ts: list[int] = []
+        self._buf_keys: list[int] = []
+        self._buf_values: list[float] = []
+        self._buffered = 0
+        self._watermark = 0
+        self._max_event_ts = -1
+        self._groups: dict[GroupKey, GroupRuntime] = {}
+        self._subs: dict[tuple[str, Window], Subscription] = {}
+        self._psubs: dict[tuple[str, Window], PartialSubscription] = {}
+        self._retired: "dict[tuple[str, Window], Subscription | PartialSubscription]" = {}
+        self.retired_results_evicted = 0
+        self.retired_instances_evicted = 0
+        self._seq = 0
+        self._closed = False
+        self.switches: list[PlanSwitchRecord] = []
+        self.wall_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def watermark(self) -> int:
+        """The operators' frontier: instances ending at or before this
+        are final and emitted."""
+        return self._watermark
+
+    @property
+    def chunk_ticks(self) -> int:
+        return self._chunk_ticks
+
+    @property
+    def queries(self) -> tuple[str, ...]:
+        return tuple(self.workload.queries)
+
+    @property
+    def generation(self) -> int:
+        return self.workload.generation
+
+    def stats(self) -> ExecutionStats:
+        """Merged execution counters across all groups."""
+        merged = ExecutionStats()
+        for runtime in self._groups.values():
+            merged.merge(runtime.stats)
+        merged.wall_seconds = self.wall_seconds
+        return merged
+
+    def group_stats(self) -> "dict[GroupKey, ExecutionStats]":
+        return {key: rt.stats for key, rt in self._groups.items()}
+
+    def max_retained_state(self) -> int:
+        """Largest per-operator buffered-state high-water mark."""
+        marks = [rt.max_retained_state() for rt in self._groups.values()]
+        return max(marks, default=0)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # Workload mutations
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        query: Query,
+        at: "int | None" = None,
+        scope: str = "per_key",
+    ) -> RegisterAck:
+        """Register one named query at the safe watermark ``at``
+        (default: the core's own watermark).
+
+        ``scope="per_key"`` routes finalized per-key blocks to a
+        :class:`Subscription`; ``scope="global"`` routes pre-finalize
+        component blocks to a :class:`PartialSubscription` (mergeable
+        aggregates only — holistic global queries have no partial form
+        and must be raw-forwarded to a single-key core instead).
+        """
+        self._require_open()
+        if scope not in SCOPES:
+            raise ExecutionError(
+                f"unknown scope {scope!r}; expected one of {SCOPES}"
+            )
+        if scope == "global" and not query.aggregate.mergeable:
+            raise ExecutionError(
+                f"{query.aggregate.name} is holistic: global scope needs "
+                "raw forwarding (a ShardedSession coordinator core), not "
+                "partial merging"
+            )
+        # Re-using a retired query's name must not shadow its archived
+        # results: move them to a generation-suffixed name, *in place*
+        # — renaming must not rejuvenate the archive's position in the
+        # retention cap's oldest-first eviction order.
+        if any(key[0] == query.name for key in self._retired):
+            archive = f"{query.name}@g{self.workload.generation}"
+            renamed: dict = {}
+            for key, sub in self._retired.items():
+                if key[0] == query.name:
+                    sub.query = archive
+                    renamed[(archive, key[1])] = sub
+                else:
+                    renamed[key] = sub
+            self._retired = renamed
+        delta = self.workload.register(query)
+        self._apply_delta(delta, at)
+        runtime = self._groups[delta.key]
+        routing = delta.group.routing()
+        starts: dict[tuple[str, Window], int] = {}
+        for window in query.windows:
+            target = routing[(query.name, window)]
+            op = runtime.ops[target]
+            slot = (query.name, window)
+            if scope == "per_key":
+                sub = Subscription(
+                    query.name, window, op.next_close, self.num_keys
+                )
+                self._subs[slot] = sub
+                runtime.subs_by_window.setdefault(target, []).append(sub)
+            else:
+                psub = PartialSubscription(
+                    query.name, window, op.next_close, query.aggregate
+                )
+                self._psubs[slot] = psub
+                runtime.psubs_by_window.setdefault(target, []).append(psub)
+            starts[slot] = (
+                self._subs[slot].start
+                if scope == "per_key"
+                else self._psubs[slot].start
+            )
+        return self._ack(query.name, starts)
+
+    def deregister(self, name: str, at: "int | None" = None) -> RegisterAck:
+        """Remove one query at the safe watermark.  Its emitted results
+        stay readable (within the retention cap); its windows stop
+        being computed unless another query still needs them."""
+        self._require_open()
+        query = self.workload.queries.get(name)
+        if query is None:
+            raise ExecutionError(f"no registered query named {name!r}")
+        delta = self.workload.deregister(name)
+        for window in query.windows:
+            slot = (name, window)
+            sub = self._subs.pop(slot, None) or self._psubs.pop(slot, None)
+            if sub is not None:
+                self._archive(slot, sub)
+        self._apply_delta(delta, at)
+        return self._ack(name, {})
+
+    def set_event_rate(
+        self, event_rate: int, at: "int | None" = None
+    ) -> RegisterAck:
+        """Re-price every group at a new rate, switching the plans
+        whose provider map actually changed."""
+        self._require_open()
+        for delta in self.workload.set_event_rate(event_rate):
+            if delta.provider_change:
+                self._apply_delta(delta, at)
+        return self._ack("", {})
+
+    def _ack(
+        self, name: str, starts: "dict[tuple[str, Window], int]"
+    ) -> RegisterAck:
+        return RegisterAck(
+            name=name,
+            generation=self.workload.generation,
+            chunk_ticks=self._chunk_ticks,
+            watermark=self._watermark,
+            starts=starts,
+        )
+
+    def _archive(
+        self,
+        slot: "tuple[str, Window]",
+        sub: "Subscription | PartialSubscription",
+    ) -> None:
+        """Retain a retired subscription within the retention cap,
+        evicting oldest-first with exact counters."""
+        self._retired[slot] = sub
+        cap = self.max_retired_results
+        if cap is None:
+            return
+        while len(self._retired) > cap:
+            old_slot = next(iter(self._retired))
+            old = self._retired.pop(old_slot)
+            self.retired_results_evicted += 1
+            self.retired_instances_evicted += old.emitted_instances
+
+    def _apply_delta(self, delta: WorkloadDelta, at: "int | None") -> None:
+        started = time.perf_counter()
+        self.sync_to(self._watermark if at is None else at)
+        key = delta.key
+        if delta.retired:
+            self._groups.pop(key, None)
+            self._record_switch(
+                delta, started, adopted=0, fresh=0, draining=0
+            )
+            return
+        runtime = self._groups.get(key)
+        if runtime is None:
+            runtime = GroupRuntime(key, self)
+            self._groups[key] = runtime
+        if delta.provider_change:
+            adopted, fresh, draining = runtime.rebuild(
+                delta.plan, self._watermark
+            )
+        else:
+            adopted, fresh, draining = len(runtime.ops), 0, 0
+        self._rescope_subscriptions(runtime)
+        self._refresh_chunk_ticks()
+        self._record_switch(
+            delta, started, adopted=adopted, fresh=fresh, draining=draining
+        )
+
+    def _rescope_subscriptions(self, runtime: GroupRuntime) -> None:
+        """Re-index this group's subscriptions by operator window."""
+        routing = self.workload.routing()
+        runtime.subs_by_window = {}
+        runtime.psubs_by_window = {}
+        for table, out in (
+            (self._subs, runtime.subs_by_window),
+            (self._psubs, runtime.psubs_by_window),
+        ):
+            for (name, window), sub in table.items():
+                target = routing.get((name, window))
+                if target is None or target not in runtime.ops:
+                    continue
+                if self.workload.group_of(name) != runtime.key:
+                    continue
+                out.setdefault(target, []).append(sub)
+
+    def _record_switch(
+        self, delta: WorkloadDelta, started: float, **counts
+    ) -> None:
+        self.switches.append(
+            PlanSwitchRecord(
+                generation=delta.generation,
+                reason=delta.reason,
+                key=delta.key,
+                watermark=self._watermark,
+                seconds=time.perf_counter() - started,
+                rate=self.workload.event_rate,
+                **counts,
+            )
+        )
+
+    def _refresh_chunk_ticks(self) -> None:
+        if self._fixed_chunk is not None:
+            return
+        ranges = [
+            w.range for q in self.workload.queries.values() for w in q.windows
+        ]
+        self._chunk_ticks = max(ranges, default=1)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, ts: int, key: int, value: float) -> None:
+        """Buffer one in-order event and self-roll chunk boundaries —
+        the standalone (single-core front door) path.
+
+        A flush may advance the watermark up to ``ts``'s chunk end;
+        the event is buffered first, so every released-but-unabsorbed
+        event is in the buffer when it does.  Absorbing an event
+        slightly before its chunk is harmless — closes are
+        watermark-driven.
+        """
+        self._buf_ts.append(ts)
+        self._buf_keys.append(key)
+        self._buf_values.append(value)
+        self._buffered += 1
+        if ts > self._max_event_ts:
+            self._max_event_ts = ts
+        while ts >= self._chunk_end:
+            self._flush(self._chunk_end)
+
+    def buffer_arrays(
+        self, ts: np.ndarray, keys: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Buffer a sorted column slice *without* advancing time — the
+        coordinated (sharded) path, where only the coordinator's clock
+        may trigger flushes."""
+        if ts.size == 0:
+            return
+        if keys.size and (keys.min() < 0 or keys.max() >= self.num_keys):
+            raise ExecutionError(
+                f"keys outside dense id space [0, {self.num_keys})"
+            )
+        self._seal_scalar_buffer()
+        self._buf_chunks.append(
+            (
+                np.asarray(ts, dtype=np.int64),
+                np.asarray(keys, dtype=np.int64),
+                np.asarray(values, dtype=np.float64),
+            )
+        )
+        self._buffered += int(ts.size)
+        last = int(ts[-1])
+        if last > self._max_event_ts:
+            self._max_event_ts = last
+
+    def _seal_scalar_buffer(self) -> None:
+        if self._buf_ts:
+            self._buf_chunks.append(
+                (
+                    np.asarray(self._buf_ts, dtype=np.int64),
+                    np.asarray(self._buf_keys, dtype=np.int64),
+                    np.asarray(self._buf_values, dtype=np.float64),
+                )
+            )
+            self._buf_ts, self._buf_keys, self._buf_values = [], [], []
+
+    def advance_to(self, watermark: int) -> None:
+        """Absorb the buffer and advance every operator to
+        ``watermark`` (the coordinator's flush edge)."""
+        self._require_open()
+        if watermark < self._watermark:
+            raise ExecutionError(
+                f"cannot advance backwards: watermark {watermark} < "
+                f"{self._watermark}"
+            )
+        self._flush(watermark)
+
+    def sync_to(self, target: int) -> None:
+        """Advance to the newest safe watermark (switch entry point).
+
+        Absorbs at most the buffered partial chunk; everything newer
+        still sits ahead (in the front door's reorder buffer) and
+        reaches fresh operators through the normal path — a switch
+        never replays more than the reorder buffer plus one chunk.
+        """
+        target = max(self._watermark, target)
+        if self._buffered or target > self._watermark:
+            self._flush(target)
+
+    def _flush(self, to_watermark: int) -> None:
+        started = time.perf_counter()
+        self._seal_scalar_buffer()
+        count = self._buffered
+        if count:
+            chunks, self._buf_chunks = self._buf_chunks, []
+            self._buffered = 0
+            if len(chunks) == 1:
+                ts, keys, values = chunks[0]
+            else:
+                ts = np.concatenate([c[0] for c in chunks])
+                keys = np.concatenate([c[1] for c in chunks])
+                values = np.concatenate([c[2] for c in chunks])
+            for runtime in self._groups.values():
+                runtime.absorb(ts, keys, values)
+        for runtime in self._groups.values():
+            runtime.advance(to_watermark)
+        self._watermark = to_watermark
+        self._chunk_start = to_watermark
+        self._chunk_end = to_watermark + self._chunk_ticks
+        self.wall_seconds += time.perf_counter() - started
+        if self.on_flush is not None:
+            self.on_flush(to_watermark, count)
+
+    # ------------------------------------------------------------------
+    # Termination and results
+    # ------------------------------------------------------------------
+    def finish(self, horizon: "int | None" = None) -> int:
+        """Close every instance ending at or before ``horizon``
+        (default: last event + 1) and seal the core.  Returns the
+        horizon used."""
+        self._require_open()
+        if horizon is None:
+            horizon = max(self._watermark, self._max_event_ts + 1)
+        if horizon < self._watermark:
+            raise ExecutionError(
+                f"horizon {horizon} is behind the watermark "
+                f"{self._watermark}"
+            )
+        self._flush(horizon)
+        self._closed = True
+        return horizon
+
+    def report(self, drain: bool = False) -> ShardReport:
+        """Emitted results: per-key rows plus cross-key partials.
+
+        ``drain=False`` snapshots (non-consuming — memory grows with
+        emitted instances); ``drain=True`` consumes: each subscription
+        releases what it returned, and retired subscriptions are
+        dropped once read — the bounded-memory service read path.
+        """
+        results: dict[str, dict[Window, WindowResults]] = {}
+        partials: dict[tuple[str, Window], PartialResults] = {}
+        tables = (self._retired, self._subs, self._psubs)
+        for table in tables:
+            for (name, window), sub in table.items():
+                emitted = sub.drain() if drain else sub.snapshot()
+                if isinstance(sub, Subscription):
+                    results.setdefault(name, {})[window] = emitted
+                else:
+                    partials[(name, window)] = emitted
+        if drain:
+            self._retired = {}
+        return ShardReport(results=results, partials=partials)
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ExecutionError("session is finished")

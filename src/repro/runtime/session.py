@@ -14,25 +14,27 @@ and serves a *changing* set of registered window-aggregate queries:
   event rate and re-prices every group when the drift beats its
   hysteresis — the paper's §VI future work, wired into a real loop.
 
+The execution machinery itself lives in
+:class:`~repro.runtime.core.SessionCore` — the embeddable single-shard
+engine this class merely feeds.  ``QuerySession`` is exactly "one core
+behind one reorder buffer"; the key-sharded runtime
+(:class:`~repro.runtime.sharding.ShardedSession`) feeds N of the same
+cores from one coordinator and must therefore behave identically at
+any shard count (DESIGN.md invariants 9 and 10).
+
 Plan switches are **watermark-safe** (DESIGN.md §6, invariant 9).  At
 a switch the session synchronizes to a safe watermark ``T`` (absorbing
 at most the currently-buffered partial chunk), then builds the new
 generation of operators:
 
 * operators whose (type, window, aggregate, provider) shape survives
-  **adopt** the old operator's state wholesale (pane buffers, provider
-  partials, holistic event buffers) via the engine's handoff protocol
-  — history is never recomputed;
+  **adopt** the old operator's state wholesale via the engine's
+  handoff protocol — history is never recomputed;
 * operators whose shape changed start **fresh** at an aligned
-  instance: raw readers at the first instance starting at or after
-  ``T`` (every event they need is still ahead of, or inside, the
-  reorder buffer), sub-aggregate readers at the first instance whose
-  covering set their provider can still deliver;
-* the displaced old operators **drain**: they keep running, capped at
-  the fresh operator's start instance, finish exactly the straddling
-  instances they alone hold state for, and retire.  Providers that
-  left the plan stay alive until their last draining consumer is
-  served.
+  instance;
+* the displaced old operators **drain**: capped at the fresh
+  operator's start instance, they finish exactly the straddling
+  instances they alone hold state for, and retire.
 
 Per window the emitted instance ranges of draining and fresh operators
 are disjoint and contiguous, so the result stream a subscription sees
@@ -42,369 +44,26 @@ missing, or duplicate instance.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
-import numpy as np
-
+from ..aggregates.registry import get_aggregate
 from ..core.adaptive import RateController
-from ..core.multiquery import (
-    GroupKey,
-    IncrementalWorkload,
-    Query,
-    WorkloadDelta,
-)
+from ..core.multiquery import GroupKey, Query
 from ..engine.outoforder import ReorderBuffer
 from ..engine.stats import ExecutionStats
-from ..engine.streaming import (
-    _ChunkedHolisticOperator,
-    _ChunkedOperator,
-    _ChunkedRawOperator,
-    _ChunkedSubAggOperator,
-)
 from ..errors import ExecutionError
-from ..plans.nodes import LogicalPlan
 from ..windows.window import Window
+from .core import (
+    DEFAULT_RETIRED_RESULT_CAP,
+    EpochRateObserver,
+    SessionCore,
+    resolve_registration_query,
+)
+from .results import (
+    PlanSwitchRecord,
+    WindowResults,
+    finalize_partials,
+)
 
-
-@dataclass
-class PlanSwitchRecord:
-    """One applied generation switch (register/deregister/rate)."""
-
-    generation: int
-    reason: str
-    key: GroupKey
-    watermark: int
-    seconds: float
-    adopted: int
-    fresh: int
-    draining: int
-    rate: int
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"gen {self.generation} [{self.reason}] {self.key[0]} "
-            f"@wm={self.watermark}: {self.adopted} adopted, "
-            f"{self.fresh} fresh, {self.draining} draining "
-            f"({self.seconds * 1e3:.2f} ms)"
-        )
-
-
-@dataclass
-class WindowResults:
-    """Everything one (query, window) subscription has received.
-
-    ``values[:, i]`` is instance ``start_instance + i``; instances
-    before ``start_instance`` predate the subscription (or the
-    window's activation) and were never owned by the session — the
-    invariant-9 carve-out.
-    """
-
-    query: str
-    window: Window
-    start_instance: int
-    frontier: int
-    values: np.ndarray  # (num_keys, frontier - start_instance)
-
-    def value(self, key: int, instance: int) -> float:
-        if not self.start_instance <= instance < self.frontier:
-            raise ExecutionError(
-                f"instance {instance} outside emitted range "
-                f"[{self.start_instance}, {self.frontier})"
-            )
-        return float(self.values[key, instance - self.start_instance])
-
-
-class _Subscription:
-    """Routes one (query, requested window)'s emitted result blocks."""
-
-    def __init__(self, query: str, window: Window, start: int, num_keys: int):
-        self.query = query
-        self.window = window
-        self.start = start
-        self.frontier = start
-        self.num_keys = num_keys
-        self._blocks: list[np.ndarray] = []
-
-    def accept(self, m0: int, m1: int, block: np.ndarray) -> None:
-        if m1 <= self.frontier:
-            return  # instances that predate this subscription
-        if m0 < self.frontier:
-            block = block[:, self.frontier - m0:]
-            m0 = self.frontier
-        if m0 != self.frontier:
-            raise ExecutionError(
-                f"{self.query}/{self.window}: emission gap — got block "
-                f"[{m0}, {m1}) at frontier {self.frontier}"
-            )
-        self._blocks.append(block)
-        self.frontier = m1
-
-    def snapshot(self) -> WindowResults:
-        if self._blocks:
-            values = np.concatenate(self._blocks, axis=1)
-        else:
-            values = np.empty((self.num_keys, 0), dtype=np.float64)
-        return WindowResults(
-            query=self.query,
-            window=self.window,
-            start_instance=self.start,
-            frontier=self.frontier,
-            values=values,
-        )
-
-    def drain(self) -> WindowResults:
-        """Hand over everything emitted so far and release it — the
-        bounded-memory read path for unbounded sessions."""
-        snapshot = self.snapshot()
-        self._blocks = []
-        self.start = self.frontier
-        return snapshot
-
-
-def _ceil_div(a: int, b: int) -> int:
-    return -(-a // b)
-
-
-class _GroupRuntime:
-    """Operators of one (aggregate, semantics) group, across generations."""
-
-    def __init__(self, key: GroupKey, session: "QuerySession"):
-        self.key = key
-        self.session = session
-        self.stats = ExecutionStats()
-        self.ops: dict[Window, _ChunkedOperator] = {}
-        self.draining: list[_ChunkedOperator] = []
-        self.advance_order: list[_ChunkedOperator] = []
-        self.absorbers: list[_ChunkedOperator] = []
-        self.subs_by_window: dict[Window, list[_Subscription]] = {}
-
-    # ------------------------------------------------------------------
-    # Emission sink: operator blocks → subscriptions
-    # ------------------------------------------------------------------
-    def sink(self, window: Window, m0: int, m1: int, block: np.ndarray) -> None:
-        for sub in self.subs_by_window.get(window, ()):
-            sub.accept(m0, m1, block)
-
-    # ------------------------------------------------------------------
-    # Generation switch
-    # ------------------------------------------------------------------
-    def rebuild(self, plan: LogicalPlan, watermark: int) -> tuple[int, int, int]:
-        """Install ``plan`` as the new generation at ``watermark``.
-
-        Returns ``(adopted, fresh, draining)`` operator counts.
-        """
-        session = self.session
-        old_gen = self.ops
-        new_ops: dict[Window, _ChunkedOperator] = {}
-        adopted: set[Window] = set()
-        for node in plan.topological_window_order():
-            window, aggregate, provider = (
-                node.window,
-                node.aggregate,
-                node.provider,
-            )
-            if provider is None:
-                cls = (
-                    _ChunkedRawOperator
-                    if aggregate.mergeable
-                    else _ChunkedHolisticOperator
-                )
-            else:
-                cls = _ChunkedSubAggOperator
-            old = old_gen.get(window)
-            compatible = (
-                old is not None
-                and type(old) is cls
-                and getattr(old, "provider", None) == provider
-                and old.aggregate.name == aggregate.name
-            )
-            if compatible:
-                start = old.start_instance
-            else:
-                if provider is None:
-                    # Raw readers: first instance starting at/after the
-                    # switch watermark — all of its events are still in
-                    # (or ahead of) the reorder buffer.
-                    start = _ceil_div(watermark, window.slide)
-                else:
-                    # Sub-aggregate readers: first instance whose whole
-                    # covering set the (possibly fresh) provider can
-                    # still deliver.
-                    provider_op = new_ops[provider]
-                    stride = window.slide // provider.slide
-                    start = _ceil_div(provider_op.next_close, stride)
-                if old is not None:
-                    # Seamless handover: the displaced operator drains
-                    # everything below the fresh start.
-                    start = max(start, old.next_close)
-            args = (window, aggregate, session.num_keys, None, self.stats)
-            kwargs = dict(
-                start_instance=start,
-                sink=None if node.is_factor else self.sink,
-            )
-            if provider is None:
-                op = cls(*args, **kwargs)
-            else:
-                op = cls(provider, *args, **kwargs)
-            op.gen_seq = session._next_seq()
-            if compatible:
-                op.adopt(old.handoff())
-                adopted.add(window)
-            new_ops[window] = op
-
-        # Displaced operators drain; dropped providers are retained
-        # (and capped) only while a draining consumer still needs them.
-        fresh_draining: list[_ChunkedOperator] = []
-        for window, old in old_gen.items():
-            if window in adopted:
-                continue
-            replacement = new_ops.get(window)
-            if replacement is not None:
-                old.cap_instances(replacement.start_instance)
-            else:
-                old._dropped = True
-            if replacement is None or not old.drained:
-                fresh_draining.append(old)
-        self.draining = [
-            op for op in self.draining if not op.drained
-        ] + fresh_draining
-        self.ops = new_ops
-        self._rewire()
-        self.cleanup()
-        return (
-            len(adopted),
-            len(new_ops) - len(adopted),
-            len(self.draining),
-        )
-
-    def _rewire(self) -> None:
-        """Rebuild consumer edges and the advance order across the
-        current generation and every still-draining operator."""
-        live = self.draining + list(self.ops.values())
-        live.sort(key=lambda op: op.gen_seq)
-        for op in live:
-            op.consumers = []
-        by_window: dict[Window, list[_ChunkedOperator]] = {}
-        for op in live:
-            by_window.setdefault(op.window, []).append(op)
-        for op in live:
-            provider = getattr(op, "provider", None)
-            if provider is None:
-                continue
-            sources = by_window.get(provider)
-            if not sources:
-                raise ExecutionError(
-                    f"{op.window} reads from {provider}, which has no "
-                    "live operator"
-                )
-            for source in sources:
-                source.consumers.append(op)
-        self.advance_order = _toposort(live, by_window)
-        # Dropped providers stay only as long as a draining consumer
-        # still needs their instances; reverse topological order
-        # resolves consumer caps before provider caps along chains.
-        for op in reversed(self.advance_order):
-            if getattr(op, "_dropped", False):
-                needed = op.next_close
-                for consumer in op.consumers:
-                    if consumer.num_instances is None:
-                        raise ExecutionError(
-                            f"uncapped operator {consumer.window} reads "
-                            f"from dropped window {op.window}"
-                        )
-                    needed = max(
-                        needed,
-                        (consumer.num_instances - 1) * consumer.stride
-                        + consumer.multiplier,
-                    )
-                op.cap_instances(needed)
-        self.absorbers = [
-            op
-            for op in self.advance_order
-            if isinstance(op, (_ChunkedRawOperator, _ChunkedHolisticOperator))
-        ]
-
-    def cleanup(self) -> None:
-        """Retire drained operators and detach them everywhere."""
-        dead = {id(op) for op in self.draining if op.drained}
-        if not dead:
-            return
-        self.draining = [op for op in self.draining if id(op) not in dead]
-        self.advance_order = [
-            op for op in self.advance_order if id(op) not in dead
-        ]
-        for op in self.advance_order:
-            if op.consumers:
-                op.consumers = [
-                    c for c in op.consumers if id(c) not in dead
-                ]
-        self.absorbers = [
-            op for op in self.absorbers if id(op) not in dead
-        ]
-
-    # ------------------------------------------------------------------
-    # Steady-state processing
-    # ------------------------------------------------------------------
-    def absorb(
-        self, ts: np.ndarray, keys: np.ndarray, values: np.ndarray
-    ) -> None:
-        self.stats.events += int(ts.size)
-        for op in self.absorbers:
-            op.absorb(ts, keys, values)
-
-    def advance(self, watermark: int) -> None:
-        for op in self.advance_order:
-            op.advance(watermark)
-        if self.draining:
-            self.cleanup()
-
-    def max_retained_state(self) -> int:
-        if not self.advance_order:
-            return 0
-        return max(op.max_retained for op in self.advance_order)
-
-
-def _toposort(
-    live: "list[_ChunkedOperator]",
-    by_window: "dict[Window, list[_ChunkedOperator]]",
-) -> "list[_ChunkedOperator]":
-    """Order operators providers-first; generations of the same window
-    stay in age order (an old operator's closes must reach a shared
-    consumer before its replacement's)."""
-    edges: dict[int, list[_ChunkedOperator]] = {}
-    indegree: dict[int, int] = {id(op): 0 for op in live}
-
-    def add_edge(src: _ChunkedOperator, dst: _ChunkedOperator) -> None:
-        edges.setdefault(id(src), []).append(dst)
-        indegree[id(dst)] += 1
-
-    for op in live:
-        for consumer in op.consumers:
-            add_edge(op, consumer)
-    for chain in by_window.values():
-        for older, newer in zip(chain, chain[1:]):
-            add_edge(older, newer)
-
-    ready = sorted(
-        (op for op in live if indegree[id(op)] == 0),
-        key=lambda op: op.gen_seq,
-    )
-    order: list[_ChunkedOperator] = []
-    while ready:
-        op = ready.pop(0)
-        order.append(op)
-        woke = []
-        for consumer in edges.get(id(op), ()):
-            indegree[id(consumer)] -= 1
-            if indegree[id(consumer)] == 0:
-                woke.append(consumer)
-        if woke:
-            ready.extend(woke)
-            ready.sort(key=lambda o: o.gen_seq)
-    if len(order) != len(live):
-        raise ExecutionError("cycle in operator graph across generations")
-    return order
+__all__ = ["PlanSwitchRecord", "QuerySession", "WindowResults"]
 
 
 class QuerySession:
@@ -425,6 +84,9 @@ class QuerySession:
         Initial cost-model rate and the live re-planning policy
         (:class:`~repro.core.adaptive.RateController`).  ``hysteresis=
         None`` disables rate-driven re-planning.
+    max_retired_results:
+        Retention cap on deregistered queries' archived results
+        (``None`` = unbounded); evictions are counted exactly.
     """
 
     def __init__(
@@ -436,14 +98,17 @@ class QuerySession:
         hysteresis: "float | None" = 0.25,
         alpha: float = 0.3,
         enable_factor_windows: bool = True,
+        max_retired_results: "int | None" = DEFAULT_RETIRED_RESULT_CAP,
     ):
-        if num_keys < 1:
-            raise ExecutionError(f"num_keys must be >= 1, got {num_keys}")
-        self.num_keys = num_keys
-        self.workload = IncrementalWorkload(
+        self._core = SessionCore(
+            num_keys=num_keys,
+            chunk_ticks=chunk_ticks,
             event_rate=event_rate,
             enable_factor_windows=enable_factor_windows,
+            max_retired_results=max_retired_results,
+            on_flush=self._on_flush,
         )
+        self.num_keys = num_keys
         self.controller = (
             None
             if hysteresis is None
@@ -452,39 +117,26 @@ class QuerySession:
             )
         )
         self._reorder = ReorderBuffer(max_lateness)
-        self._fixed_chunk = chunk_ticks
-        self._chunk_ticks = chunk_ticks or 1
-        self._chunk_start = 0
-        self._chunk_end = self._chunk_ticks
-        self._buf_ts: list[int] = []
-        self._buf_keys: list[int] = []
-        self._buf_values: list[float] = []
-        self._watermark = 0
-        self._max_event_ts = -1
-        self._epoch_start = 0
-        self._epoch_events = 0
-        self._groups: dict[GroupKey, _GroupRuntime] = {}
-        self._subs: dict[tuple[str, Window], _Subscription] = {}
-        self._retired_subs: dict[tuple[str, Window], _Subscription] = {}
-        self._seq = 0
+        self._rate_observer = EpochRateObserver(self.controller)
         self._auto_names = 0
-        self._pending_rate: "int | None" = None
-        self._closed = False
-        self.switches: list[PlanSwitchRecord] = []
-        self.wall_seconds = 0.0
 
     # ------------------------------------------------------------------
-    # Introspection
+    # Introspection (delegated to the core)
     # ------------------------------------------------------------------
+    @property
+    def core(self) -> SessionCore:
+        """The embedded single-shard engine."""
+        return self._core
+
     @property
     def watermark(self) -> int:
         """The operators' frontier: instances ending at or before this
         are final and emitted."""
-        return self._watermark
+        return self._core.watermark
 
     @property
     def queries(self) -> tuple[str, ...]:
-        return tuple(self.workload.queries)
+        return self._core.queries
 
     @property
     def reorder_stats(self):
@@ -492,235 +144,108 @@ class QuerySession:
 
     @property
     def generation(self) -> int:
-        return self.workload.generation
+        return self._core.generation
+
+    @property
+    def workload(self):
+        return self._core.workload
+
+    @property
+    def switches(self) -> "list[PlanSwitchRecord]":
+        return self._core.switches
+
+    @property
+    def wall_seconds(self) -> float:
+        return self._core.wall_seconds
+
+    @property
+    def retired_results_evicted(self) -> int:
+        """Retired subscriptions evicted by the retention cap (exact)."""
+        return self._core.retired_results_evicted
+
+    @property
+    def retired_instances_evicted(self) -> int:
+        """Result instances dropped with those evictions (exact)."""
+        return self._core.retired_instances_evicted
+
+    @property
+    def _groups(self):
+        return self._core._groups
 
     def stats(self) -> ExecutionStats:
         """Merged execution counters across all groups."""
-        merged = ExecutionStats()
-        for runtime in self._groups.values():
-            merged.merge(runtime.stats)
-        merged.wall_seconds = self.wall_seconds
-        return merged
+        return self._core.stats()
 
     def group_stats(self) -> "dict[GroupKey, ExecutionStats]":
-        return {key: rt.stats for key, rt in self._groups.items()}
+        return self._core.group_stats()
 
     def max_retained_state(self) -> int:
         """Largest per-operator buffered-state high-water mark."""
-        marks = [rt.max_retained_state() for rt in self._groups.values()]
-        return max(marks, default=0)
-
-    def _next_seq(self) -> int:
-        self._seq += 1
-        return self._seq
+        return self._core.max_retained_state()
 
     # ------------------------------------------------------------------
     # Workload mutations
     # ------------------------------------------------------------------
-    def register(self, query: "str | Query", name: str = "") -> str:
-        """Register one query (SQL text or a workload query) at the
-        current watermark; returns its name."""
-        self._require_open()
-        if isinstance(query, str):
-            from ..sql.compile import compile_registration
+    def _next_auto_name(self) -> str:
+        self._auto_names += 1
+        return f"q{self._auto_names}"
 
-            if not name:
-                self._auto_names += 1
-                name = f"q{self._auto_names}"
-            query = compile_registration(query, name=name)
-        elif name and name != query.name:
-            query = Query(
-                name=name, windows=query.windows, aggregate=query.aggregate
-            )
-        # Re-using a retired query's name must not shadow its archived
-        # results: move them to a generation-suffixed name first.
-        colliding = [
-            key for key in self._retired_subs if key[0] == query.name
-        ]
-        for key in colliding:
-            sub = self._retired_subs.pop(key)
-            archive = f"{query.name}@g{self.workload.generation}"
-            sub.query = archive
-            self._retired_subs[(archive, key[1])] = sub
-        delta = self.workload.register(query)
-        self._apply_delta(delta)
-        runtime = self._groups[delta.key]
-        routing = delta.group.routing()
-        for window in query.windows:
-            target = routing[(query.name, window)]
-            op = runtime.ops[target]
-            sub = _Subscription(
-                query.name, window, op.next_close, self.num_keys
-            )
-            self._subs[(query.name, window)] = sub
-            runtime.subs_by_window.setdefault(target, []).append(sub)
+    def _safe_watermark(self) -> int:
+        return max(self._core.watermark, self._reorder.watermark, 0)
+
+    def register(
+        self, query: "str | Query", name: str = "", scope: str = "per_key"
+    ) -> str:
+        """Register one query (SQL text or a workload query) at the
+        current watermark; returns its name.
+
+        ``scope="global"`` aggregates across *all* keys into a single
+        result row (mergeable aggregates only; a
+        :class:`~repro.runtime.sharding.ShardedSession` additionally
+        raw-forwards holistic global queries)."""
+        query = resolve_registration_query(query, name, self._next_auto_name)
+        self._core.register(query, at=self._safe_watermark(), scope=scope)
         return query.name
 
     def deregister(self, name: str) -> None:
         """Remove one query at the current watermark.  Its emitted
-        results stay readable; its windows stop being computed unless
-        another query (or the optimizer) still needs them."""
-        self._require_open()
-        query = self.workload.queries.get(name)
-        if query is None:
-            raise ExecutionError(f"no registered query named {name!r}")
-        delta = self.workload.deregister(name)
-        for window in query.windows:
-            sub = self._subs.pop((name, window), None)
-            if sub is not None:
-                self._retired_subs[(name, window)] = sub
-        self._apply_delta(delta)
-
-    def _apply_delta(self, delta: WorkloadDelta) -> None:
-        started = time.perf_counter()
-        self._sync()
-        key = delta.key
-        if delta.retired:
-            runtime = self._groups.pop(key, None)
-            self._record_switch(
-                delta, started, adopted=0, fresh=0, draining=0
-            )
-            return
-        runtime = self._groups.get(key)
-        if runtime is None:
-            runtime = _GroupRuntime(key, self)
-            self._groups[key] = runtime
-        if delta.provider_change:
-            adopted, fresh, draining = runtime.rebuild(
-                delta.plan, self._watermark
-            )
-        else:
-            adopted, fresh, draining = len(runtime.ops), 0, 0
-        self._rescope_subscriptions(runtime)
-        self._refresh_chunk_ticks()
-        self._record_switch(
-            delta, started, adopted=adopted, fresh=fresh, draining=draining
-        )
-
-    def _rescope_subscriptions(self, runtime: _GroupRuntime) -> None:
-        """Re-index this group's subscriptions by operator window."""
-        routing = self.workload.routing()
-        runtime.subs_by_window = {}
-        for (name, window), sub in self._subs.items():
-            target = routing.get((name, window))
-            if target is None or target not in runtime.ops:
-                continue
-            if self.workload.group_of(name) != runtime.key:
-                continue
-            runtime.subs_by_window.setdefault(target, []).append(sub)
-
-    def _record_switch(
-        self, delta: WorkloadDelta, started: float, **counts
-    ) -> None:
-        self.switches.append(
-            PlanSwitchRecord(
-                generation=delta.generation,
-                reason=delta.reason,
-                key=delta.key,
-                watermark=self._watermark,
-                seconds=time.perf_counter() - started,
-                rate=self.workload.event_rate,
-                **counts,
-            )
-        )
-
-    def _refresh_chunk_ticks(self) -> None:
-        if self._fixed_chunk is not None:
-            return
-        ranges = [
-            w.range for q in self.workload.queries.values() for w in q.windows
-        ]
-        self._chunk_ticks = max(ranges, default=1)
+        results stay readable (within the retention cap); its windows
+        stop being computed unless another query (or the optimizer)
+        still needs them."""
+        self._core.deregister(name, at=self._safe_watermark())
 
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
     def push(self, ts: int, key: int, value: float) -> None:
         """Ingest one (possibly out-of-order) event."""
-        self._require_open()
+        self._core._require_open()
         if not 0 <= key < self.num_keys:
             raise ExecutionError(
                 f"key {key} outside dense id space [0, {self.num_keys})"
             )
         for event in self._reorder.push(ts, int(key), float(value)):
-            self._ingest(event)
+            self._core.ingest(*event)
         # Rate-driven switches are deferred to this point: a switch
         # advances operators up to the reorder watermark, which is only
         # safe once every event the buffer has released is ingested —
         # and the release iterator above drains lazily.
-        if self._pending_rate is not None:
-            rate, self._pending_rate = self._pending_rate, None
-            for delta in self.workload.set_event_rate(rate):
-                if delta.provider_change:
-                    self._apply_delta(delta)
+        if self._rate_observer.pending_rate is not None:
+            rate = self._rate_observer.take_pending()
+            self._core.set_event_rate(rate, at=self._safe_watermark())
 
     def push_many(self, events) -> None:
         """Ingest an iterable of ``(ts, key, value)`` events."""
         for ts, key, value in events:
             self.push(ts, key, value)
 
-    def _ingest(self, event) -> None:
-        # Buffer first, then roll chunk boundaries: a flush may advance
-        # the watermark up to the reorder frontier (e.g. a rate-driven
-        # switch), and every released-but-unabsorbed event must be in
-        # the buffer when it does.  Absorbing an event slightly before
-        # its chunk is harmless — closes are watermark-driven.
-        ts, key, value = event
-        self._buf_ts.append(ts)
-        self._buf_keys.append(key)
-        self._buf_values.append(value)
-        if ts > self._max_event_ts:
-            self._max_event_ts = ts
-        while ts >= self._chunk_end:
-            self._flush(self._chunk_end)
-
-    def _sync(self) -> None:
-        """Advance to the newest safe watermark (switch entry point).
-
-        Absorbs at most the buffered partial chunk; everything newer
-        still sits in the reorder buffer and reaches fresh operators
-        through the normal path — a switch never replays more than the
-        reorder buffer plus one chunk.
-        """
-        target = max(self._watermark, self._reorder.watermark, 0)
-        if self._buf_ts or target > self._watermark:
-            self._flush(target)
-
-    def _flush(self, to_watermark: int) -> None:
-        started = time.perf_counter()
-        count = len(self._buf_ts)
-        if count:
-            ts = np.asarray(self._buf_ts, dtype=np.int64)
-            keys = np.asarray(self._buf_keys, dtype=np.int64)
-            values = np.asarray(self._buf_values, dtype=np.float64)
-            self._buf_ts, self._buf_keys, self._buf_values = [], [], []
-            for runtime in self._groups.values():
-                runtime.absorb(ts, keys, values)
-        for runtime in self._groups.values():
-            runtime.advance(to_watermark)
-        self._watermark = to_watermark
-        self._chunk_start = to_watermark
-        self._chunk_end = to_watermark + self._chunk_ticks
-        self._epoch_events += count
-        self.wall_seconds += time.perf_counter() - started
-        if to_watermark - self._epoch_start >= self._chunk_ticks:
-            self._observe_rate(to_watermark)
-
-    def _observe_rate(self, now: int) -> None:
-        # Only records the decision: applying a replan is deferred to
-        # the next push() boundary (the release iterator must be fully
-        # drained before a switch advances the watermark), and a due
-        # replan is never swallowed — it stays pending until applied.
-        events = self._epoch_events
-        ticks = now - self._epoch_start
-        self._epoch_start = now
-        self._epoch_events = 0
-        if self.controller is None or ticks <= 0:
-            return
-        rate = self.controller.observe(events, ticks)
-        if rate is None or not len(self.workload):
-            return
-        self._pending_rate = rate
+    def _on_flush(self, watermark: int, count: int) -> None:
+        self._rate_observer.observe_flush(
+            watermark,
+            count,
+            self._core.chunk_ticks,
+            bool(len(self._core.workload)),
+        )
 
     # ------------------------------------------------------------------
     # Termination and results
@@ -729,36 +254,23 @@ class QuerySession:
         """Drain the reorder buffer, close every instance ending at or
         before ``horizon`` (default: last event + 1), and return
         :meth:`results`.  The session accepts no events afterwards."""
-        self._require_open()
+        self._core._require_open()
         for event in self._reorder.flush():
-            self._ingest(event)
-        if horizon is None:
-            horizon = max(self._watermark, self._max_event_ts + 1)
-        if horizon < self._watermark:
-            raise ExecutionError(
-                f"horizon {horizon} is behind the watermark "
-                f"{self._watermark}"
-            )
-        self._flush(horizon)
-        self._closed = True
+            self._core.ingest(*event)
+        self._core.finish(horizon)
         return self.results()
 
     def results(self) -> "dict[str, dict[Window, WindowResults]]":
         """Per-query, per-window emitted results (live and retired
-        subscriptions both included).
+        subscriptions both included; global-scope queries appear as a
+        single finalized row).
 
         Non-consuming: every call returns everything accumulated since
         each subscription started, so memory grows with emitted
         instances.  Long-lived sessions over unbounded streams should
         poll :meth:`drain_results` instead.
         """
-        out: dict[str, dict[Window, WindowResults]] = {}
-        for (name, window), sub in {
-            **self._retired_subs,
-            **self._subs,
-        }.items():
-            out.setdefault(name, {})[window] = sub.snapshot()
-        return out
+        return self._collect(drain=False)
 
     def drain_results(self) -> "dict[str, dict[Window, WindowResults]]":
         """Consume emitted results: return every block accumulated
@@ -767,14 +279,14 @@ class QuerySession:
         per-subscription memory bounded by the emission rate between
         polls — the service-shaped read path.  Retired subscriptions
         are drained too and dropped once read."""
-        out: dict[str, dict[Window, WindowResults]] = {}
-        for (name, window), sub in self._subs.items():
-            out.setdefault(name, {})[window] = sub.drain()
-        for (name, window), sub in self._retired_subs.items():
-            out.setdefault(name, {})[window] = sub.drain()
-        self._retired_subs = {}
-        return out
+        return self._collect(drain=True)
 
-    def _require_open(self) -> None:
-        if self._closed:
-            raise ExecutionError("session is finished")
+    def _collect(self, drain: bool):
+        report = self._core.report(drain=drain)
+        out = report.results
+        for (name, window), partial in report.partials.items():
+            merged = finalize_partials(
+                get_aggregate(partial.aggregate), [partial]
+            )
+            out.setdefault(name, {})[window] = merged
+        return out

@@ -1,0 +1,950 @@
+"""Key-sharded parallel runtime (DESIGN.md §7, invariant 10).
+
+:class:`ShardedSession` scales the live session across the key axis:
+the dense key space is hash-partitioned into N disjoint shards
+(:func:`~repro.engine.events.shard_assignment`), each owned by one
+embedded :class:`~repro.runtime.core.SessionCore` running the same
+workload over its keys' sub-stream.  One coordinator owns everything
+time-related — the out-of-order front door, the chunk clock, and the
+rate controller — and broadcasts workload mutations to every shard at
+the same safe watermark, so all cores advance through an identical
+watermark sequence regardless of the shard count.  That lockstep is
+what makes **invariant 10** provable: for any shard count, any
+out-of-order stream, and any register/deregister/rate schedule, the
+merged results are identical to the 1-shard run.
+
+The coordinator merges per result-routing mode:
+
+* ``per_key`` queries — **disjoint-key concatenation**: each shard's
+  rows scatter into the global key space (every key is owned by
+  exactly one shard, so merging is a permutation, not arithmetic);
+* ``global`` distributive/algebraic queries — **vectorized partial
+  merge**: shards emit pre-finalize aggregate components reduced over
+  their local keys; the coordinator ``combine``s the per-shard
+  partials over whole instance arrays and finalizes once;
+* ``global`` holistic queries — **raw forwarding**: no partial form
+  exists, so the full value stream feeds a coordinator-local
+  single-key core (inherently unsharded, per the Gray et al.
+  taxonomy).
+
+Two execution backends implement one contract:
+
+* :class:`SerialShardBackend` — all cores in-process, advanced
+  deterministically in shard order: the test oracle.
+* :class:`ProcessShardBackend` — one worker process per shard over a
+  ``multiprocessing`` pipe; columnar event slices ship per chunk (one
+  IPC message per shard per chunk, never per event) and data-plane
+  commands are fire-and-forget, so the coordinator keeps routing chunk
+  ``k+1`` while workers crunch chunk ``k``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..aggregates.registry import get_aggregate
+from ..core.adaptive import RateController
+from ..core.multiquery import Query
+from ..engine.events import EventBatch, KeyPartitioner
+from ..engine.outoforder import ReorderBuffer
+from ..engine.stats import ExecutionStats
+from ..errors import ExecutionError
+from ..windows.window import Window
+from .core import (
+    DEFAULT_RETIRED_RESULT_CAP,
+    EpochRateObserver,
+    RegisterAck,
+    SessionCore,
+    ShardReport,
+    resolve_registration_query,
+)
+from .results import PlanSwitchRecord, WindowResults, finalize_partials
+
+#: Coordinator merge modes, derived from (scope, taxonomy).
+MERGE_MODES = ("concat", "partial", "forward")
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Constructor arguments for one shard's :class:`SessionCore`."""
+
+    shard: int
+    num_keys: int
+    chunk_ticks: "int | None"
+    event_rate: int
+    enable_factor_windows: bool
+    max_retired_results: "int | None"
+
+    def build(self) -> SessionCore:
+        return SessionCore(
+            num_keys=self.num_keys,
+            chunk_ticks=self.chunk_ticks,
+            event_rate=self.event_rate,
+            enable_factor_windows=self.enable_factor_windows,
+            max_retired_results=self.max_retired_results,
+        )
+
+
+def _merge_acks(acks: "list[RegisterAck]") -> RegisterAck:
+    """Cross-check broadcast acks: every shard must agree bit-for-bit
+    (they are pure functions of the shared mutation history)."""
+    first = acks[0]
+    for ack in acks[1:]:
+        if (
+            ack.generation != first.generation
+            or ack.chunk_ticks != first.chunk_ticks
+            or ack.watermark != first.watermark
+            or ack.starts != first.starts
+        ):
+            raise ExecutionError(
+                f"shard desync: ack {ack} disagrees with {first}"
+            )
+    return first
+
+
+class SerialShardBackend:
+    """All shard cores in-process, advanced in shard order.
+
+    Deterministic by construction — the oracle the invariant-10
+    property tests (and the process backend) are compared against.
+    """
+
+    name = "serial"
+
+    def __init__(self):
+        self.cores: list[SessionCore] = []
+
+    def start(self, configs: "list[ShardConfig]") -> None:
+        self.cores = [config.build() for config in configs]
+
+    def feed(self, slices) -> None:
+        for core, (ts, keys, values) in zip(self.cores, slices):
+            if ts.size:
+                core.buffer_arrays(ts, keys, values)
+
+    def advance(self, watermark: int) -> None:
+        for core in self.cores:
+            core.advance_to(watermark)
+
+    def register(self, query: Query, at: int, scope: str) -> RegisterAck:
+        return _merge_acks(
+            [core.register(query, at=at, scope=scope) for core in self.cores]
+        )
+
+    def deregister(self, name: str, at: int) -> RegisterAck:
+        return _merge_acks(
+            [core.deregister(name, at=at) for core in self.cores]
+        )
+
+    def set_rate(self, event_rate: int, at: int) -> RegisterAck:
+        return _merge_acks(
+            [
+                core.set_event_rate(event_rate, at=at)
+                for core in self.cores
+            ]
+        )
+
+    def collect(self, drain: bool) -> "list[ShardReport]":
+        return [core.report(drain=drain) for core in self.cores]
+
+    def stats(self) -> "list[ExecutionStats]":
+        return [core.stats() for core in self.cores]
+
+    def switches(self) -> "list[list[PlanSwitchRecord]]":
+        return [list(core.switches) for core in self.cores]
+
+    def watermarks(self) -> "list[int]":
+        return [core.watermark for core in self.cores]
+
+    def max_retained_state(self) -> int:
+        return max(
+            (core.max_retained_state() for core in self.cores), default=0
+        )
+
+    def close(self) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Multiprocessing backend
+# ----------------------------------------------------------------------
+#: Commands that synchronously return a payload (everything else is
+#: fire-and-forget data plane).
+_REPLY_OPS = frozenset(
+    {"register", "deregister", "rate", "collect", "stats", "retained"}
+)
+
+
+def _shard_worker(conn, config: ShardConfig) -> None:
+    """One shard's command loop: a :class:`SessionCore` behind a pipe.
+
+    Data-plane errors (from fire-and-forget ``feed``/``advance``) are
+    parked and surfaced on the next synchronous command, so the
+    coordinator never desyncs on the reply stream.
+    """
+    core = config.build()
+    pending_error: "str | None" = None
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # pragma: no cover - parent died
+            return
+        op = msg[0]
+        if op == "close":
+            conn.close()
+            return
+        if pending_error is not None and op in _REPLY_OPS:
+            conn.send(("error", pending_error))
+            continue
+        try:
+            if op == "feed":
+                ts, keys, values = msg[1]
+                if ts.size:
+                    core.buffer_arrays(ts, keys, values)
+            elif op == "advance":
+                core.advance_to(msg[1])
+            elif op == "register":
+                conn.send(
+                    ("ok", core.register(msg[1], at=msg[2], scope=msg[3]))
+                )
+            elif op == "deregister":
+                conn.send(("ok", core.deregister(msg[1], at=msg[2])))
+            elif op == "rate":
+                conn.send(("ok", core.set_event_rate(msg[1], at=msg[2])))
+            elif op == "collect":
+                conn.send(("ok", core.report(drain=msg[1])))
+            elif op == "stats":
+                conn.send(
+                    (
+                        "ok",
+                        (
+                            core.stats(),
+                            list(core.switches),
+                            core.watermark,
+                        ),
+                    )
+                )
+            elif op == "retained":
+                conn.send(("ok", core.max_retained_state()))
+            else:  # pragma: no cover - defensive
+                raise ExecutionError(f"unknown shard command {op!r}")
+        except Exception:
+            err = traceback.format_exc()
+            if op in _REPLY_OPS:
+                conn.send(("error", err))
+            else:
+                pending_error = err
+
+
+class ProcessShardBackend:
+    """One worker process per shard, fed columnar slices over a pipe.
+
+    Pipes give per-worker FIFO command streams; only commands in
+    ``_REPLY_OPS`` produce replies, so the coordinator can pipeline
+    data-plane traffic without round trips.  Workers are daemonic —
+    they die with the coordinator process.
+    """
+
+    name = "process"
+
+    def __init__(self, context: "str | None" = None):
+        self._ctx = multiprocessing.get_context(context)
+        self._conns = []
+        self._procs = []
+
+    def start(self, configs: "list[ShardConfig]") -> None:
+        for config in configs:
+            parent, child = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_shard_worker,
+                args=(child, config),
+                daemon=True,
+                name=f"repro-shard-{config.shard}",
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    def _broadcast(self, msg) -> None:
+        for conn in self._conns:
+            conn.send(msg)
+
+    def _gather(self) -> list:
+        # Always drain one reply per worker before raising: leaving a
+        # failing command's replies queued would desync every later
+        # command's reply stream.
+        replies = [conn.recv() for conn in self._conns]
+        errors = [
+            (shard, payload)
+            for shard, (kind, payload) in enumerate(replies)
+            if kind == "error"
+        ]
+        if errors:
+            detail = "\n".join(
+                f"shard {shard}: {payload}" for shard, payload in errors
+            )
+            raise ExecutionError(f"shard worker(s) failed:\n{detail}")
+        return [payload for _, payload in replies]
+
+    def feed(self, slices) -> None:
+        for conn, (ts, keys, values) in zip(self._conns, slices):
+            if ts.size:
+                conn.send(("feed", (ts, keys, values)))
+
+    def advance(self, watermark: int) -> None:
+        self._broadcast(("advance", watermark))
+
+    def register(self, query: Query, at: int, scope: str) -> RegisterAck:
+        self._broadcast(("register", query, at, scope))
+        return _merge_acks(self._gather())
+
+    def deregister(self, name: str, at: int) -> RegisterAck:
+        self._broadcast(("deregister", name, at))
+        return _merge_acks(self._gather())
+
+    def set_rate(self, event_rate: int, at: int) -> RegisterAck:
+        self._broadcast(("rate", event_rate, at))
+        return _merge_acks(self._gather())
+
+    def collect(self, drain: bool) -> "list[ShardReport]":
+        self._broadcast(("collect", drain))
+        return self._gather()
+
+    def _status(self) -> list:
+        self._broadcast(("stats",))
+        return self._gather()
+
+    def stats(self) -> "list[ExecutionStats]":
+        return [status[0] for status in self._status()]
+
+    def switches(self) -> "list[list[PlanSwitchRecord]]":
+        return [status[1] for status in self._status()]
+
+    def watermarks(self) -> "list[int]":
+        return [status[2] for status in self._status()]
+
+    def max_retained_state(self) -> int:
+        self._broadcast(("retained",))
+        return max(self._gather(), default=0)
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+                conn.close()
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        deadline = time.monotonic() + 5.0
+        for proc in self._procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        self._conns, self._procs = [], []
+
+
+def _resolve_backend(backend):
+    if isinstance(backend, str):
+        if backend == "serial":
+            return SerialShardBackend()
+        if backend in ("process", "multiprocessing"):
+            return ProcessShardBackend()
+        raise ExecutionError(
+            f"unknown shard backend {backend!r}; "
+            "expected 'serial' or 'process'"
+        )
+    return backend
+
+
+class ShardedSession:
+    """A live multi-query session hash-partitioned over the key space.
+
+    Drop-in surface of :class:`~repro.runtime.QuerySession` (push /
+    register / deregister / results / finish) plus:
+
+    * ``num_shards`` / ``backend`` — the partition width and where the
+      shard cores run (``"serial"`` in-process, ``"process"`` one
+      worker per shard);
+    * :meth:`push_batch` — the vectorized sorted fast path: whole
+      columnar batches are partitioned per chunk and shipped as
+      slices, bypassing per-event Python dispatch;
+    * ``scope="global"`` registrations — cross-key aggregates merged
+      at the coordinator (partials for mergeable aggregates, raw
+      forwarding for holistic ones).
+
+    Invariant 10: results are identical at every shard count, enforced
+    by ``tests/runtime/test_sharding_properties.py``.
+    """
+
+    def __init__(
+        self,
+        num_keys: int = 1,
+        num_shards: int = 1,
+        backend: "str | object" = "serial",
+        max_lateness: int = 0,
+        chunk_ticks: "int | None" = None,
+        event_rate: int = 1,
+        hysteresis: "float | None" = 0.25,
+        alpha: float = 0.3,
+        enable_factor_windows: bool = True,
+        max_retired_results: "int | None" = DEFAULT_RETIRED_RESULT_CAP,
+    ):
+        if num_keys < 1:
+            raise ExecutionError(f"num_keys must be >= 1, got {num_keys}")
+        if num_shards < 1:
+            raise ExecutionError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        self.num_keys = num_keys
+        self.num_shards = num_shards
+        self.partitioner = KeyPartitioner(num_keys, num_shards)
+        # Only shards that own keys get a core: a key-less core would
+        # still close (dummy-key) instances forever — wasted work that
+        # would also inflate the logical pair counters sharding must
+        # leave untouched.
+        self.active_shards = [
+            shard
+            for shard in range(num_shards)
+            if self.partitioner.owned[shard].size
+        ]
+        self._slot_of_shard = np.full(num_shards, -1, dtype=np.int64)
+        for slot, shard in enumerate(self.active_shards):
+            self._slot_of_shard[shard] = slot
+        self.backend = _resolve_backend(backend)
+        self.backend.start(
+            [
+                ShardConfig(
+                    shard=shard,
+                    num_keys=self.partitioner.local_num_keys(shard),
+                    chunk_ticks=chunk_ticks,
+                    event_rate=event_rate,
+                    enable_factor_windows=enable_factor_windows,
+                    max_retired_results=max_retired_results,
+                )
+                for shard in self.active_shards
+            ]
+        )
+        self.controller = (
+            None
+            if hysteresis is None
+            else RateController(
+                hysteresis=hysteresis, alpha=alpha, initial_rate=event_rate
+            )
+        )
+        self._reorder = ReorderBuffer(max_lateness)
+        self._fixed_chunk = chunk_ticks
+        self._chunk_ticks = chunk_ticks or 1
+        self._chunk_end = self._chunk_ticks
+        self._enable_factor_windows = enable_factor_windows
+        self._max_retired_results = max_retired_results
+        self._event_rate = event_rate
+        self._rate_observer = EpochRateObserver(self.controller)
+        self._watermark = 0
+        self._max_event_ts = -1
+        self._pending_events = 0
+        active = len(self.active_shards)
+        self._scalar_buf = [([], [], []) for _ in range(active)]
+        self._array_buf: "list[list[tuple]]" = [[] for _ in range(active)]
+        self._queries: "dict[str, tuple[Query, str]]" = {}
+        self._modes: dict[str, str] = {}
+        self._forward: "SessionCore | None" = None
+        self._forward_names: set[str] = set()
+        self._fwd_scalar: "tuple[list, list]" = ([], [])
+        self._fwd_arrays: "list[tuple]" = []
+        self._auto_names = 0
+        self._generation = 0
+        self._closed = False
+        self._released = False
+        self.wall_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def watermark(self) -> int:
+        """The coordinator clock — every shard is at or behind this,
+        and at it after every flush (see :meth:`shard_watermarks`)."""
+        return self._watermark
+
+    @property
+    def queries(self) -> tuple[str, ...]:
+        return tuple(self._queries)
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    @property
+    def reorder_stats(self):
+        return self._reorder.stats
+
+    @property
+    def switches(self) -> "list[PlanSwitchRecord]":
+        """Shard 0's switch log (every shard applies the identical
+        schedule; see :meth:`shard_switches` for all of them)."""
+        self._require_backend()
+        logs = self.backend.switches()
+        merged = list(logs[0]) if logs else []
+        if self._forward is not None:
+            merged.extend(self._forward.switches)
+        return merged
+
+    def shard_switches(self) -> "list[list[PlanSwitchRecord]]":
+        self._require_backend()
+        return self.backend.switches()
+
+    def shard_watermarks(self) -> "list[int]":
+        """Per-shard core watermarks (the min is the aligned session
+        watermark; after any flush all entries are equal)."""
+        self._require_backend()
+        marks = list(self.backend.watermarks())
+        if self._forward is not None:
+            marks.append(self._forward.watermark)
+        return marks
+
+    def stats(self) -> ExecutionStats:
+        """Merged execution counters across every shard (plus the
+        forwarding core).  ``wall_seconds`` is the *coordinator's* wall
+        time — the serialized cost of routing, feeding, and merging —
+        not the sum of shard-local compute, which overlaps under the
+        process backend."""
+        self._require_backend()
+        merged = ExecutionStats()
+        for stats in self.backend.stats():
+            merged.merge(stats)
+        if self._forward is not None:
+            merged.merge(self._forward.stats())
+        merged.wall_seconds = self.wall_seconds
+        return merged
+
+    def max_retained_state(self) -> int:
+        self._require_backend()
+        retained = self.backend.max_retained_state()
+        if self._forward is not None:
+            retained = max(retained, self._forward.max_retained_state())
+        return retained
+
+    # ------------------------------------------------------------------
+    # Workload mutations
+    # ------------------------------------------------------------------
+    def _next_auto_name(self) -> str:
+        self._auto_names += 1
+        return f"q{self._auto_names}"
+
+    def _safe_watermark(self) -> int:
+        return max(self._watermark, self._reorder.watermark, 0)
+
+    @staticmethod
+    def _merge_mode(query: Query, scope: str) -> str:
+        if scope == "per_key":
+            return "concat"
+        if scope == "global":
+            return "partial" if query.aggregate.mergeable else "forward"
+        raise ExecutionError(
+            f"unknown scope {scope!r}; expected 'per_key' or 'global'"
+        )
+
+    def register(
+        self, query: "str | Query", name: str = "", scope: str = "per_key"
+    ) -> str:
+        """Register one query on every shard at the same safe
+        watermark; returns its name.
+
+        ``scope="global"`` merges across all keys at the coordinator:
+        vectorized partial ``combine`` for distributive/algebraic
+        aggregates, raw forwarding for holistic ones."""
+        self._require_open()
+        query = resolve_registration_query(query, name, self._next_auto_name)
+        if query.name in self._queries:
+            raise ExecutionError(
+                f"query name {query.name!r} is already registered"
+            )
+        mode = self._merge_mode(query, scope)
+        previous = self._modes.get(query.name)
+        if previous is not None and (previous == "forward") != (
+            mode == "forward"
+        ):
+            raise ExecutionError(
+                f"name {query.name!r} was previously registered with an "
+                "incompatible scope; its archive lives on a different "
+                "core set — pick a fresh name"
+            )
+        at = self._safe_watermark()
+        self._sync(at)
+        if mode == "forward":
+            core = self._ensure_forward_core(at)
+            core.register(query, at=at, scope="per_key")
+            self._forward_names.add(query.name)
+        else:
+            self.backend.register(
+                query, at, "per_key" if mode == "concat" else "global"
+            )
+        self._queries[query.name] = (query, mode)
+        self._note_mode(query.name, mode)
+        self._generation += 1
+        self._refresh_chunk_ticks()
+        return query.name
+
+    def _note_mode(self, name: str, mode: str) -> None:
+        """Remember which core set a name's results live on — bounded.
+
+        The map only exists to protect *archived* results from a
+        cross-core-set name collision, and the archives themselves are
+        capped (``max_retired_results`` per core), so this memory is
+        capped to the same budget: oldest non-live names age out along
+        with the archives they guarded."""
+        self._modes.pop(name, None)
+        self._modes[name] = mode
+        cap = self._max_retired_results
+        if cap is None:
+            return
+        while len(self._modes) > cap:
+            stale = next(
+                (n for n in self._modes if n not in self._queries), None
+            )
+            if stale is None:
+                break
+            self._modes.pop(stale)
+
+    def deregister(self, name: str) -> None:
+        """Remove one query from every shard at the same safe
+        watermark.  Its emitted results stay readable (within the
+        retention cap)."""
+        self._require_open()
+        entry = self._queries.pop(name, None)
+        if entry is None:
+            raise ExecutionError(f"no registered query named {name!r}")
+        _, mode = entry
+        at = self._safe_watermark()
+        self._sync(at)
+        if mode == "forward":
+            self._forward.deregister(name, at=at)
+            self._forward_names.discard(name)
+        else:
+            self.backend.deregister(name, at)
+        self._generation += 1
+        self._refresh_chunk_ticks()
+
+    def _ensure_forward_core(self, at: int) -> SessionCore:
+        if self._forward is None:
+            self._forward = SessionCore(
+                num_keys=1,
+                chunk_ticks=self._fixed_chunk,
+                event_rate=self._event_rate,
+                enable_factor_windows=self._enable_factor_windows,
+                max_retired_results=self._max_retired_results,
+            )
+            if at > 0:
+                self._forward.advance_to(at)
+        return self._forward
+
+    def _refresh_chunk_ticks(self) -> None:
+        if self._fixed_chunk is not None:
+            return
+        ranges = [
+            w.range
+            for query, _ in self._queries.values()
+            for w in query.windows
+        ]
+        self._chunk_ticks = max(ranges, default=1)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def push(self, ts: int, key: int, value: float) -> None:
+        """Ingest one (possibly out-of-order) event."""
+        self._require_open()
+        if not 0 <= key < self.num_keys:
+            raise ExecutionError(
+                f"key {key} outside dense id space [0, {self.num_keys})"
+            )
+        for event in self._reorder.push(ts, int(key), float(value)):
+            self._route(event)
+        # Deferred exactly like QuerySession: the release iterator must
+        # fully drain before a switch advances the watermark.
+        if self._rate_observer.pending_rate is not None:
+            self._apply_rate(self._rate_observer.take_pending())
+
+    def push_many(self, events) -> None:
+        """Ingest an iterable of ``(ts, key, value)`` events."""
+        for ts, key, value in events:
+            self.push(ts, key, value)
+
+    def push_batch(self, batch: EventBatch) -> None:
+        """Vectorized sorted fast path: partition a whole columnar
+        batch per chunk and ship slices — no per-event Python dispatch.
+
+        Requires an in-order session (``max_lateness == 0``) with
+        nothing buffered in the front door, and a batch starting at or
+        after the newest seen timestamp; results are identical to
+        pushing the same events one at a time.
+        """
+        self._require_open()
+        if batch.num_keys != self.num_keys:
+            raise ExecutionError(
+                f"batch has {batch.num_keys} keys, session has "
+                f"{self.num_keys}"
+            )
+        ts = batch.timestamps
+        n = int(ts.size)
+        if n == 0:
+            return
+        # The front door validates the bypass (in-order session, batch
+        # at or after the newest seen timestamp — *not* merely the
+        # chunk-clock watermark, which can trail buffered events) and
+        # keeps its exact counters coherent with push().
+        self._reorder.accept_sorted(n, int(ts[0]), int(ts[-1]))
+        pos = 0
+        while pos < n:
+            cut = int(np.searchsorted(ts, self._chunk_end, side="left"))
+            if cut >= n:
+                self._buffer_slice(batch, pos, n)
+                break
+            # The chunk-crossing event rides along, exactly as in the
+            # per-event path (it is buffered before its flush fires).
+            cut += 1
+            self._buffer_slice(batch, pos, cut)
+            pos = cut
+            last = int(ts[cut - 1])
+            while last >= self._chunk_end:
+                self._flush(self._chunk_end)
+        if self._rate_observer.pending_rate is not None:
+            self._apply_rate(self._rate_observer.take_pending())
+
+    def _buffer_slice(self, batch: EventBatch, lo: int, hi: int) -> None:
+        ts = batch.timestamps[lo:hi]
+        slices = self.partitioner.split_arrays(
+            ts, batch.keys[lo:hi], batch.values[lo:hi]
+        )
+        for slot, shard in enumerate(self.active_shards):
+            sts, skeys, svalues, _ = slices[shard]
+            if sts.size:
+                self._array_buf[slot].append((sts, skeys, svalues))
+        if self._forward_names:
+            self._fwd_arrays.append((ts, batch.values[lo:hi]))
+        self._pending_events += hi - lo
+        last = int(ts[-1])
+        if last > self._max_event_ts:
+            self._max_event_ts = last
+
+    def _route(self, event) -> None:
+        ts, key, value = event
+        slot = int(self._slot_of_shard[self.partitioner.shard_of[key]])
+        buf_ts, buf_keys, buf_values = self._scalar_buf[slot]
+        buf_ts.append(ts)
+        buf_keys.append(int(self.partitioner.local_id[key]))
+        buf_values.append(value)
+        if self._forward_names:
+            self._fwd_scalar[0].append(ts)
+            self._fwd_scalar[1].append(value)
+        self._pending_events += 1
+        if ts > self._max_event_ts:
+            self._max_event_ts = ts
+        while ts >= self._chunk_end:
+            self._flush(self._chunk_end)
+
+    def _feed_buffers(self) -> None:
+        slices = []
+        for slot in range(len(self.active_shards)):
+            chunks = self._array_buf[slot]
+            buf_ts, buf_keys, buf_values = self._scalar_buf[slot]
+            if buf_ts:
+                chunks.append(
+                    (
+                        np.asarray(buf_ts, dtype=np.int64),
+                        np.asarray(buf_keys, dtype=np.int64),
+                        np.asarray(buf_values, dtype=np.float64),
+                    )
+                )
+                self._scalar_buf[slot] = ([], [], [])
+            if not chunks:
+                empty = np.empty(0, dtype=np.int64)
+                slices.append((empty, empty, np.empty(0, dtype=np.float64)))
+            elif len(chunks) == 1:
+                slices.append(chunks[0])
+            else:
+                slices.append(
+                    (
+                        np.concatenate([c[0] for c in chunks]),
+                        np.concatenate([c[1] for c in chunks]),
+                        np.concatenate([c[2] for c in chunks]),
+                    )
+                )
+            self._array_buf[slot] = []
+        self.backend.feed(slices)
+        if self._forward is not None:
+            if self._fwd_scalar[0]:
+                self._fwd_arrays.append(
+                    (
+                        np.asarray(self._fwd_scalar[0], dtype=np.int64),
+                        np.asarray(self._fwd_scalar[1], dtype=np.float64),
+                    )
+                )
+                self._fwd_scalar = ([], [])
+            for ts, values in self._fwd_arrays:
+                self._forward.buffer_arrays(
+                    ts, np.zeros(ts.size, dtype=np.int64), values
+                )
+            self._fwd_arrays = []
+
+    def _flush(self, to_watermark: int) -> None:
+        started = time.perf_counter()
+        count = self._pending_events
+        self._pending_events = 0
+        self._feed_buffers()
+        self.backend.advance(to_watermark)
+        if self._forward is not None:
+            self._forward.advance_to(to_watermark)
+        self._watermark = to_watermark
+        self._chunk_end = to_watermark + self._chunk_ticks
+        self.wall_seconds += time.perf_counter() - started
+        self._rate_observer.observe_flush(
+            to_watermark, count, self._chunk_ticks, bool(self._queries)
+        )
+
+    def _sync(self, target: int) -> None:
+        """Advance every core to the same safe watermark (the
+        broadcast-mutation entry point) — absorbs at most the buffered
+        partial chunk, never history."""
+        target = max(self._watermark, target)
+        if self._pending_events or target > self._watermark:
+            self._flush(target)
+
+    def _apply_rate(self, rate: int) -> None:
+        at = self._safe_watermark()
+        self._sync(at)
+        self.backend.set_rate(rate, at)
+        if self._forward is not None:
+            self._forward.set_event_rate(rate, at=at)
+        self._event_rate = rate
+        self._generation += 1
+
+    # ------------------------------------------------------------------
+    # Termination and results
+    # ------------------------------------------------------------------
+    def finish(self, horizon: "int | None" = None):
+        """Drain the reorder buffer, close every instance ending at or
+        before ``horizon`` on every shard, and return :meth:`results`.
+        The session accepts no events afterwards (the backend stays up
+        for result reads until :meth:`close`)."""
+        self._require_open()
+        for event in self._reorder.flush():
+            self._route(event)
+        if horizon is None:
+            horizon = max(self._watermark, self._max_event_ts + 1)
+        if horizon < self._watermark:
+            raise ExecutionError(
+                f"horizon {horizon} is behind the watermark "
+                f"{self._watermark}"
+            )
+        self._flush(horizon)
+        self._closed = True
+        return self.results()
+
+    def results(self) -> "dict[str, dict[Window, WindowResults]]":
+        """Coordinator-merged per-query results (live and retired):
+        per-key rows scattered back to the global key space, global
+        partials combined and finalized, forwarded holistics passed
+        through as single rows."""
+        return self._collect(drain=False)
+
+    def drain_results(self) -> "dict[str, dict[Window, WindowResults]]":
+        """Consuming read: every shard drains its subscriptions and the
+        coordinator merges the released blocks — the bounded-memory
+        service read path."""
+        return self._collect(drain=True)
+
+    def _collect(self, drain: bool):
+        self._require_backend()
+        started = time.perf_counter()
+        reports = self.backend.collect(drain)
+        out: dict[str, dict[Window, WindowResults]] = {}
+        names: set[str] = set()
+        for report in reports:
+            names.update(report.results)
+        for name in sorted(names):
+            windows: set[Window] = set()
+            for report in reports:
+                windows.update(report.results.get(name, {}))
+            for window in windows:
+                parts = [
+                    report.results[name][window] for report in reports
+                ]
+                out.setdefault(name, {})[window] = self._scatter(parts)
+        partial_slots: set[tuple[str, Window]] = set()
+        for report in reports:
+            partial_slots.update(report.partials)
+        for name, window in sorted(
+            partial_slots, key=lambda slot: (slot[0], slot[1])
+        ):
+            parts = [report.partials[(name, window)] for report in reports]
+            aggregate = get_aggregate(parts[0].aggregate)
+            out.setdefault(name, {})[window] = finalize_partials(
+                aggregate, parts
+            )
+        if self._forward is not None:
+            forwarded = self._forward.report(drain=drain)
+            for name, by_window in forwarded.results.items():
+                for window, result in by_window.items():
+                    out.setdefault(name, {})[window] = result
+        self.wall_seconds += time.perf_counter() - started
+        return out
+
+    def _scatter(self, parts: "list[WindowResults]") -> WindowResults:
+        """Disjoint-key concatenation: permute shard rows back into the
+        global key space (no arithmetic — each key has one owner)."""
+        first = parts[0]
+        for part in parts[1:]:
+            if (
+                part.start_instance != first.start_instance
+                or part.frontier != first.frontier
+            ):
+                raise ExecutionError(
+                    f"{first.query}/{first.window}: shard emission ranges "
+                    f"disagree — [{first.start_instance}, {first.frontier}) "
+                    f"vs [{part.start_instance}, {part.frontier})"
+                )
+        span = first.frontier - first.start_instance
+        values = np.empty((self.num_keys, span), dtype=np.float64)
+        for slot, part in enumerate(parts):
+            owned = self.partitioner.owned[self.active_shards[slot]]
+            values[owned, :] = part.values
+        return WindowResults(
+            query=first.query,
+            window=first.window,
+            start_instance=first.start_instance,
+            frontier=first.frontier,
+            values=values,
+        )
+
+    def close(self) -> None:
+        """Shut the backend down (worker processes exit).  The session
+        accepts no further calls — results must be read before
+        closing."""
+        if not self._released:
+            self._released = True
+            self._closed = True
+            self.backend.close()
+
+    def __enter__(self) -> "ShardedSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ExecutionError("session is finished")
+
+    def _require_backend(self) -> None:
+        if self._released:
+            raise ExecutionError(
+                "session is closed: shard backends are shut down and "
+                "their results are no longer reachable — read results "
+                "before close()"
+            )

@@ -1,0 +1,162 @@
+"""Tests for the ``bench compare`` regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    MetricDelta,
+    compare_files,
+    diff_reports,
+    format_comparison,
+)
+
+
+def payload(throughput, seconds, physical, speedup=2.0):
+    return {
+        "benchmark": "demo",
+        "events": 30000,
+        "series": [
+            {
+                "shards": 4,
+                "throughput": throughput,
+                "switch_seconds": seconds,
+                "total_physical": physical,
+                "speedup_vs_1shard": speedup,
+            }
+        ],
+    }
+
+
+def write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return path
+
+
+class TestDiffReports:
+    def test_classifies_directions(self):
+        deltas = diff_reports(
+            payload(100.0, 1.0, 500), payload(120.0, 2.0, 500)
+        )
+        by_key = {d.path.rsplit(".", 1)[-1]: d for d in deltas}
+        assert by_key["throughput"].direction == "higher"
+        assert by_key["switch_seconds"].direction == "lower"
+        assert by_key["throughput"].change == pytest.approx(0.2)
+        assert by_key["switch_seconds"].change == pytest.approx(-1.0)
+
+    def test_parameters_are_not_metrics(self):
+        deltas = diff_reports(
+            {"events": 100, "shards": 4}, {"events": 900, "shards": 8}
+        )
+        assert deltas == []
+
+    def test_one_sided_structure_skipped(self):
+        deltas = diff_reports(
+            {"a": {"throughput": 1.0}},
+            {"b": {"throughput": 9.0}},
+        )
+        assert deltas == []
+
+    def test_portability(self):
+        assert MetricDelta("x.speedup_vs_1shard", 1, 2, "higher").portable
+        assert MetricDelta("x.total_physical", 1, 2, "lower").portable
+        assert not MetricDelta("x.throughput", 1, 2, "higher").portable
+
+
+class TestCompareFiles:
+    def test_no_regression_exits_zero(self, tmp_path):
+        a = write(tmp_path, "a.json", payload(100.0, 1.0, 500))
+        b = write(tmp_path, "b.json", payload(110.0, 0.9, 500))
+        code, text = compare_files(a, b)
+        assert code == 0
+        assert "no regressions" in text
+
+    def test_throughput_regression_exits_nonzero(self, tmp_path):
+        a = write(tmp_path, "a.json", payload(100.0, 1.0, 500))
+        b = write(tmp_path, "b.json", payload(70.0, 1.0, 500))
+        code, text = compare_files(a, b, threshold=0.2)
+        assert code == 1
+        assert "regressed" in text
+
+    def test_threshold_tolerates_noise(self, tmp_path):
+        a = write(tmp_path, "a.json", payload(100.0, 1.0, 500))
+        b = write(tmp_path, "b.json", payload(70.0, 1.0, 500))
+        code, _ = compare_files(a, b, threshold=0.5)
+        assert code == 0
+
+    def test_zero_baseline_cannot_hide_regression(self, tmp_path):
+        """A counter growing off a zero baseline has no finite relative
+        scale — it must always trip the gate, never slip under a
+        percentage threshold."""
+        a = write(tmp_path, "a.json", payload(100.0, 1.0, 0))
+        b = write(tmp_path, "b.json", payload(100.0, 1.0, 1_000_000))
+        code, _ = compare_files(a, b, threshold=0.99, portable_only=True)
+        assert code == 1
+        # Zero → zero is no movement; zero → positive on a
+        # higher-is-better metric is an improvement.
+        same = write(tmp_path, "c.json", payload(100.0, 1.0, 0))
+        code, _ = compare_files(a, same, threshold=0.2)
+        assert code == 0
+        grew = write(
+            tmp_path, "d.json", payload(100.0, 1.0, 0, speedup=5.0)
+        )
+        base0 = write(
+            tmp_path, "e.json", payload(100.0, 1.0, 0, speedup=0.0)
+        )
+        code, _ = compare_files(base0, grew, threshold=0.2)
+        assert code == 0
+
+    def test_lower_is_better_regression(self, tmp_path):
+        a = write(tmp_path, "a.json", payload(100.0, 1.0, 500))
+        b = write(tmp_path, "b.json", payload(100.0, 1.6, 500))
+        code, _ = compare_files(a, b, threshold=0.2)
+        assert code == 1
+
+    def test_portable_only_ignores_wall_clock(self, tmp_path):
+        """Cross-hardware mode: a slower machine must not fail the
+        gate, but more (deterministic) physical work must."""
+        a = write(tmp_path, "a.json", payload(100.0, 1.0, 500))
+        slower = write(tmp_path, "b.json", payload(30.0, 5.0, 500))
+        code, _ = compare_files(a, slower, threshold=0.2, portable_only=True)
+        assert code == 0
+        wasteful = write(tmp_path, "c.json", payload(100.0, 1.0, 900))
+        code, _ = compare_files(
+            a, wasteful, threshold=0.2, portable_only=True
+        )
+        assert code == 1
+
+    def test_cli_entry_point(self, tmp_path, capsys):
+        from repro.bench.cli import main
+
+        a = write(tmp_path, "a.json", payload(100.0, 1.0, 500))
+        b = write(tmp_path, "b.json", payload(50.0, 1.0, 500))
+        assert main(["bench", "compare", str(a), str(b)]) == 1
+        assert (
+            main(
+                [
+                    "bench",
+                    "compare",
+                    str(a),
+                    str(b),
+                    "--threshold",
+                    "0.9",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "benchmark comparison" in out
+
+
+class TestFormatting:
+    def test_regressions_flagged(self):
+        deltas = diff_reports(
+            payload(100.0, 1.0, 500), payload(50.0, 1.0, 500)
+        )
+        text = format_comparison(deltas, threshold=0.2)
+        flagged = [
+            line for line in text.splitlines() if line.startswith("!")
+        ]
+        assert len(flagged) == 1
+        assert "throughput" in flagged[0]

@@ -1,13 +1,66 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+Randomized-seed policy
+----------------------
+Every randomized (non-hypothesis) property test draws its randomness
+from the ``repro_seed`` / ``repro_rng`` fixtures, whose seed comes from
+the ``REPRO_TEST_SEED`` environment variable (fresh entropy when
+unset).  The seed is printed in the pytest header and embedded in
+assertion messages, so any counterexample — e.g. a shard-invariance
+violation — reproduces exactly with::
+
+    REPRO_TEST_SEED=<seed> python -m pytest ...
+
+Hypothesis tests get the same treatment through a profile that prints
+reproduction blobs on failure (and derandomizes when a seed is
+pinned).
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
 from hypothesis import strategies as st
 
 from repro.engine.events import EventBatch, make_batch
 from repro.windows.window import Window, WindowSet
+
+_SEED_ENV = os.environ.get("REPRO_TEST_SEED")
+REPRO_TEST_SEED = (
+    int(_SEED_ENV)
+    if _SEED_ENV is not None
+    else int.from_bytes(os.urandom(4), "big")
+)
+
+hypothesis_settings.register_profile(
+    "repro",
+    print_blob=True,
+    derandomize=_SEED_ENV is not None,
+)
+hypothesis_settings.load_profile("repro")
+
+
+def pytest_report_header(config):  # pragma: no cover - cosmetic
+    return (
+        f"randomized property tests: REPRO_TEST_SEED={REPRO_TEST_SEED}"
+        f" ({'pinned' if _SEED_ENV is not None else 'fresh'};"
+        " re-run failures with REPRO_TEST_SEED=<seed>)"
+    )
+
+
+@pytest.fixture
+def repro_seed() -> int:
+    """The session-wide randomized-test seed (REPRO_TEST_SEED)."""
+    return REPRO_TEST_SEED
+
+
+@pytest.fixture
+def repro_rng(repro_seed) -> np.random.Generator:
+    """A fresh generator seeded from REPRO_TEST_SEED (per test)."""
+    return np.random.default_rng(repro_seed)
 
 
 # ----------------------------------------------------------------------

@@ -70,3 +70,19 @@ class TestPhysicalPathSection:
         result = optimize(WindowSet([Window(20, 20), Window(40, 40)]), MEDIAN)
         text = explain(result, engine="columnar")
         assert "physical paths" in text
+
+
+class TestShardSection:
+    def test_shard_section_appended(self, example7_windows):
+        result = optimize(example7_windows, MIN)
+        text = explain(result, shards=4)
+        assert "shard fan-out (x4 key-hash shards):" in text
+        assert "global partials combine" in text
+
+    def test_holistic_shard_section(self):
+        result = optimize(WindowSet([Window(20, 20), Window(40, 40)]), MEDIAN)
+        text = explain(result, shards=2)
+        assert "raw-forward" in text
+
+    def test_no_section_by_default(self, example7_windows):
+        assert "shard fan-out" not in explain(optimize(example7_windows, MIN))

@@ -149,3 +149,27 @@ class TestBatchFromUnordered:
         scrambled = [(5, 0, 0.0), (0, 0, 0.0), (4, 0, 0.0), (1, 0, 0.0)]
         _, stats = reorder_events(scrambled, max_lateness=1)
         assert stats.late_dropped == 2  # ts 0 and 1 behind watermark 4
+
+
+class TestAcceptSorted:
+    """The sorted-batch bypass keeps counters and the watermark
+    coherent with push() — and refuses every unsafe precondition."""
+
+    def test_accounts_and_advances_watermark(self):
+        buffer = ReorderBuffer(0)
+        buffer.accept_sorted(10, 5, 42)
+        assert buffer.stats.accepted == 10
+        assert buffer.watermark == 42
+        # A later batch may start at the newest seen timestamp…
+        buffer.accept_sorted(3, 42, 50)
+        # …but never before it.
+        with pytest.raises(ExecutionError):
+            buffer.accept_sorted(1, 49, 60)
+
+    def test_requires_in_order_empty_buffer(self):
+        with pytest.raises(ExecutionError):
+            ReorderBuffer(4).accept_sorted(1, 0, 0)
+        buffer = ReorderBuffer(0)
+        list(buffer.push(7, 0, 1.0))  # ts=7 still buffered (lateness 0)
+        with pytest.raises(ExecutionError):
+            buffer.accept_sorted(1, 8, 8)

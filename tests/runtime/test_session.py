@@ -475,3 +475,98 @@ class TestSessionApi:
         session.push_many(int_stream.rows())
         assert session.watermark > 0
         assert session.queries == ("a",)
+
+
+class TestRetiredRetention:
+    """The retired-result archive is capped with exact eviction
+    counters (mirrors the ``late_events_elided`` pattern): a service
+    whose dashboards churn forever must not grow without bound."""
+
+    def _churn(self, session, rows, cycles):
+        """Register/deregister ``q`` once per stream segment."""
+        per = max(1, len(rows) // (2 * cycles))
+        i = 0
+        for cycle in range(cycles):
+            session.register(Query("q", WindowSet([Window(10, 5)]), MIN))
+            for ts, key, value in rows[i : i + per]:
+                session.push(ts, key, value)
+            i += per
+            session.deregister("q")
+            for ts, key, value in rows[i : i + per]:
+                session.push(ts, key, value)
+            i += per
+
+    def test_cap_bounds_archive_with_exact_counters(self, int_stream):
+        rows = list(int_stream.rows())
+        cycles = 6
+        session = QuerySession(
+            num_keys=2, hysteresis=None, max_retired_results=2
+        )
+        self._churn(session, rows, cycles)
+        results = session.finish(horizon=int_stream.horizon)
+        retired = [name for name in results if name != "q"]
+        assert len(retired) <= 2
+        # One archived subscription per cycle (single window), minus
+        # the two retained and the final life's live subscription.
+        assert session.retired_results_evicted == cycles - 2
+        assert session.retired_instances_evicted > 0
+
+    def test_uncapped_archive_retains_everything(self, int_stream):
+        rows = list(int_stream.rows())
+        session = QuerySession(
+            num_keys=2, hysteresis=None, max_retired_results=None
+        )
+        self._churn(session, rows, 6)
+        results = session.finish(horizon=int_stream.horizon)
+        assert len([n for n in results if n.startswith("q@g")]) == 5
+        assert session.retired_results_evicted == 0
+
+    def test_default_cap_keeps_existing_behaviour(self, int_stream):
+        """Moderate churn stays under the default cap — nothing is
+        evicted and every archive stays readable."""
+        rows = list(int_stream.rows())
+        session = QuerySession(num_keys=2, hysteresis=None)
+        self._churn(session, rows, 4)
+        results = session.finish(horizon=int_stream.horizon)
+        assert session.retired_results_evicted == 0
+        assert len([n for n in results if n.startswith("q@g")]) == 3
+
+    def test_rename_keeps_archive_eviction_order(self, int_stream):
+        """Re-registering a name renames its archive *in place*: the
+        renamed entry must stay oldest in the eviction order, not be
+        rejuvenated past archives retired after it."""
+        rows = list(int_stream.rows())
+        session = QuerySession(
+            num_keys=2, hysteresis=None, max_retired_results=2
+        )
+        wq, wr, ws = Window(10, 5), Window(12, 6), Window(14, 7)
+        session.register(Query("q", WindowSet([wq]), MIN))
+        session.register(Query("r", WindowSet([wr]), MIN))
+        session.register(Query("s", WindowSet([ws]), MIN))
+        for ts, key, value in rows[:400]:
+            session.push(ts, key, value)
+        session.deregister("q")  # archive order: [q]
+        session.deregister("r")  # archive order: [q, r] — at cap
+        session.register(Query("q", WindowSet([wq]), MIN))  # rename q
+        for ts, key, value in rows[400:800]:
+            session.push(ts, key, value)
+        session.deregister("s")  # exceeds cap: the *oldest* (q) goes
+        results = session.finish(horizon=int_stream.horizon)
+        assert not any(n.startswith("q@g") for n in results)
+        assert "r" in results and "s" in results
+        assert session.retired_results_evicted == 1
+
+    def test_sharded_session_applies_cap_per_core(self, int_stream):
+        from repro.runtime import ShardedSession
+
+        rows = list(int_stream.rows())
+        session = ShardedSession(
+            num_keys=2,
+            num_shards=2,
+            hysteresis=None,
+            max_retired_results=2,
+        )
+        self._churn(session, rows, 6)
+        results = session.finish(horizon=int_stream.horizon)
+        retired = [name for name in results if name != "q"]
+        assert len(retired) <= 2

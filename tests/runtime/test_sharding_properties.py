@@ -1,0 +1,272 @@
+"""Property tests for DESIGN.md invariant 10 (shard invariance).
+
+For any shard count, any out-of-order stream, and any randomized
+register/deregister/rate schedule over distributive, algebraic, and
+holistic aggregates — in both per-key and global scope — a
+:class:`~repro.runtime.ShardedSession`'s merged results must be
+**bit-identical** to the 1-shard run, and (for everything a
+:class:`~repro.runtime.QuerySession` can express) to the unsharded
+session, which invariant 9 already ties to a cold batch run.
+
+Streams carry integer values so every partial merge is exact float64
+arithmetic: bit-identity is required, not just closeness.  Schedules
+are seeded from ``REPRO_TEST_SEED`` (printed in the pytest header and
+embedded in failure messages) so counterexamples reproduce exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregates.registry import AVG, MAX, MEDIAN, MIN, SUM
+from repro.core.multiquery import Query
+from repro.engine.outoforder import scramble_batch
+from repro.runtime import QuerySession, ShardedSession
+from repro.windows.window import Window, WindowSet
+
+from session_streams import integer_stream
+
+#: (query, scope) pool mixing taxonomies and both result scopes.
+POOL = [
+    (Query("q0", WindowSet([Window(8, 4), Window(16, 8)]), MIN), "per_key"),
+    (Query("q1", WindowSet([Window(6, 3)]), MIN), "per_key"),
+    (Query("q2", WindowSet([Window(10, 5)]), SUM), "per_key"),
+    (Query("q3", WindowSet([Window(12, 6)]), AVG), "per_key"),
+    (Query("q4", WindowSet([Window(9, 3)]), MEDIAN), "per_key"),
+    (Query("q5", WindowSet([Window(12, 4)]), SUM), "global"),
+    (Query("q6", WindowSet([Window(8, 4)]), AVG), "global"),
+    (Query("q7", WindowSet([Window(12, 12)]), MAX), "global"),
+    (Query("q8", WindowSet([Window(6, 3)]), MEDIAN), "global"),  # forward
+]
+
+NUM_KEYS = 5
+TICKS = 500
+SHARD_COUNTS = (1, 2, 3, 8)
+
+
+def make_schedule(rng, n_events):
+    """One randomized register/deregister schedule over the pool."""
+    picks = rng.permutation(len(POOL))[: rng.integers(2, 7)]
+    register_at = {}
+    deregister_at = {}
+    survivors = set()
+    for slot, index in enumerate(picks):
+        query, scope = POOL[index]
+        point = int(rng.uniform(0.0, 0.6) * n_events)
+        register_at.setdefault(point, []).append((query, scope))
+        # Slot 0 always survives so the final workload is non-empty.
+        if slot > 0 and rng.random() < 0.4:
+            drop = int(rng.uniform(0.65, 0.95) * n_events)
+            deregister_at.setdefault(drop, []).append(query.name)
+        else:
+            survivors.add(query.name)
+    return register_at, deregister_at
+
+
+def run_sharded(
+    schedule,
+    events,
+    horizon,
+    num_shards,
+    backend="serial",
+    lateness=0,
+    hysteresis=None,
+):
+    register_at, deregister_at = schedule
+    session = ShardedSession(
+        num_keys=NUM_KEYS,
+        num_shards=num_shards,
+        backend=backend,
+        max_lateness=lateness,
+        hysteresis=hysteresis,
+        alpha=0.6,
+    )
+    try:
+        dropped = set()
+        for i, (ts, key, value) in enumerate(events):
+            for query, scope in register_at.get(i, ()):
+                session.register(query, scope=scope)
+            for name in deregister_at.get(i, ()):
+                if name in session.queries:
+                    session.deregister(name)
+                    dropped.add(name)
+        # (registration loop above intentionally interleaves with data)
+            session.push(ts, key, value)
+        for queries in register_at.values():
+            for query, scope in queries:
+                if (
+                    query.name not in session.queries
+                    and query.name not in dropped
+                ):
+                    session.register(query, scope=scope)
+        results = session.finish(horizon=horizon)
+        watermarks = session.shard_watermarks()
+    finally:
+        session.close()
+    return results, watermarks
+
+
+def run_unsharded(schedule, events, horizon, lateness=0, hysteresis=None):
+    """The same schedule on a QuerySession — minus forward-mode
+    (global holistic) queries, which only the sharded runtime serves."""
+    register_at, deregister_at = schedule
+    session = QuerySession(
+        num_keys=NUM_KEYS,
+        max_lateness=lateness,
+        hysteresis=hysteresis,
+        alpha=0.6,
+    )
+    forward = {
+        query.name
+        for point in register_at.values()
+        for query, scope in point
+        if scope == "global" and not query.aggregate.mergeable
+    }
+    dropped = set()
+    for i, (ts, key, value) in enumerate(events):
+        for query, scope in register_at.get(i, ()):
+            if query.name not in forward:
+                session.register(query, scope=scope)
+        for name in deregister_at.get(i, ()):
+            if name in session.queries:
+                session.deregister(name)
+                dropped.add(name)
+        session.push(ts, key, value)
+    for queries in register_at.values():
+        for query, scope in queries:
+            if (
+                query.name not in session.queries
+                and query.name not in dropped
+                and query.name not in forward
+            ):
+                session.register(query, scope=scope)
+    return session.finish(horizon=horizon), forward
+
+
+def assert_results_identical(expected, actual, context):
+    assert set(expected) == set(actual), context
+    for name in expected:
+        assert set(expected[name]) == set(actual[name]), (context, name)
+        for window, reference in expected[name].items():
+            emitted = actual[name][window]
+            assert (
+                emitted.start_instance == reference.start_instance
+                and emitted.frontier == reference.frontier
+            ), (context, name, window)
+            np.testing.assert_array_equal(
+                emitted.values,
+                reference.values,
+                err_msg=f"{context} {name}/{window}",
+            )
+
+
+@pytest.mark.parametrize("case", range(4))
+def test_randomized_schedules_are_shard_invariant(repro_seed, case):
+    rng = np.random.default_rng((repro_seed, case))
+    lateness = int(rng.integers(0, 9))
+    hysteresis = [None, 0.4][int(rng.integers(0, 2))]
+    batch = integer_stream(
+        ticks=TICKS,
+        num_keys=NUM_KEYS,
+        seed=int(rng.integers(0, 1000)),
+        rate_segments=((2, TICKS // 2), (6, TICKS - TICKS // 2)),
+    )
+    events = scramble_batch(batch, lateness, seed=int(rng.integers(0, 100)))
+    schedule = make_schedule(rng, len(events))
+    context = f"seed={repro_seed} case={case} lateness={lateness}"
+
+    baseline, base_marks = run_sharded(
+        schedule,
+        events,
+        batch.horizon,
+        num_shards=1,
+        lateness=lateness,
+        hysteresis=hysteresis,
+    )
+    # Watermarks aligned: min over shards == max over shards.
+    assert min(base_marks) == max(base_marks), context
+    for num_shards in SHARD_COUNTS[1:]:
+        results, marks = run_sharded(
+            schedule,
+            events,
+            batch.horizon,
+            num_shards=num_shards,
+            lateness=lateness,
+            hysteresis=hysteresis,
+        )
+        assert min(marks) == max(marks), (context, num_shards)
+        assert_results_identical(
+            baseline, results, f"{context} shards={num_shards}"
+        )
+
+    # Invariant 10 ties into invariant 9: everything a QuerySession can
+    # express matches it bit-for-bit (and invariant 9 ties *that* to a
+    # cold batch run).
+    unsharded, forward = run_unsharded(
+        schedule,
+        events,
+        batch.horizon,
+        lateness=lateness,
+        hysteresis=hysteresis,
+    )
+    comparable = {
+        name: by_window
+        for name, by_window in baseline.items()
+        if name.split("@g")[0] not in forward
+    }
+    assert_results_identical(unsharded, comparable, f"{context} vs-unsharded")
+
+
+@pytest.mark.parametrize("num_shards", [2, 3])
+def test_process_backend_matches_serial_oracle(repro_seed, num_shards):
+    """The multiprocessing backend is observationally identical to the
+    deterministic serial oracle under a randomized schedule."""
+    rng = np.random.default_rng((repro_seed, 77, num_shards))
+    lateness = int(rng.integers(0, 5))
+    batch = integer_stream(
+        ticks=300, num_keys=NUM_KEYS, seed=int(rng.integers(0, 1000))
+    )
+    events = scramble_batch(batch, lateness, seed=int(rng.integers(0, 100)))
+    schedule = make_schedule(rng, len(events))
+    context = f"seed={repro_seed} shards={num_shards}"
+
+    serial, _ = run_sharded(
+        schedule, events, batch.horizon, num_shards, "serial", lateness
+    )
+    process, _ = run_sharded(
+        schedule, events, batch.horizon, num_shards, "process", lateness
+    )
+    assert_results_identical(serial, process, f"{context} process-backend")
+
+
+def test_push_batch_matches_per_event_push(repro_seed):
+    """The vectorized sorted fast path is observationally identical to
+    pushing the same events one at a time."""
+    rng = np.random.default_rng((repro_seed, 99))
+    batch = integer_stream(
+        ticks=400, num_keys=NUM_KEYS, seed=int(rng.integers(0, 1000))
+    )
+    queries = [
+        (POOL[0][0], "per_key"),
+        (POOL[2][0], "per_key"),
+        (POOL[6][0], "global"),
+        (POOL[8][0], "global"),
+    ]
+
+    def run(use_batch):
+        session = ShardedSession(
+            num_keys=NUM_KEYS, num_shards=3, hysteresis=None
+        )
+        try:
+            for query, scope in queries:
+                session.register(query, scope=scope)
+            if use_batch:
+                session.push_batch(batch)
+            else:
+                session.push_many(batch.rows())
+            return session.finish(horizon=batch.horizon)
+        finally:
+            session.close()
+
+    assert_results_identical(
+        run(False), run(True), f"seed={repro_seed} push_batch"
+    )
