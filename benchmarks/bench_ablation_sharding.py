@@ -1,24 +1,31 @@
-"""Ablation: key-sharded runtime throughput vs shard count (DESIGN.md §7).
+"""Ablation: key-sharded runtime throughput vs shard count
+(DESIGN.md §7 and §8).
 
 The :class:`~repro.runtime.ShardedSession` hash-partitions the key
 space across N shard-local session cores behind one coordinator clock.
 This ablation runs the same distributive workload (SUM + MIN over a
 multi-key constant-rate stream, the paper's steady-rate setting) at
-shard counts 1–8 on both backends:
+shard counts 1–8 on all three backends:
 
 * ``serial`` — every core in the coordinator process: measures the
   pure partitioning overhead (expected <= 1x; it is the oracle, not
   the fast path);
 * ``process`` — one worker per shard fed columnar chunk slices over
-  pipes: the data-parallel path that should beat the 1-shard baseline
-  once enough cores exist.
+  pipes: the data-parallel path, paying one pickle → pipe → unpickle
+  round trip per shard per chunk;
+* ``shm`` — the same workers fed through per-shard shared-memory
+  rings: columns are memcpy'd into fixed slots, nothing on the data
+  plane is pickled, so the serialization cost the pipe backend pays
+  per chunk disappears.
 
 Every run's merged results are asserted bit-identical to the 1-shard
 baseline (invariant 10 — a benchmark that got faster by being wrong
-would be worthless), and the multiprocessing backend must beat the
-baseline at >= 4 shards when the machine has >= 4 CPUs (the CI
-acceptance gate).  Emits ``BENCH_sharding.json`` for the CI perf
-trajectory; ``bench compare --portable-only`` diffs it across commits.
+would be worthless).  Two acceptance gates apply when the machine has
+>= 4 CPUs: the process backend must beat the 1-shard baseline at >= 4
+shards, and the shm backend must beat the pipe backend at >= 4 shards
+(the data-plane rewrite has to pay for itself where parallelism is
+real).  Emits ``BENCH_sharding.json`` for the CI perf trajectory;
+``bench compare --portable-only`` diffs it across commits.
 """
 
 import os
@@ -102,7 +109,7 @@ def test_sharding_ablation_report(report_sink, bench_events):
 
     rows = []
     series = []
-    for backend in ("serial", "process"):
+    for backend in ("serial", "process", "shm"):
         for num_shards in SHARD_COUNTS:
             if backend == "serial" and num_shards == 1:
                 wall, physical = baseline_wall, baseline_physical
@@ -132,19 +139,27 @@ def test_sharding_ablation_report(report_sink, bench_events):
                 }
             )
 
-    # Acceptance gate: with enough cores, the multiprocessing backend
-    # must beat the 1-shard baseline at >= 4 shards (CI runs on >= 4
-    # vCPUs; single-core boxes can only measure overhead, not scaling).
+    # Acceptance gates: with enough cores, the multiprocessing backend
+    # must beat the 1-shard baseline at >= 4 shards, and the
+    # shared-memory data plane must beat the pipes it replaces there
+    # (CI runs on >= 4 vCPUs; single-core boxes can only measure
+    # overhead, not scaling).
     cpus = os.cpu_count() or 1
     process_wide = [
         s
         for s in series
         if s["backend"] == "process" and s["shards"] >= 4
     ]
+    shm_wide = [
+        s for s in series if s["backend"] == "shm" and s["shards"] >= 4
+    ]
     if cpus >= 4:
         assert max(s["throughput"] for s in process_wide) > (
             baseline_throughput
         ), "process backend failed to beat the 1-shard baseline"
+        assert max(s["throughput"] for s in shm_wide) > max(
+            s["throughput"] for s in process_wide
+        ), "shm backend failed to beat the pipe backend at >= 4 shards"
 
     report_sink(
         "ablation_sharding",

@@ -7,12 +7,17 @@ device-key space across N shard-local session cores behind one
 coordinator clock (DESIGN.md §7) — and guarantees the merged results
 are identical at every shard count (invariant 10).
 
-The script runs the same dashboard workload three ways:
+The script runs the same dashboard workload five ways:
 
 1. a 1-shard baseline (the plain ``QuerySession`` semantics);
 2. 4 shards on the deterministic in-process backend;
 3. 4 shards on the ``multiprocessing`` backend, shipping columnar
-   chunk slices to one worker process per shard;
+   chunk slices to one worker process per shard over pipes;
+4. 4 shards on the shared-memory backend (``shm``): the same workers
+   fed through per-shard SPSC rings — no pickling on the data plane
+   (DESIGN.md §8);
+5. the shm configuration again behind the non-blocking async ingest
+   front door (``async_ingest=True``);
 
 registering along the way:
 
@@ -24,7 +29,7 @@ registering along the way:
 * a *global* MEDIAN (holistic: no partial form exists, so raw values
   forward to a coordinator-local core),
 
-and verifies all three runs agree bit-for-bit.
+and verifies all five runs agree bit-for-bit.
 
 Run with:  python examples/sharded_session.py
 """
@@ -58,12 +63,13 @@ GLOBAL_MEDIAN = (
 )
 
 
-def run(num_shards: int, backend: str):
+def run(num_shards: int, backend: str, async_ingest: bool = False):
     session = ShardedSession(
         num_keys=NUM_KEYS,
         num_shards=num_shards,
         backend=backend,
         hysteresis=None,
+        async_ingest=async_ingest,
     )
     try:
         session.register(PER_KEY_MIN, name="mins")
@@ -86,11 +92,16 @@ def run(num_shards: int, backend: str):
 def main() -> None:
     print(f"{EVENTS:,} events, {NUM_KEYS} device keys\n")
     baseline, base_wall, base_stats = run(1, "serial")
-    configs = [(4, "serial"), (4, "process")]
+    configs = [
+        (4, "serial", False),
+        (4, "process", False),
+        (4, "shm", False),
+        (4, "shm", True),
+    ]
     print(f"{'config':>18}: {'K ev/s':>9}  vs 1-shard")
     print(f"{'serial x1':>18}: {EVENTS / base_wall / 1e3:>9,.0f}  1.00x")
-    for num_shards, backend in configs:
-        results, wall, stats = run(num_shards, backend)
+    for num_shards, backend, async_ingest in configs:
+        results, wall, stats = run(num_shards, backend, async_ingest)
         # Invariant 10: per-key results (and raw-forwarded holistics)
         # are bit-identical at every shard count even for float
         # streams; the global partial merge reassociates the cross-key
@@ -108,7 +119,9 @@ def main() -> None:
                         emitted, reference.values
                     )
         assert stats.pairs_per_window == base_stats.pairs_per_window
-        label = f"{backend} x{num_shards}"
+        label = f"{backend} x{num_shards}" + (
+            " +async" if async_ingest else ""
+        )
         print(
             f"{label:>18}: {EVENTS / wall / 1e3:>9,.0f}  "
             f"{base_wall / wall:.2f}x"

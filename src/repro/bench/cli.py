@@ -13,7 +13,10 @@ Commands
                   ``--shards N`` (N > 1) the stream runs on the
                   key-sharded :class:`~repro.runtime.ShardedSession`
                   instead (DESIGN.md §7); ``--shard-backend`` picks
-                  the serial oracle or the multiprocessing pool.
+                  the serial oracle, the multiprocessing pipe pool, or
+                  the shared-memory ring pool (``shm``, DESIGN.md §8);
+                  ``--async-ingest`` puts the bounded-queue front door
+                  in front of either session.
 ``bench``         benchmark utilities; ``bench compare`` diffs two
                   ``BENCH_*.json`` reports and exits non-zero on
                   regressions beyond a threshold (the CI perf gate).
@@ -148,17 +151,22 @@ def _cmd_session(args: argparse.Namespace) -> int:
             backend=args.shard_backend,
             max_lateness=args.lateness,
             hysteresis=None if args.no_adapt else args.hysteresis,
+            async_ingest=args.async_ingest,
         )
         print(
             f"sharded session: x{args.shards} key-hash shards "
-            f"({args.shard_backend} backend)"
+            f"({args.shard_backend} backend"
+            f"{', async ingest' if args.async_ingest else ''})"
         )
     else:
         session = QuerySession(
             num_keys=args.keys,
             max_lateness=args.lateness,
             hysteresis=None if args.no_adapt else args.hysteresis,
+            async_ingest=args.async_ingest,
         )
+        if args.async_ingest:
+            print("async ingest: bounded-queue front door enabled")
     rows = list(stream.rows())
     # First query opens before any data; the rest spread over the
     # first half of the stream — the live-dashboard shape.
@@ -166,12 +174,16 @@ def _cmd_session(args: argparse.Namespace) -> int:
         (i * len(rows)) // (2 * max(1, len(args.query))): q
         for i, q in enumerate(args.query)
     }
-    for i, (ts, key, value) in enumerate(rows):
-        if i in points:
-            name = session.register(points[i])
-            print(f"[wm {session.watermark:>6}] registered {name!r}")
-        session.push(ts, key, value)
-    results = session.finish(horizon=stream.horizon)
+    try:
+        for i, (ts, key, value) in enumerate(rows):
+            if i in points:
+                name = session.register(points[i])
+                print(f"[wm {session.watermark:>6}] registered {name!r}")
+            session.push(ts, key, value)
+        results = session.finish(horizon=stream.horizon)
+    except BaseException:
+        session.close()  # stop pump threads / workers, unlink rings
+        raise
 
     print()
     print("plan switches:")
@@ -196,8 +208,14 @@ def _cmd_session(args: argparse.Namespace) -> int:
         f"physical={stats.total_physical:,} "
         f"throughput={stats.throughput / 1e3:,.0f}K ev/s"
     )
-    if args.shards > 1:
-        session.close()
+    if args.async_ingest:
+        ingest = session.ingest_stats
+        print(
+            f"ingest queue: {ingest.enqueued_events:,} events, "
+            f"{ingest.backpressure_waits:,} backpressure waits, "
+            f"peak backlog {ingest.max_depth_events:,}"
+        )
+    session.close()
     return 0
 
 
@@ -281,10 +299,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_ses.add_argument(
         "--shard-backend",
-        choices=("serial", "process"),
+        choices=("serial", "process", "shm"),
         default="serial",
-        help="where shard cores run: in-process (deterministic oracle) "
-        "or one worker process per shard",
+        help="where shard cores run: in-process (deterministic oracle), "
+        "one worker process per shard over pipes, or one worker per "
+        "shard over shared-memory rings (DESIGN.md §8)",
+    )
+    p_ses.add_argument(
+        "--async-ingest",
+        action="store_true",
+        help="put the bounded-queue non-blocking front door in front "
+        "of the session (backpressure instead of blocking pushes)",
     )
     p_ses.set_defaults(func=_cmd_session)
 

@@ -19,6 +19,7 @@ from ..windows.window import VIRTUAL_ROOT, Window, WindowSet
 from .cost import CostModel, MinCostWCG, minimize_cost, prune_useless_factors
 from .factor import (
     FactorCandidate,
+    direct_downstream,
     generate_candidates_covered,
     generate_candidates_partitioned,
     global_factor_benefit,
@@ -127,13 +128,24 @@ def min_cost_wcg_with_factors(
     Algorithm 1 over the expanded graph and prune factor windows
     nothing reads from.
 
-    Deviation from the paper (see DESIGN.md §3): candidates are priced
+    Deviations from the paper (see DESIGN.md §3): candidates are priced
     with :func:`~repro.core.factor.global_factor_benefit` — the exact
     total-cost delta against the windows' current best providers —
     instead of Equation 2's read-from-target assumption.  The paper's
     formula can over-estimate savings and insert a factor that makes
     the final plan *worse*; the global gate makes improvement over
     Algorithm 1 a guarantee, which our property tests enforce.
+
+    Candidates are additionally generated from every *pair* of the
+    target's strict descendants, not only from its direct consumers as
+    a set.  Algorithm 2/5 derive the candidate space from the gcd of
+    all downstream slides (ranges), so a factor serving only a subset
+    of the downstream windows is invisible to them — e.g. in
+    {W(4,4), W(20,20), W(30,30)}, W(20,20) hangs under W(4,4) and no
+    target ever sees the pair {20, 30} whose gcd admits the winning
+    factor W(10,10).  Pairwise gcds are a superset of every larger
+    subset's gcd, so pair generation covers all multi-consumer
+    factors; the exact benefit gate keeps insertion regression-safe.
     """
     model = model or CostModel()
     window_set = windows if isinstance(windows, WindowSet) else WindowSet(list(windows))
@@ -151,11 +163,21 @@ def min_cost_wcg_with_factors(
         downstream = list(graph.consumers_of(target))
         if not downstream:
             continue
+        descendants = direct_downstream(graph.nodes, target, semantics)
+        subsets: list[list[Window]] = [downstream]
+        for i in range(len(descendants)):
+            for j in range(i + 1, len(descendants)):
+                subsets.append([descendants[i], descendants[j]])
         best: FactorCandidate | None = None
-        for window in generate(target, downstream, exclude=graph.nodes):
-            benefit = global_factor_benefit(graph, window, period, model)
-            if benefit > 0 and (best is None or benefit > best.benefit):
-                best = FactorCandidate(window, benefit)
+        seen: set[Window] = set()
+        for subset in subsets:
+            for window in generate(target, subset, exclude=graph.nodes):
+                if window in seen:
+                    continue
+                seen.add(window)
+                benefit = global_factor_benefit(graph, window, period, model)
+                if benefit > 0 and (best is None or benefit > best.benefit):
+                    best = FactorCandidate(window, benefit)
         if best is not None and not graph.has_node(best.window):
             graph.insert_factor(best.window)
             inserted.append(best)

@@ -17,6 +17,20 @@ import numpy as np
 
 from ..errors import ExecutionError
 
+#: The stream event schema, column by column — the single source of
+#: truth every data plane lays events out from: `EventBatch` columns,
+#: the per-shard slices of :meth:`KeyPartitioner.split_arrays`, and the
+#: shared-memory ring slots of :mod:`repro.runtime.shm_ring` (which
+#: sizes its fixed-capacity slots as ``slot_events * EVENT_BYTES``).
+EVENT_COLUMN_DTYPES = (
+    ("timestamp", np.dtype(np.int64)),
+    ("key", np.dtype(np.int64)),
+    ("value", np.dtype(np.float64)),
+)
+
+#: Bytes one event occupies across all columns.
+EVENT_BYTES = sum(dtype.itemsize for _, dtype in EVENT_COLUMN_DTYPES)
+
 
 @dataclass(frozen=True)
 class EventBatch:

@@ -9,8 +9,15 @@ and the out-of-order front door — into long-lived session objects:
   paper's motivating Azure IoT Central scenario.
 * :class:`ShardedSession` — N cores over a hash-partitioned key space
   behind one coordinator clock, with pluggable execution backends
-  (deterministic serial, or a ``multiprocessing`` worker pool) and a
-  partial-merge coordinator (DESIGN.md §7, invariant 10).
+  (deterministic serial; a ``multiprocessing`` worker pool over pipes;
+  a shared-memory ring data plane — see ``docs/backends.md`` for the
+  backend contract) and a partial-merge coordinator (DESIGN.md §7,
+  invariant 10).
+
+Both sessions take ``async_ingest=True`` to put a bounded queue and a
+background pump thread in front of ingestion — pushes return without
+waiting for flushes, backpressure instead of loss (DESIGN.md §8,
+invariant 11).
 
 See DESIGN.md §6 for the generation/switch model and invariant 9 for
 the observational-equivalence contract.
@@ -28,24 +35,32 @@ from .results import (
     WindowResults,
     finalize_partials,
 )
+from .ingest import DEFAULT_INGEST_HIGH_WATERMARK, IngestStats
 from .session import QuerySession
 from .sharding import (
     ProcessShardBackend,
     SerialShardBackend,
     ShardedSession,
+    SharedMemoryShardBackend,
 )
+from .shm_ring import RingSpec, ShmRing
 
 __all__ = [
+    "DEFAULT_INGEST_HIGH_WATERMARK",
     "DEFAULT_RETIRED_RESULT_CAP",
+    "IngestStats",
     "PartialResults",
     "PlanSwitchRecord",
     "ProcessShardBackend",
     "QuerySession",
     "RegisterAck",
+    "RingSpec",
     "SerialShardBackend",
     "SessionCore",
     "ShardReport",
     "ShardedSession",
+    "SharedMemoryShardBackend",
+    "ShmRing",
     "WindowResults",
     "finalize_partials",
 ]

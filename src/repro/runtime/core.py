@@ -11,10 +11,12 @@ subscription routing.  It deliberately owns **no** reorder buffer and
   :class:`~repro.core.adaptive.RateController` (the single-process
   service shape);
 * :class:`~repro.runtime.sharding.ShardedSession` embeds N cores — one
-  per key shard, in-process or in worker processes — and drives them
-  all from one coordinator clock, which is what makes shard-count
-  invariance (DESIGN.md invariant 10) provable: every core sees the
-  same watermark sequence regardless of how keys were split.
+  per key shard: in-process (serial backend) or in worker processes
+  fed over pipes (process backend) or shared-memory rings (shm
+  backend, DESIGN.md §8) — and drives them all from one coordinator
+  clock, which is what makes shard-count invariance (DESIGN.md
+  invariant 10) provable: every core sees the same watermark sequence
+  regardless of how keys were split or shipped.
 
 Because the core never advances time on its own (``ingest`` self-rolls
 chunk boundaries only in the standalone path; ``buffer_arrays`` never
@@ -232,6 +234,13 @@ class SessionCore:
     @property
     def chunk_ticks(self) -> int:
         return self._chunk_ticks
+
+    @property
+    def buffered_events(self) -> int:
+        """Events buffered but not yet absorbed by a flush — at most
+        one chunk's worth in steady state (boundedness introspection
+        for the front doors and their tests)."""
+        return self._buffered
 
     @property
     def queries(self) -> tuple[str, ...]:

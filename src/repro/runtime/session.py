@@ -57,6 +57,11 @@ from .core import (
     SessionCore,
     resolve_registration_query,
 )
+from .ingest import (
+    DEFAULT_INGEST_HIGH_WATERMARK,
+    AsyncIngestFrontDoor,
+    IngestPump,
+)
 from .results import (
     PlanSwitchRecord,
     WindowResults,
@@ -66,7 +71,7 @@ from .results import (
 __all__ = ["PlanSwitchRecord", "QuerySession", "WindowResults"]
 
 
-class QuerySession:
+class QuerySession(AsyncIngestFrontDoor):
     """A long-lived runtime over one unbounded, out-of-order stream.
 
     Parameters
@@ -87,6 +92,16 @@ class QuerySession:
     max_retired_results:
         Retention cap on deregistered queries' archived results
         (``None`` = unbounded); evictions are counted exactly.
+    async_ingest / ingest_high_watermark / ingest_low_watermark:
+        ``async_ingest=True`` puts a bounded queue and a background
+        pump thread in front of the synchronous ingest path
+        (:mod:`repro.runtime.ingest`, DESIGN.md §8): ``push`` returns
+        without waiting for flushes, blocking only while the backlog
+        sits at ``ingest_high_watermark`` events (until drained to
+        ``ingest_low_watermark``).  Workload mutations and result
+        reads become synchronization points; emitted results are
+        bit-identical to sync mode (invariant 11).  Close the session
+        (or ``finish`` it) to stop the pump thread.
     """
 
     def __init__(
@@ -99,6 +114,9 @@ class QuerySession:
         alpha: float = 0.3,
         enable_factor_windows: bool = True,
         max_retired_results: "int | None" = DEFAULT_RETIRED_RESULT_CAP,
+        async_ingest: bool = False,
+        ingest_high_watermark: int = DEFAULT_INGEST_HIGH_WATERMARK,
+        ingest_low_watermark: "int | None" = None,
     ):
         self._core = SessionCore(
             num_keys=num_keys,
@@ -119,6 +137,15 @@ class QuerySession:
         self._reorder = ReorderBuffer(max_lateness)
         self._rate_observer = EpochRateObserver(self.controller)
         self._auto_names = 0
+        self._pump = (
+            IngestPump(
+                push=self._push_now,
+                high_watermark=ingest_high_watermark,
+                low_watermark=ingest_low_watermark,
+            )
+            if async_ingest
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Introspection (delegated to the core)
@@ -152,7 +179,7 @@ class QuerySession:
 
     @property
     def switches(self) -> "list[PlanSwitchRecord]":
-        return self._core.switches
+        return self._via_pump(list, self._core.switches)
 
     @property
     def wall_seconds(self) -> float:
@@ -173,15 +200,17 @@ class QuerySession:
         return self._core._groups
 
     def stats(self) -> ExecutionStats:
-        """Merged execution counters across all groups."""
-        return self._core.stats()
+        """Merged execution counters across all groups (in async mode,
+        a synchronization point — the snapshot is consistent with the
+        command stream)."""
+        return self._via_pump(self._core.stats)
 
     def group_stats(self) -> "dict[GroupKey, ExecutionStats]":
-        return self._core.group_stats()
+        return self._via_pump(self._core.group_stats)
 
     def max_retained_state(self) -> int:
         """Largest per-operator buffered-state high-water mark."""
-        return self._core.max_retained_state()
+        return self._via_pump(self._core.max_retained_state)
 
     # ------------------------------------------------------------------
     # Workload mutations
@@ -203,6 +232,11 @@ class QuerySession:
         result row (mergeable aggregates only; a
         :class:`~repro.runtime.sharding.ShardedSession` additionally
         raw-forwards holistic global queries)."""
+        return self._via_pump(self._register_now, query, name, scope)
+
+    def _register_now(
+        self, query: "str | Query", name: str, scope: str
+    ) -> str:
         query = resolve_registration_query(query, name, self._next_auto_name)
         self._core.register(query, at=self._safe_watermark(), scope=scope)
         return query.name
@@ -212,13 +246,23 @@ class QuerySession:
         results stay readable (within the retention cap); its windows
         stop being computed unless another query (or the optimizer)
         still needs them."""
+        self._via_pump(self._deregister_now, name)
+
+    def _deregister_now(self, name: str) -> None:
         self._core.deregister(name, at=self._safe_watermark())
 
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
     def push(self, ts: int, key: int, value: float) -> None:
-        """Ingest one (possibly out-of-order) event."""
+        """Ingest one (possibly out-of-order) event.
+
+        In async mode this enqueues and returns immediately, blocking
+        only under backpressure (see :mod:`repro.runtime.ingest`)."""
+        if not self._route_event(ts, key, value):
+            self._push_now(ts, key, value)
+
+    def _push_now(self, ts: int, key: int, value: float) -> None:
         self._core._require_open()
         if not 0 <= key < self.num_keys:
             raise ExecutionError(
@@ -253,12 +297,30 @@ class QuerySession:
     def finish(self, horizon: "int | None" = None):
         """Drain the reorder buffer, close every instance ending at or
         before ``horizon`` (default: last event + 1), and return
-        :meth:`results`.  The session accepts no events afterwards."""
+        :meth:`results`.  The session accepts no events afterwards (in
+        async mode the pump thread is stopped)."""
+        results = self._via_pump(self._finish_now, horizon)
+        self._stop_pump()
+        return results
+
+    def _finish_now(self, horizon: "int | None"):
         self._core._require_open()
         for event in self._reorder.flush():
             self._core.ingest(*event)
         self._core.finish(horizon)
-        return self.results()
+        return self._collect(drain=False)
+
+    def close(self) -> None:
+        """Stop the async pump thread (if any).  Unlike
+        :meth:`finish`, pending queued events are still applied first;
+        results stay readable afterwards."""
+        self._stop_pump()
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def results(self) -> "dict[str, dict[Window, WindowResults]]":
         """Per-query, per-window emitted results (live and retired
@@ -270,7 +332,7 @@ class QuerySession:
         instances.  Long-lived sessions over unbounded streams should
         poll :meth:`drain_results` instead.
         """
-        return self._collect(drain=False)
+        return self._via_pump(self._collect, False)
 
     def drain_results(self) -> "dict[str, dict[Window, WindowResults]]":
         """Consume emitted results: return every block accumulated
@@ -279,7 +341,7 @@ class QuerySession:
         per-subscription memory bounded by the emission rate between
         polls — the service-shaped read path.  Retired subscriptions
         are drained too and dropped once read."""
-        return self._collect(drain=True)
+        return self._via_pump(self._collect, True)
 
     def _collect(self, drain: bool):
         report = self._core.report(drain=drain)

@@ -27,7 +27,8 @@ The coordinator merges per result-routing mode:
   single-key core (inherently unsharded, per the Gray et al.
   taxonomy).
 
-Two execution backends implement one contract:
+Three execution backends implement one contract (documented for
+third-party implementations in ``docs/backends.md``):
 
 * :class:`SerialShardBackend` — all cores in-process, advanced
   deterministically in shard order: the test oracle.
@@ -36,6 +37,14 @@ Two execution backends implement one contract:
   IPC message per shard per chunk, never per event) and data-plane
   commands are fire-and-forget, so the coordinator keeps routing chunk
   ``k+1`` while workers crunch chunk ``k``.
+* :class:`SharedMemoryShardBackend` — the same worker topology, but
+  the data plane moves to one single-producer/single-consumer columnar
+  ring per shard in ``multiprocessing.shared_memory``
+  (:mod:`repro.runtime.shm_ring`): event slices are written straight
+  into fixed-capacity slots as numpy column blocks — nothing on the
+  data plane is pickled — and watermark advances ride the same ring,
+  so data/advance ordering is a property of the ring, not of pipe
+  scheduling.  Control-plane commands stay on the pipe (DESIGN.md §8).
 """
 
 from __future__ import annotations
@@ -62,6 +71,11 @@ from .core import (
     SessionCore,
     ShardReport,
     resolve_registration_query,
+)
+from .ingest import (
+    DEFAULT_INGEST_HIGH_WATERMARK,
+    AsyncIngestFrontDoor,
+    IngestPump,
 )
 from .results import PlanSwitchRecord, WindowResults, finalize_partials
 
@@ -110,8 +124,8 @@ def _merge_acks(acks: "list[RegisterAck]") -> RegisterAck:
 class SerialShardBackend:
     """All shard cores in-process, advanced in shard order.
 
-    Deterministic by construction — the oracle the invariant-10
-    property tests (and the process backend) are compared against.
+    Deterministic by construction — the oracle the invariant-10/11
+    property tests (and every worker backend) are compared against.
     """
 
     name = "serial"
@@ -171,13 +185,51 @@ class SerialShardBackend:
 
 
 # ----------------------------------------------------------------------
-# Multiprocessing backend
+# Worker-process backends (pipe and shared-memory data planes)
 # ----------------------------------------------------------------------
 #: Commands that synchronously return a payload (everything else is
 #: fire-and-forget data plane).
 _REPLY_OPS = frozenset(
     {"register", "deregister", "rate", "collect", "stats", "retained"}
 )
+
+#: Worker idle wait on the control pipe when the data plane is quiet.
+_IDLE_POLL_SECONDS = 500e-6
+
+
+def _apply_control(core, conn, msg, pending_error: "str | None") -> "str | None":
+    """Execute one synchronous control-plane command and reply on the
+    pipe.  A parked data-plane error pre-empts the command (the reply
+    stream must never desync); the possibly-updated parked error is
+    returned."""
+    op = msg[0]
+    if pending_error is not None:
+        conn.send(("error", pending_error))
+        return pending_error
+    try:
+        if op == "register":
+            conn.send(("ok", core.register(msg[1], at=msg[2], scope=msg[3])))
+        elif op == "deregister":
+            conn.send(("ok", core.deregister(msg[1], at=msg[2])))
+        elif op == "rate":
+            conn.send(("ok", core.set_event_rate(msg[1], at=msg[2])))
+        elif op == "collect":
+            conn.send(("ok", core.report(drain=msg[1])))
+        elif op == "stats":
+            conn.send(
+                ("ok", (core.stats(), list(core.switches), core.watermark))
+            )
+        elif op == "retained":
+            conn.send(("ok", core.max_retained_state()))
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"unknown shard command {msg[0]!r}")
+    except Exception:
+        err = traceback.format_exc()
+        if op in _REPLY_OPS:
+            conn.send(("error", err))
+        else:  # pragma: no cover - defensive (no reply is owed)
+            return err
+    return pending_error
 
 
 def _shard_worker(conn, config: ShardConfig) -> None:
@@ -198,78 +250,93 @@ def _shard_worker(conn, config: ShardConfig) -> None:
         if op == "close":
             conn.close()
             return
-        if pending_error is not None and op in _REPLY_OPS:
-            conn.send(("error", pending_error))
-            continue
-        try:
-            if op == "feed":
-                ts, keys, values = msg[1]
-                if ts.size:
-                    core.buffer_arrays(ts, keys, values)
-            elif op == "advance":
-                core.advance_to(msg[1])
-            elif op == "register":
-                conn.send(
-                    ("ok", core.register(msg[1], at=msg[2], scope=msg[3]))
-                )
-            elif op == "deregister":
-                conn.send(("ok", core.deregister(msg[1], at=msg[2])))
-            elif op == "rate":
-                conn.send(("ok", core.set_event_rate(msg[1], at=msg[2])))
-            elif op == "collect":
-                conn.send(("ok", core.report(drain=msg[1])))
-            elif op == "stats":
-                conn.send(
-                    (
-                        "ok",
-                        (
-                            core.stats(),
-                            list(core.switches),
-                            core.watermark,
-                        ),
-                    )
-                )
-            elif op == "retained":
-                conn.send(("ok", core.max_retained_state()))
-            else:  # pragma: no cover - defensive
-                raise ExecutionError(f"unknown shard command {op!r}")
-        except Exception:
-            err = traceback.format_exc()
-            if op in _REPLY_OPS:
-                conn.send(("error", err))
-            else:
-                pending_error = err
+        if op in ("feed", "advance"):
+            try:
+                if op == "feed":
+                    ts, keys, values = msg[1]
+                    if ts.size:
+                        core.buffer_arrays(ts, keys, values)
+                else:
+                    core.advance_to(msg[1])
+            except Exception:
+                pending_error = traceback.format_exc()
+        else:
+            pending_error = _apply_control(core, conn, msg, pending_error)
 
 
-class ProcessShardBackend:
-    """One worker process per shard, fed columnar slices over a pipe.
+def _shm_shard_worker(conn, config: ShardConfig, spec, untrack: bool) -> None:
+    """One shard's loop for the shared-memory backend: data plane from
+    the ring, control plane from the pipe.
 
-    Pipes give per-worker FIFO command streams; only commands in
-    ``_REPLY_OPS`` produce replies, so the coordinator can pipeline
-    data-plane traffic without round trips.  Workers are daemonic —
-    they die with the coordinator process.
+    The coordinator publishes every data/advance record *before* it
+    sends a control command and then blocks for the reply, so draining
+    the ring to empty right before executing a control command applies
+    that command at exactly its position in the stream — the same FIFO
+    the single-pipe worker gets for free.
     """
+    from .shm_ring import ShmRing
 
-    name = "process"
+    ring = ShmRing.attach(spec, untrack=untrack)
+    core = config.build()
+    pending_error: "str | None" = None
+
+    def drain() -> "tuple[bool, str | None]":
+        progressed, error = False, None
+        try:
+            while (record := ring.pop()) is not None:
+                progressed = True
+                if record[0] == "data":
+                    core.buffer_arrays(record[1], record[2], record[3])
+                else:
+                    core.advance_to(record[1])
+        except Exception:
+            error = traceback.format_exc()
+        return progressed, error
+
+    try:
+        while True:
+            progressed, error = drain()
+            pending_error = pending_error or error
+            if not conn.poll(0 if progressed else _IDLE_POLL_SECONDS):
+                continue
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):  # pragma: no cover - parent died
+                return
+            if msg[0] == "close":
+                conn.close()
+                return
+            _, error = drain()
+            pending_error = pending_error or error
+            pending_error = _apply_control(core, conn, msg, pending_error)
+    finally:
+        ring.close()
+
+
+class _WorkerShardBackend:
+    """Shared machinery of the worker-process backends: one daemonic
+    worker per shard, a control pipe each, broadcast/gather with
+    drain-before-raise error collection.  Subclasses choose the data
+    plane by implementing :meth:`feed` / :meth:`advance` and spawning
+    their worker loop in :meth:`start`."""
 
     def __init__(self, context: "str | None" = None):
         self._ctx = multiprocessing.get_context(context)
         self._conns = []
         self._procs = []
 
-    def start(self, configs: "list[ShardConfig]") -> None:
-        for config in configs:
-            parent, child = self._ctx.Pipe()
-            proc = self._ctx.Process(
-                target=_shard_worker,
-                args=(child, config),
-                daemon=True,
-                name=f"repro-shard-{config.shard}",
-            )
-            proc.start()
-            child.close()
-            self._conns.append(parent)
-            self._procs.append(proc)
+    def _spawn(self, config: ShardConfig, target, extra_args=()) -> None:
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=target,
+            args=(child, config, *extra_args),
+            daemon=True,
+            name=f"repro-shard-{config.shard}",
+        )
+        proc.start()
+        child.close()
+        self._conns.append(parent)
+        self._procs.append(proc)
 
     def _broadcast(self, msg) -> None:
         for conn in self._conns:
@@ -291,14 +358,6 @@ class ProcessShardBackend:
             )
             raise ExecutionError(f"shard worker(s) failed:\n{detail}")
         return [payload for _, payload in replies]
-
-    def feed(self, slices) -> None:
-        for conn, (ts, keys, values) in zip(self._conns, slices):
-            if ts.size:
-                conn.send(("feed", (ts, keys, values)))
-
-    def advance(self, watermark: int) -> None:
-        self._broadcast(("advance", watermark))
 
     def register(self, query: Query, at: int, scope: str) -> RegisterAck:
         self._broadcast(("register", query, at, scope))
@@ -346,6 +405,128 @@ class ProcessShardBackend:
             if proc.is_alive():  # pragma: no cover - defensive
                 proc.terminate()
         self._conns, self._procs = [], []
+        self._release_data_plane()
+
+    def _release_data_plane(self) -> None:
+        """Subclass hook: tear down data-plane resources after the
+        workers have exited."""
+
+
+class ProcessShardBackend(_WorkerShardBackend):
+    """One worker process per shard, fed columnar slices over a pipe.
+
+    Pipes give per-worker FIFO command streams; only commands in
+    ``_REPLY_OPS`` produce replies, so the coordinator can pipeline
+    data-plane traffic without round trips.  Workers are daemonic —
+    they die with the coordinator process.
+    """
+
+    name = "process"
+
+    def start(self, configs: "list[ShardConfig]") -> None:
+        for config in configs:
+            self._spawn(config, _shard_worker)
+
+    def feed(self, slices) -> None:
+        for conn, (ts, keys, values) in zip(self._conns, slices):
+            if ts.size:
+                conn.send(("feed", (ts, keys, values)))
+
+    def advance(self, watermark: int) -> None:
+        self._broadcast(("advance", watermark))
+
+
+class SharedMemoryShardBackend(_WorkerShardBackend):
+    """One worker per shard with a shared-memory ring data plane.
+
+    Same worker topology as :class:`ProcessShardBackend`, but the data
+    plane — event slices *and* watermark advances — flows through one
+    :class:`~repro.runtime.shm_ring.ShmRing` per shard: columnar
+    blocks are written directly into fixed-capacity shared-memory
+    slots (no pickling, no pipe syscalls per chunk) and consumed as
+    numpy views on the worker side.  Control-plane commands stay on
+    the pipe; the worker drains its ring before executing one, which
+    restores the single-pipe FIFO ordering (DESIGN.md §8).
+
+    Flow control is the ring itself: a full ring blocks the
+    coordinator (bounded, lossless backpressure) until the worker
+    frees slots, raising only if the worker dies or stalls beyond
+    ``feed_timeout`` seconds.
+
+    Parameters
+    ----------
+    slot_events:
+        Event capacity of one ring slot (larger slices split across
+        slots).  Slot bytes are ``slot_events *``
+        :data:`~repro.engine.events.EVENT_BYTES`.
+    num_slots:
+        Slots per ring; ``slot_events * num_slots`` bounds the
+        coordinator→worker in-flight event count per shard.
+    """
+
+    name = "shm"
+
+    def __init__(
+        self,
+        context: "str | None" = None,
+        slot_events: int = 8192,
+        num_slots: int = 16,
+        feed_timeout: float = 60.0,
+    ):
+        super().__init__(context)
+        self._slot_events = slot_events
+        self._num_slots = num_slots
+        self._feed_timeout = feed_timeout
+        self._rings = []
+
+    def start(self, configs: "list[ShardConfig]") -> None:
+        from .shm_ring import ShmRing
+
+        # A fork-context worker shares the coordinator's resource
+        # tracker (it must not untrack the segment); a spawn-context
+        # worker runs its own and must untrack (see ShmRing.attach).
+        untrack = self._ctx.get_start_method() != "fork"
+        try:
+            for config in configs:
+                ring = ShmRing.create(
+                    slot_events=self._slot_events, num_slots=self._num_slots
+                )
+                self._rings.append(ring)
+                self._spawn(config, _shm_shard_worker, (ring.spec, untrack))
+        except BaseException:
+            # A mid-loop failure (ENOSPC on /dev/shm, spawn error)
+            # would otherwise orphan the segments already created —
+            # close() is unreachable because the session constructor
+            # never returns.  Tear down what exists, then re-raise.
+            self.close()
+            raise
+
+    def feed(self, slices) -> None:
+        for ring, proc, (ts, keys, values) in zip(
+            self._rings, self._procs, slices
+        ):
+            if ts.size:
+                ring.push_events(
+                    ts,
+                    keys,
+                    values,
+                    timeout=self._feed_timeout,
+                    liveness=proc.is_alive,
+                )
+
+    def advance(self, watermark: int) -> None:
+        for ring, proc in zip(self._rings, self._procs):
+            ring.push_advance(
+                watermark,
+                timeout=self._feed_timeout,
+                liveness=proc.is_alive,
+            )
+
+    def _release_data_plane(self) -> None:
+        for ring in self._rings:
+            ring.close_ring()
+            ring.close()
+        self._rings = []
 
 
 def _resolve_backend(backend):
@@ -354,14 +535,16 @@ def _resolve_backend(backend):
             return SerialShardBackend()
         if backend in ("process", "multiprocessing"):
             return ProcessShardBackend()
+        if backend in ("shm", "shared_memory", "shared-memory"):
+            return SharedMemoryShardBackend()
         raise ExecutionError(
             f"unknown shard backend {backend!r}; "
-            "expected 'serial' or 'process'"
+            "expected 'serial', 'process', or 'shm'"
         )
     return backend
 
 
-class ShardedSession:
+class ShardedSession(AsyncIngestFrontDoor):
     """A live multi-query session hash-partitioned over the key space.
 
     Drop-in surface of :class:`~repro.runtime.QuerySession` (push /
@@ -369,7 +552,12 @@ class ShardedSession:
 
     * ``num_shards`` / ``backend`` — the partition width and where the
       shard cores run (``"serial"`` in-process, ``"process"`` one
-      worker per shard);
+      worker per shard over pipes, ``"shm"`` one worker per shard over
+      shared-memory rings);
+    * ``async_ingest=True`` — a bounded queue + pump thread in front
+      of the coordinator (:mod:`repro.runtime.ingest`): pushes return
+      immediately, backpressure at ``ingest_high_watermark`` queued
+      events, identical results (DESIGN.md §8, invariant 11);
     * :meth:`push_batch` — the vectorized sorted fast path: whole
       columnar batches are partitioned per chunk and shipped as
       slices, bypassing per-event Python dispatch;
@@ -393,6 +581,9 @@ class ShardedSession:
         alpha: float = 0.3,
         enable_factor_windows: bool = True,
         max_retired_results: "int | None" = DEFAULT_RETIRED_RESULT_CAP,
+        async_ingest: bool = False,
+        ingest_high_watermark: int = DEFAULT_INGEST_HIGH_WATERMARK,
+        ingest_low_watermark: "int | None" = None,
     ):
         if num_keys < 1:
             raise ExecutionError(f"num_keys must be >= 1, got {num_keys}")
@@ -461,6 +652,16 @@ class ShardedSession:
         self._closed = False
         self._released = False
         self.wall_seconds = 0.0
+        self._pump = (
+            IngestPump(
+                push=self._push_now,
+                push_batch=self._push_batch_now,
+                high_watermark=ingest_high_watermark,
+                low_watermark=ingest_low_watermark,
+            )
+            if async_ingest
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -486,7 +687,12 @@ class ShardedSession:
     @property
     def switches(self) -> "list[PlanSwitchRecord]":
         """Shard 0's switch log (every shard applies the identical
-        schedule; see :meth:`shard_switches` for all of them)."""
+        schedule; see :meth:`shard_switches` for all of them).  In
+        async mode a synchronization point, like every method that
+        talks to the backend."""
+        return self._via_pump(self._switches_now)
+
+    def _switches_now(self) -> "list[PlanSwitchRecord]":
         self._require_backend()
         logs = self.backend.switches()
         merged = list(logs[0]) if logs else []
@@ -495,12 +701,18 @@ class ShardedSession:
         return merged
 
     def shard_switches(self) -> "list[list[PlanSwitchRecord]]":
+        return self._via_pump(self._shard_switches_now)
+
+    def _shard_switches_now(self) -> "list[list[PlanSwitchRecord]]":
         self._require_backend()
         return self.backend.switches()
 
     def shard_watermarks(self) -> "list[int]":
         """Per-shard core watermarks (the min is the aligned session
         watermark; after any flush all entries are equal)."""
+        return self._via_pump(self._shard_watermarks_now)
+
+    def _shard_watermarks_now(self) -> "list[int]":
         self._require_backend()
         marks = list(self.backend.watermarks())
         if self._forward is not None:
@@ -512,7 +724,10 @@ class ShardedSession:
         forwarding core).  ``wall_seconds`` is the *coordinator's* wall
         time — the serialized cost of routing, feeding, and merging —
         not the sum of shard-local compute, which overlaps under the
-        process backend."""
+        worker backends (process and shm)."""
+        return self._via_pump(self._stats_now)
+
+    def _stats_now(self) -> ExecutionStats:
         self._require_backend()
         merged = ExecutionStats()
         for stats in self.backend.stats():
@@ -523,6 +738,9 @@ class ShardedSession:
         return merged
 
     def max_retained_state(self) -> int:
+        return self._via_pump(self._max_retained_state_now)
+
+    def _max_retained_state_now(self) -> int:
         self._require_backend()
         retained = self.backend.max_retained_state()
         if self._forward is not None:
@@ -558,6 +776,11 @@ class ShardedSession:
         ``scope="global"`` merges across all keys at the coordinator:
         vectorized partial ``combine`` for distributive/algebraic
         aggregates, raw forwarding for holistic ones."""
+        return self._via_pump(self._register_now, query, name, scope)
+
+    def _register_now(
+        self, query: "str | Query", name: str, scope: str
+    ) -> str:
         self._require_open()
         query = resolve_registration_query(query, name, self._next_auto_name)
         if query.name in self._queries:
@@ -615,6 +838,9 @@ class ShardedSession:
         """Remove one query from every shard at the same safe
         watermark.  Its emitted results stay readable (within the
         retention cap)."""
+        self._via_pump(self._deregister_now, name)
+
+    def _deregister_now(self, name: str) -> None:
         self._require_open()
         entry = self._queries.pop(name, None)
         if entry is None:
@@ -657,7 +883,14 @@ class ShardedSession:
     # Ingestion
     # ------------------------------------------------------------------
     def push(self, ts: int, key: int, value: float) -> None:
-        """Ingest one (possibly out-of-order) event."""
+        """Ingest one (possibly out-of-order) event.
+
+        In async mode this enqueues and returns immediately, blocking
+        only under backpressure (see :mod:`repro.runtime.ingest`)."""
+        if not self._route_event(ts, key, value):
+            self._push_now(ts, key, value)
+
+    def _push_now(self, ts: int, key: int, value: float) -> None:
         self._require_open()
         if not 0 <= key < self.num_keys:
             raise ExecutionError(
@@ -683,7 +916,34 @@ class ShardedSession:
         nothing buffered in the front door, and a batch starting at or
         after the newest seen timestamp; results are identical to
         pushing the same events one at a time.
+
+        In async mode the batch enqueues without waiting for flushes;
+        batches larger than the backpressure high watermark are split
+        into watermark-sized slices (column views, no copies) so the
+        queue's event bound stays meaningful — the backlog never
+        exceeds twice the high watermark.
         """
+        if self._pump is not None and self._pump.accepting:
+            high = self._pump.queue.high_watermark
+            n = batch.num_events
+            if n <= high:
+                self._pump.submit_batch(batch)
+                return
+            for lo in range(0, n, high):
+                hi = min(lo + high, n)
+                self._pump.submit_batch(
+                    EventBatch(
+                        timestamps=batch.timestamps[lo:hi],
+                        keys=batch.keys[lo:hi],
+                        values=batch.values[lo:hi],
+                        horizon=batch.horizon,
+                        num_keys=batch.num_keys,
+                    )
+                )
+            return
+        self._push_batch_now(batch)
+
+    def _push_batch_now(self, batch: EventBatch) -> None:
         self._require_open()
         if batch.num_keys != self.num_keys:
             raise ExecutionError(
@@ -830,8 +1090,14 @@ class ShardedSession:
     def finish(self, horizon: "int | None" = None):
         """Drain the reorder buffer, close every instance ending at or
         before ``horizon`` on every shard, and return :meth:`results`.
-        The session accepts no events afterwards (the backend stays up
-        for result reads until :meth:`close`)."""
+        The session accepts no events afterwards (in async mode the
+        pump thread is stopped; the backend stays up for result reads
+        until :meth:`close`)."""
+        results = self._via_pump(self._finish_now, horizon)
+        self._stop_pump()
+        return results
+
+    def _finish_now(self, horizon: "int | None"):
         self._require_open()
         for event in self._reorder.flush():
             self._route(event)
@@ -844,20 +1110,20 @@ class ShardedSession:
             )
         self._flush(horizon)
         self._closed = True
-        return self.results()
+        return self._collect(drain=False)
 
     def results(self) -> "dict[str, dict[Window, WindowResults]]":
         """Coordinator-merged per-query results (live and retired):
         per-key rows scattered back to the global key space, global
         partials combined and finalized, forwarded holistics passed
         through as single rows."""
-        return self._collect(drain=False)
+        return self._via_pump(self._collect, False)
 
     def drain_results(self) -> "dict[str, dict[Window, WindowResults]]":
         """Consuming read: every shard drains its subscriptions and the
         coordinator merges the released blocks — the bounded-memory
         service read path."""
-        return self._collect(drain=True)
+        return self._via_pump(self._collect, True)
 
     def _collect(self, drain: bool):
         self._require_backend()
@@ -925,8 +1191,10 @@ class ShardedSession:
     def close(self) -> None:
         """Shut the backend down (worker processes exit).  The session
         accepts no further calls — results must be read before
-        closing."""
+        closing.  In async mode the pump is stopped first (queued
+        events are still applied, so nothing in flight is lost)."""
         if not self._released:
+            self._stop_pump()
             self._released = True
             self._closed = True
             self.backend.close()

@@ -1,0 +1,382 @@
+"""Single-producer/single-consumer columnar ring over shared memory.
+
+The data plane of the :class:`~repro.runtime.sharding.ShardedSession`'s
+``shm`` backend (DESIGN.md §8).  One ring connects the coordinator
+(producer) to one shard worker (consumer): a fixed number of
+fixed-capacity slots in a ``multiprocessing.shared_memory`` segment,
+each slot holding one *record* — either a columnar event block
+(timestamp / key / value columns, laid out from the event schema in
+:data:`~repro.engine.events.EVENT_COLUMN_DTYPES`) or a watermark
+advance.  Writing a record is three ``np.copyto`` calls into
+pre-built numpy views over the segment; nothing on the data plane is
+ever pickled.
+
+Publication is seqlock-style: ``tail`` (producer-owned) and ``head``
+(consumer-owned) are monotonically increasing 8-byte counters in
+separate cache lines of the segment header.  The producer fills a
+slot's payload first and publishes it by storing ``tail + 1``; the
+consumer reads a slot only when ``head < tail`` and releases it by
+storing ``head + 1``.  Each counter has exactly one writer, every
+store is an aligned single word, and CPython emits the payload writes
+and the counter store as separate C-level operations in program order
+— the standard SPSC publication protocol on total-store-order
+hardware.
+
+Both sides map the same pages, so the producer's column writes are
+**zero-copy** into the slot and the consumer reads them back through
+numpy views over the same memory.  The consumer performs one bounded
+``memcpy`` per column (``np.array(view[:count])``) to own the data
+beyond the slot's reuse — still orders of magnitude cheaper than the
+pickle → pipe → unpickle round trip it replaces, and independent of
+the Python object count.
+
+Flow control is blocking-with-deadline on the producer side (a full
+ring means the consumer is behind; the coordinator's backpressure
+policy decides how long to wait) and non-blocking on the consumer side
+(:meth:`ShmRing.pop` returns ``None`` on an empty ring so the worker
+loop can interleave control-plane polling).
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.events import EVENT_BYTES, EVENT_COLUMN_DTYPES
+from ..errors import ExecutionError
+
+try:  # pragma: no cover - exercised only where shm is unavailable
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
+__all__ = [
+    "RECORD_ADVANCE",
+    "RECORD_DATA",
+    "RingSpec",
+    "ShmRing",
+]
+
+#: Record kinds (slot header ``kind`` field).
+RECORD_DATA = 1
+RECORD_ADVANCE = 2
+
+#: Header layout: three producer/consumer/flag words in separate
+#: 64-byte cache lines (tail, head, closed).
+_TAIL_OFFSET = 0
+_HEAD_OFFSET = 64
+_CLOSED_OFFSET = 128
+_HEADER_BYTES = 192
+
+#: Per-slot header: ``kind``, ``count``, ``watermark`` (int64 each),
+#: padded to keep the column blocks 8-byte aligned.
+_SLOT_HEADER = struct.Struct("<qqq")
+_SLOT_HEADER_BYTES = 32
+
+_WORD = struct.Struct("<q")
+
+#: Columnar slot payload layout — one block per event column, straight
+#: from the event schema (timestamp int64, key int64, value float64).
+#: Offsets are derived from each dtype's itemsize, so the layout tracks
+#: schema changes; the 8-byte-alignment assertion is what the aligned
+#: single-word counter stores (and x86 store atomicity) rely on.
+_COLUMN_DTYPES = tuple(dtype for _, dtype in EVENT_COLUMN_DTYPES)
+assert all(
+    dtype.itemsize % 8 == 0 for dtype in _COLUMN_DTYPES
+), "event columns must stay 8-byte aligned for the ring layout"
+
+#: Producer-side wait step while the ring is full (the consumer is a
+#: live process crunching the previous chunks; spin gently).
+_FULL_RING_SLEEP = 100e-6
+
+
+@dataclass(frozen=True)
+class RingSpec:
+    """Geometry + identity of one ring, shareable across processes.
+
+    The spec is tiny and picklable: the coordinator creates the
+    segment, then passes the spec (not the mapping) to the worker,
+    which re-attaches by name.
+    """
+
+    name: str
+    slot_events: int
+    num_slots: int
+
+    @property
+    def slot_bytes(self) -> int:
+        return _SLOT_HEADER_BYTES + self.slot_events * EVENT_BYTES
+
+    @property
+    def total_bytes(self) -> int:
+        return _HEADER_BYTES + self.num_slots * self.slot_bytes
+
+    def __post_init__(self) -> None:
+        if self.slot_events < 1:
+            raise ExecutionError(
+                f"slot_events must be >= 1, got {self.slot_events}"
+            )
+        if self.num_slots < 2:
+            raise ExecutionError(
+                f"num_slots must be >= 2, got {self.num_slots}"
+            )
+
+
+class ShmRing:
+    """One SPSC ring mapped into this process.
+
+    Create with :meth:`create` (producer side, owns the segment) or
+    :meth:`attach` (consumer side).  The producer/consumer split is a
+    protocol, not an enforcement: exactly one process may call the
+    producer methods (:meth:`push_events` / :meth:`push_advance` /
+    :meth:`close_ring`) and exactly one the consumer methods
+    (:meth:`pop`).
+    """
+
+    def __init__(self, spec: RingSpec, shm, owner: bool):
+        self.spec = spec
+        self._shm = shm
+        self._owner = owner
+        buf = shm.buf
+        self._buf = buf
+        # Pre-built zero-copy views: one (ts, keys, values) triple per
+        # slot, directly over the shared pages.
+        self._columns: list[tuple[np.ndarray, ...]] = []
+        for slot in range(spec.num_slots):
+            base = _HEADER_BYTES + slot * spec.slot_bytes
+            offset = base + _SLOT_HEADER_BYTES
+            views = []
+            for dtype in _COLUMN_DTYPES:
+                views.append(
+                    np.ndarray(
+                        (spec.slot_events,),
+                        dtype=dtype,
+                        buffer=buf,
+                        offset=offset,
+                    )
+                )
+                offset += spec.slot_events * dtype.itemsize
+            self._columns.append(tuple(views))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, slot_events: int, num_slots: int, name: "str | None" = None
+    ) -> "ShmRing":
+        """Allocate a fresh zeroed segment and map it (producer side)."""
+        if shared_memory is None:  # pragma: no cover
+            raise ExecutionError(
+                "multiprocessing.shared_memory is unavailable on this "
+                "platform; use the 'process' shard backend instead"
+            )
+        probe = RingSpec(name="", slot_events=slot_events, num_slots=num_slots)
+        shm = shared_memory.SharedMemory(
+            create=True, size=probe.total_bytes, name=name
+        )
+        spec = RingSpec(
+            name=shm.name, slot_events=slot_events, num_slots=num_slots
+        )
+        shm.buf[:_HEADER_BYTES] = b"\x00" * _HEADER_BYTES
+        return cls(spec, shm, owner=True)
+
+    @classmethod
+    def attach(cls, spec: RingSpec, untrack: bool = False) -> "ShmRing":
+        """Map an existing segment by name (consumer side).
+
+        ``untrack=True`` unregisters the mapping from this process's
+        ``resource_tracker``.  The creating (coordinator) process owns
+        the unlink, so a *spawn*-context worker — which runs its own
+        tracker — must untrack or its tracker destroys the segment at
+        worker exit (bpo-38119).  A *fork*-context worker shares the
+        coordinator's tracker and must NOT untrack, or it would erase
+        the coordinator's own registration.
+        """
+        if shared_memory is None:  # pragma: no cover
+            raise ExecutionError("multiprocessing.shared_memory unavailable")
+        shm = shared_memory.SharedMemory(name=spec.name)
+        if untrack:
+            try:  # pragma: no cover - depends on stdlib internals
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        return cls(spec, shm, owner=False)
+
+    # ------------------------------------------------------------------
+    # Counter access
+    # ------------------------------------------------------------------
+    def _load(self, offset: int) -> int:
+        return _WORD.unpack_from(self._buf, offset)[0]
+
+    def _store(self, offset: int, value: int) -> None:
+        _WORD.pack_into(self._buf, offset, value)
+
+    @property
+    def depth(self) -> int:
+        """Published-but-unconsumed records (racy but monotone-safe:
+        each counter has one writer)."""
+        return self._load(_TAIL_OFFSET) - self._load(_HEAD_OFFSET)
+
+    @property
+    def closed(self) -> bool:
+        return bool(self._load(_CLOSED_OFFSET))
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def _acquire_slot(self, timeout: float, liveness=None) -> int:
+        tail = self._load(_TAIL_OFFSET)
+        deadline = None
+        while tail - self._load(_HEAD_OFFSET) >= self.spec.num_slots:
+            if self.closed:
+                raise ExecutionError("ring is closed")
+            if liveness is not None and not liveness():
+                raise ExecutionError(
+                    "ring consumer died with the ring full"
+                )
+            now = time.monotonic()
+            if deadline is None:
+                deadline = now + timeout
+            elif now >= deadline:
+                raise ExecutionError(
+                    f"ring full for {timeout:.1f}s — consumer stalled "
+                    f"(depth {self.spec.num_slots})"
+                )
+            time.sleep(_FULL_RING_SLEEP)
+        return tail
+
+    def _publish(self, tail: int) -> None:
+        # The payload stores above this line happen-before the counter
+        # store in program order; the consumer only dereferences the
+        # slot after observing the new tail.
+        self._store(_TAIL_OFFSET, tail + 1)
+
+    def push_events(
+        self,
+        ts: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        timeout: float = 60.0,
+        liveness=None,
+    ) -> int:
+        """Write one columnar event block, split across as many slots
+        as its length requires.  Returns the number of records used.
+
+        Blocks while the ring is full (the consumer owns the pace);
+        raises after ``timeout`` seconds without progress or as soon
+        as ``liveness()`` reports the consumer dead.
+        """
+        n = int(ts.size)
+        capacity = self.spec.slot_events
+        records = 0
+        pos = 0
+        while pos < n:
+            take = min(n - pos, capacity)
+            tail = self._acquire_slot(timeout, liveness)
+            slot = tail % self.spec.num_slots
+            slot_ts, slot_keys, slot_values = self._columns[slot]
+            np.copyto(slot_ts[:take], ts[pos : pos + take], casting="same_kind")
+            np.copyto(
+                slot_keys[:take], keys[pos : pos + take], casting="same_kind"
+            )
+            np.copyto(
+                slot_values[:take],
+                values[pos : pos + take],
+                casting="same_kind",
+            )
+            _SLOT_HEADER.pack_into(
+                self._buf,
+                _HEADER_BYTES + slot * self.spec.slot_bytes,
+                RECORD_DATA,
+                take,
+                0,
+            )
+            self._publish(tail)
+            pos += take
+            records += 1
+        return records
+
+    def push_advance(
+        self, watermark: int, timeout: float = 60.0, liveness=None
+    ) -> None:
+        """Write one watermark-advance record."""
+        tail = self._acquire_slot(timeout, liveness)
+        slot = tail % self.spec.num_slots
+        _SLOT_HEADER.pack_into(
+            self._buf,
+            _HEADER_BYTES + slot * self.spec.slot_bytes,
+            RECORD_ADVANCE,
+            0,
+            watermark,
+        )
+        self._publish(tail)
+
+    def close_ring(self) -> None:
+        """Set the closed flag (consumers drain what is published and
+        producers stop blocking on a full ring)."""
+        self._store(_CLOSED_OFFSET, 1)
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def pop(self):
+        """Consume one record, or return ``None`` on an empty ring.
+
+        Data records come back as ``("data", ts, keys, values)`` with
+        freshly-owned arrays (one bounded copy per column); advance
+        records as ``("advance", watermark)``.
+        """
+        head = self._load(_HEAD_OFFSET)
+        if head >= self._load(_TAIL_OFFSET):
+            return None
+        slot = head % self.spec.num_slots
+        kind, count, watermark = _SLOT_HEADER.unpack_from(
+            self._buf, _HEADER_BYTES + slot * self.spec.slot_bytes
+        )
+        if kind == RECORD_ADVANCE:
+            record = ("advance", watermark)
+        elif kind == RECORD_DATA:
+            slot_ts, slot_keys, slot_values = self._columns[slot]
+            record = (
+                "data",
+                np.array(slot_ts[:count]),
+                np.array(slot_keys[:count]),
+                np.array(slot_values[:count]),
+            )
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"corrupt ring record kind {kind}")
+        self._store(_HEAD_OFFSET, head + 1)
+        return record
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unmap the segment (and unlink it when this side created it).
+
+        Numpy views over the buffer are dropped first — ``SharedMemory``
+        refuses to close while exported views are alive.
+        """
+        self._columns = []
+        self._buf = None
+        try:
+            self._shm.close()
+        except (BufferError, OSError):  # pragma: no cover - defensive
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "ShmRing":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -105,6 +105,20 @@ class TestSharingGains:
         assert "2 in 1 shared group" in text
 
 
+class TestSubsetFactorCandidates:
+    def test_factor_serving_a_descendant_subset_is_found(self):
+        # Regression (hypothesis-found): in {4} ∪ {20, 30}, W(20,20)
+        # hangs under W(4,4) in the union WCG, so no target's direct
+        # consumer set ever contains the pair {20, 30} — and Algorithm
+        # 2's gcd-of-all-downstream candidate space misses W(10,10),
+        # making the shared plan (135) worse than the per-query
+        # independent plans (132).  Pairwise descendant generation must
+        # recover it.
+        plan = optimize_workload([_q("q0", [4]), _q("q1", [30, 20])])
+        assert plan.shared_cost <= plan.independent_cost
+        assert plan.shared_cost == 132
+
+
 class TestWorkloadProperties:
     @given(
         splits=st.lists(

@@ -1,0 +1,297 @@
+"""Backpressure properties of the async ingest front door and the
+shared-memory ring data plane (DESIGN.md §8, invariant 11).
+
+The contract under test: a slow consumer — a full ring, a full ingest
+queue, or both — may only ever slow the producer down.  It must never
+drop a chunk, reorder chunks, or change a single emitted value; and
+polling ``drain_results()`` must keep buffered result state bounded
+regardless of how long the session runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregates.registry import AVG, MEDIAN, SUM
+from repro.core.multiquery import Query
+from repro.errors import ExecutionError
+from repro.runtime import (
+    QuerySession,
+    ShardedSession,
+    SharedMemoryShardBackend,
+)
+from repro.runtime.ingest import IngestQueue
+from repro.windows.window import Window, WindowSet
+
+from session_streams import integer_stream
+
+NUM_KEYS = 8
+QUERIES = [
+    (Query("sums", WindowSet([Window(30, 10)]), SUM), "per_key"),
+    (Query("avgs", WindowSet([Window(20, 10)]), AVG), "global"),
+    (Query("meds", WindowSet([Window(12, 6)]), MEDIAN), "global"),
+]
+
+
+def _reference_results(batch):
+    session = ShardedSession(
+        num_keys=NUM_KEYS, num_shards=2, backend="serial", hysteresis=None
+    )
+    try:
+        for query, scope in QUERIES:
+            session.register(query, scope=scope)
+        session.push_batch(batch)
+        return session.finish(horizon=batch.horizon)
+    finally:
+        session.close()
+
+
+def _assert_identical(expected, actual, context):
+    assert set(expected) == set(actual), context
+    for name in expected:
+        for window, reference in expected[name].items():
+            emitted = actual[name][window]
+            assert (
+                emitted.start_instance == reference.start_instance
+                and emitted.frontier == reference.frontier
+            ), (context, name, window)
+            np.testing.assert_array_equal(
+                emitted.values, reference.values, err_msg=f"{context} {name}"
+            )
+
+
+# ----------------------------------------------------------------------
+# IngestQueue unit behaviour
+# ----------------------------------------------------------------------
+class TestIngestQueue:
+    def test_watermark_validation(self):
+        with pytest.raises(ExecutionError):
+            IngestQueue(high_watermark=0)
+        with pytest.raises(ExecutionError):
+            IngestQueue(high_watermark=10, low_watermark=10)
+        queue = IngestQueue(high_watermark=10)
+        assert queue.low_watermark == 5
+
+    def test_gate_hysteresis_and_exact_wait_counters(self):
+        queue = IngestQueue(high_watermark=4, low_watermark=1)
+        for i in range(4):
+            queue.put_data(("event", i), 1)
+        assert queue.stats.max_depth_events == 4
+        assert not queue._gate_open  # at the high watermark: shut
+        # Drain above the low watermark: still shut (hysteresis).
+        queue.get()
+        queue.get()
+        assert not queue._gate_open
+        queue.get()  # depth 1 == low watermark: reopens
+        assert queue._gate_open
+        assert queue.stats.backpressure_waits == 0  # nobody had to block
+
+    def test_control_items_bypass_the_gate(self):
+        queue = IngestQueue(high_watermark=2, low_watermark=0)
+        queue.put_data(("event", 0), 1)
+        queue.put_data(("event", 1), 1)
+        assert not queue._gate_open
+        queue.put_control(("call", None))  # must not block
+        assert queue.stats.enqueued_calls == 1
+
+
+# ----------------------------------------------------------------------
+# Front-door error parking
+# ----------------------------------------------------------------------
+def test_pump_error_is_parked_and_surfaces_on_next_call():
+    session = QuerySession(num_keys=2, async_ingest=True)
+    session.push(0, 99, 1.0)  # key outside the dense id space
+    with pytest.raises(ExecutionError, match="async ingest failed"):
+        # The failure was asynchronous; it must surface on the next
+        # synchronization point rather than vanish.
+        session.results()
+    # ...and the front door stays poisoned for later submissions too.
+    with pytest.raises(ExecutionError, match="async ingest failed"):
+        while True:
+            session.push(1, 0, 1.0)
+    session.close()
+
+
+# ----------------------------------------------------------------------
+# Backpressure never drops or reorders
+# ----------------------------------------------------------------------
+def test_full_ring_slow_consumer_never_drops_or_reorders(repro_seed):
+    """A deliberately tiny ring (2 slots × 64 events) forces the
+    coordinator to block on every chunk while workers catch up; the
+    merged results must still be bit-identical to the serial oracle."""
+    rng = np.random.default_rng((repro_seed, 41))
+    batch = integer_stream(
+        ticks=400, num_keys=NUM_KEYS, seed=int(rng.integers(0, 1000)), rate=6
+    )
+    reference = _reference_results(batch)
+    backend = SharedMemoryShardBackend(slot_events=64, num_slots=2)
+    session = ShardedSession(
+        num_keys=NUM_KEYS,
+        num_shards=2,
+        backend=backend,
+        hysteresis=None,
+        chunk_ticks=40,
+    )
+    try:
+        for query, scope in QUERIES:
+            session.register(query, scope=scope)
+        session.push_batch(batch)
+        results = session.finish(horizon=batch.horizon)
+    finally:
+        session.close()
+    _assert_identical(
+        reference, results, f"seed={repro_seed} tiny-ring"
+    )
+
+
+def test_full_queue_backpressure_never_drops_or_reorders(repro_seed):
+    """A tiny ingest queue (high watermark far below the stream size)
+    must engage backpressure — counted exactly — while the emitted
+    results stay bit-identical to the sync serial run."""
+    rng = np.random.default_rng((repro_seed, 43))
+    batch = integer_stream(
+        ticks=400, num_keys=NUM_KEYS, seed=int(rng.integers(0, 1000)), rate=6
+    )
+    reference = _reference_results(batch)
+    backend = SharedMemoryShardBackend(slot_events=64, num_slots=2)
+    session = ShardedSession(
+        num_keys=NUM_KEYS,
+        num_shards=2,
+        backend=backend,
+        hysteresis=None,
+        chunk_ticks=40,
+        async_ingest=True,
+        ingest_high_watermark=128,
+        ingest_low_watermark=32,
+    )
+    try:
+        for query, scope in QUERIES:
+            session.register(query, scope=scope)
+        session.push_batch(batch)
+        results = session.finish(horizon=batch.horizon)
+        stats = session.ingest_stats
+    finally:
+        session.close()
+    context = f"seed={repro_seed} tiny-queue"
+    _assert_identical(reference, results, context)
+    assert stats.enqueued_events == batch.num_events, context
+    # The queue was two orders of magnitude smaller than the stream:
+    # the gate must actually have engaged, and the backlog must have
+    # respected the documented bound (< 2x the high watermark, since a
+    # split batch slice may land on a just-reopened gate).
+    assert stats.backpressure_waits > 0, context
+    assert stats.max_depth_events <= 2 * 128, context
+
+
+def test_mid_stream_introspection_is_safe_in_async_mode(repro_seed):
+    """stats()/switches/shard_watermarks talk to the worker pipes, so
+    in async mode they must serialize through the pump — calling them
+    from the producer thread while the pump is mid-flush must never
+    interleave bytes on a worker connection (which would corrupt the
+    pickle stream and crash or hang the session)."""
+    rng = np.random.default_rng((repro_seed, 53))
+    batch = integer_stream(
+        ticks=400, num_keys=NUM_KEYS, seed=int(rng.integers(0, 1000)), rate=6
+    )
+    reference = _reference_results(batch)
+    session = ShardedSession(
+        num_keys=NUM_KEYS,
+        num_shards=2,
+        backend="shm",
+        hysteresis=None,
+        chunk_ticks=40,
+        async_ingest=True,
+        ingest_high_watermark=256,
+    )
+    try:
+        for query, scope in QUERIES:
+            session.register(query, scope=scope)
+        for i, (ts, key, value) in enumerate(batch.rows()):
+            session.push(ts, key, value)
+            if i % 401 == 0:
+                marks = session.shard_watermarks()
+                assert min(marks) == max(marks)
+                assert session.stats().total_physical >= 0
+                assert isinstance(session.switches, list)
+        results = session.finish(horizon=batch.horizon)
+    finally:
+        session.close()
+    _assert_identical(
+        reference, results, f"seed={repro_seed} mid-stream-introspection"
+    )
+
+
+def test_drain_results_stays_bounded_under_async_ingest(repro_seed):
+    """Polling ``drain_results()`` between pushes releases every
+    subscription's buffered blocks (frontier == start after each poll)
+    and the reassembled drains equal the one-shot sync results: the
+    bounded-memory read path loses nothing."""
+    rng = np.random.default_rng((repro_seed, 47))
+    batch = integer_stream(
+        ticks=600, num_keys=NUM_KEYS, seed=int(rng.integers(0, 1000)), rate=4
+    )
+    reference = _reference_results(batch)
+    session = ShardedSession(
+        num_keys=NUM_KEYS,
+        num_shards=2,
+        backend="serial",
+        hysteresis=None,
+        chunk_ticks=40,
+        async_ingest=True,
+        ingest_high_watermark=256,
+    )
+    drained: dict = {}
+    try:
+        for query, scope in QUERIES:
+            session.register(query, scope=scope)
+        for i, (ts, key, value) in enumerate(batch.rows()):
+            session.push(ts, key, value)
+            if i % 997 == 0 and i:
+                _merge_drain(drained, session.drain_results())
+                _assert_subscriptions_released(session)
+        _merge_drain(drained, session.finish(horizon=batch.horizon))
+    finally:
+        session.close()
+    final = {
+        name: {
+            window: _concat_block(blocks)
+            for window, blocks in by_window.items()
+        }
+        for name, by_window in drained.items()
+    }
+    _assert_identical(reference, final, f"seed={repro_seed} drain-bounded")
+
+
+def _assert_subscriptions_released(session):
+    """After a drain, every live per-key/partial subscription on every
+    (serial-backend) shard core holds zero buffered instances."""
+    for core in session.backend.cores:
+        for sub in list(core._subs.values()) + list(core._psubs.values()):
+            assert sub.emitted_instances == 0
+
+
+def _merge_drain(accum, results):
+    """Append drained blocks, asserting contiguity (no gap, overlap,
+    or reordering between consecutive drains)."""
+    for name, by_window in results.items():
+        for window, block in by_window.items():
+            blocks = accum.setdefault(name, {}).setdefault(window, [])
+            if blocks:
+                assert block.start_instance == blocks[-1].frontier, (
+                    name,
+                    window,
+                    "drain blocks must abut",
+                )
+            blocks.append(block)
+
+
+def _concat_block(blocks):
+    from repro.runtime import WindowResults
+
+    values = np.concatenate([b.values for b in blocks], axis=1)
+    return WindowResults(
+        query=blocks[0].query,
+        window=blocks[0].window,
+        start_instance=blocks[0].start_instance,
+        frontier=blocks[-1].frontier,
+        values=values,
+    )

@@ -1,4 +1,5 @@
-"""Property tests for DESIGN.md invariant 10 (shard invariance).
+"""Property tests for DESIGN.md invariants 10 and 11 (shard and
+ingest-mode invariance).
 
 For any shard count, any out-of-order stream, and any randomized
 register/deregister/rate schedule over distributive, algebraic, and
@@ -7,6 +8,12 @@ holistic aggregates — in both per-key and global scope — a
 **bit-identical** to the 1-shard run, and (for everything a
 :class:`~repro.runtime.QuerySession` can express) to the unsharded
 session, which invariant 9 already ties to a cold batch run.
+
+The same identity must hold across every execution configuration:
+{serial, process, shm} backends × {sync, async} ingest (invariant 11
+— the async front door and the shared-memory data plane may change
+*when* work happens, never *what* is computed).  The serial-sync run
+is the oracle every other cell of the matrix is compared against.
 
 Streams carry integer values so every partial merge is exact float64
 arithmetic: bit-identity is required, not just closeness.  Schedules
@@ -70,7 +77,13 @@ def run_sharded(
     backend="serial",
     lateness=0,
     hysteresis=None,
+    async_ingest=False,
+    ingest_high_watermark=97,
 ):
+    # The async high watermark is deliberately small and odd so the
+    # pump genuinely interleaves with the producer (queueing, gate
+    # closes, synchronization points mid-stream) instead of buffering
+    # the whole run.
     register_at, deregister_at = schedule
     session = ShardedSession(
         num_keys=NUM_KEYS,
@@ -79,6 +92,8 @@ def run_sharded(
         max_lateness=lateness,
         hysteresis=hysteresis,
         alpha=0.6,
+        async_ingest=async_ingest,
+        ingest_high_watermark=ingest_high_watermark,
     )
     try:
         dropped = set()
@@ -216,10 +231,30 @@ def test_randomized_schedules_are_shard_invariant(repro_seed, case):
     assert_results_identical(unsharded, comparable, f"{context} vs-unsharded")
 
 
+#: Every execution configuration that must match the serial-sync
+#: oracle bit-for-bit: {process, shm} backends in both ingest modes,
+#: plus the serial backend behind the async front door.
+MATRIX = [
+    ("serial", True),
+    ("process", False),
+    ("process", True),
+    ("shm", False),
+    ("shm", True),
+]
+
+
+@pytest.mark.parametrize(
+    "backend,async_ingest",
+    MATRIX,
+    ids=[f"{b}-{'async' if a else 'sync'}" for b, a in MATRIX],
+)
 @pytest.mark.parametrize("num_shards", [2, 3])
-def test_process_backend_matches_serial_oracle(repro_seed, num_shards):
-    """The multiprocessing backend is observationally identical to the
-    deterministic serial oracle under a randomized schedule."""
+def test_backend_matrix_matches_serial_sync_oracle(
+    repro_seed, num_shards, backend, async_ingest
+):
+    """Every backend × ingest-mode cell is observationally identical
+    to the deterministic serial-sync oracle under a randomized
+    schedule (invariants 10 and 11)."""
     rng = np.random.default_rng((repro_seed, 77, num_shards))
     lateness = int(rng.integers(0, 5))
     batch = integer_stream(
@@ -227,20 +262,36 @@ def test_process_backend_matches_serial_oracle(repro_seed, num_shards):
     )
     events = scramble_batch(batch, lateness, seed=int(rng.integers(0, 100)))
     schedule = make_schedule(rng, len(events))
-    context = f"seed={repro_seed} shards={num_shards}"
+    context = (
+        f"seed={repro_seed} shards={num_shards} backend={backend} "
+        f"async={async_ingest}"
+    )
 
-    serial, _ = run_sharded(
+    oracle, _ = run_sharded(
         schedule, events, batch.horizon, num_shards, "serial", lateness
     )
-    process, _ = run_sharded(
-        schedule, events, batch.horizon, num_shards, "process", lateness
+    actual, marks = run_sharded(
+        schedule,
+        events,
+        batch.horizon,
+        num_shards,
+        backend,
+        lateness,
+        async_ingest=async_ingest,
     )
-    assert_results_identical(serial, process, f"{context} process-backend")
+    assert min(marks) == max(marks), context
+    assert_results_identical(oracle, actual, context)
 
 
-def test_push_batch_matches_per_event_push(repro_seed):
+@pytest.mark.parametrize(
+    "backend,async_ingest",
+    [("serial", False), ("serial", True), ("shm", False), ("shm", True)],
+    ids=["serial-sync", "serial-async", "shm-sync", "shm-async"],
+)
+def test_push_batch_matches_per_event_push(repro_seed, backend, async_ingest):
     """The vectorized sorted fast path is observationally identical to
-    pushing the same events one at a time."""
+    pushing the same events one at a time — on every backend, in both
+    ingest modes."""
     rng = np.random.default_rng((repro_seed, 99))
     batch = integer_stream(
         ticks=400, num_keys=NUM_KEYS, seed=int(rng.integers(0, 1000))
@@ -254,7 +305,12 @@ def test_push_batch_matches_per_event_push(repro_seed):
 
     def run(use_batch):
         session = ShardedSession(
-            num_keys=NUM_KEYS, num_shards=3, hysteresis=None
+            num_keys=NUM_KEYS,
+            num_shards=3,
+            backend=backend,
+            hysteresis=None,
+            async_ingest=async_ingest,
+            ingest_high_watermark=113,
         )
         try:
             for query, scope in queries:
@@ -268,5 +324,7 @@ def test_push_batch_matches_per_event_push(repro_seed):
             session.close()
 
     assert_results_identical(
-        run(False), run(True), f"seed={repro_seed} push_batch"
+        run(False),
+        run(True),
+        f"seed={repro_seed} push_batch {backend} async={async_ingest}",
     )

@@ -1,0 +1,174 @@
+"""Unit tests for the SPSC shared-memory ring (DESIGN.md §8).
+
+These drive producer and consumer from one process (and one helper
+thread for the flow-control cases), so they are deterministic; the
+cross-process behaviour is covered end-to-end by the shm-backend
+shard-invariance tests in ``test_sharding_properties.py``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine.events import EVENT_BYTES
+from repro.errors import ExecutionError
+from repro.runtime.shm_ring import RingSpec, ShmRing
+
+
+def _block(rng, n):
+    ts = np.sort(rng.integers(0, 1000, n).astype(np.int64))
+    keys = rng.integers(0, 4, n).astype(np.int64)
+    values = rng.normal(size=n)
+    return ts, keys, values
+
+
+def test_spec_sizes_slots_from_event_schema():
+    spec = RingSpec(name="x", slot_events=100, num_slots=4)
+    assert spec.slot_bytes >= 100 * EVENT_BYTES
+    assert spec.total_bytes >= 4 * spec.slot_bytes
+    with pytest.raises(ExecutionError):
+        RingSpec(name="x", slot_events=0, num_slots=4)
+    with pytest.raises(ExecutionError):
+        RingSpec(name="x", slot_events=8, num_slots=1)
+
+
+def test_data_and_advance_records_round_trip(repro_rng):
+    with ShmRing.create(slot_events=64, num_slots=8) as ring:
+        ts, keys, values = _block(repro_rng, 50)
+        assert ring.push_events(ts, keys, values) == 1
+        ring.push_advance(1234)
+        kind, got_ts, got_keys, got_values = ring.pop()
+        assert kind == "data"
+        np.testing.assert_array_equal(got_ts, ts)
+        np.testing.assert_array_equal(got_keys, keys)
+        np.testing.assert_array_equal(got_values, values)
+        assert ring.pop() == ("advance", 1234)
+        assert ring.pop() is None
+
+
+def test_oversized_blocks_split_and_preserve_order(repro_rng):
+    with ShmRing.create(slot_events=16, num_slots=8) as ring:
+        ts, keys, values = _block(repro_rng, 100)
+        assert ring.push_events(ts, keys, values) == 7  # ceil(100/16)
+        out = []
+        while (record := ring.pop()) is not None:
+            assert record[0] == "data"
+            out.append(record[1:])
+        np.testing.assert_array_equal(np.concatenate([o[0] for o in out]), ts)
+        np.testing.assert_array_equal(np.concatenate([o[1] for o in out]), keys)
+        np.testing.assert_array_equal(
+            np.concatenate([o[2] for o in out]), values
+        )
+
+
+def test_wraparound_many_times(repro_rng):
+    with ShmRing.create(slot_events=8, num_slots=3) as ring:
+        for round_no in range(50):
+            ts, keys, values = _block(repro_rng, 8)
+            ring.push_events(ts, keys, values)
+            kind, got_ts, got_keys, got_values = ring.pop()
+            assert kind == "data"
+            np.testing.assert_array_equal(got_values, values)
+            ring.push_advance(round_no)
+            assert ring.pop() == ("advance", round_no)
+        assert ring.depth == 0
+
+
+def test_full_ring_blocks_until_consumer_drains(repro_rng):
+    """The producer stalls on a full ring and resumes when the
+    consumer frees slots — no record is dropped or reordered."""
+    with ShmRing.create(slot_events=4, num_slots=2) as ring:
+        total = 40
+        ts = np.arange(total, dtype=np.int64)
+        keys = np.zeros(total, dtype=np.int64)
+        values = np.arange(total, dtype=np.float64)
+        done = threading.Event()
+
+        def produce():
+            ring.push_events(ts, keys, values, timeout=30.0)
+            done.set()
+
+        producer = threading.Thread(target=produce, daemon=True)
+        producer.start()
+        got = []
+        consumed = 0
+        while consumed < total:
+            record = ring.pop()
+            if record is None:
+                continue
+            got.append(record[3])
+            consumed += record[3].size
+        producer.join(timeout=30.0)
+        assert done.is_set()
+        np.testing.assert_array_equal(np.concatenate(got), values)
+
+
+def test_full_ring_times_out_without_consumer():
+    with ShmRing.create(slot_events=2, num_slots=2) as ring:
+        ts = np.arange(10, dtype=np.int64)
+        keys = np.zeros(10, dtype=np.int64)
+        values = np.zeros(10, dtype=np.float64)
+        with pytest.raises(ExecutionError, match="ring full"):
+            ring.push_events(ts, keys, values, timeout=0.05)
+
+
+def test_dead_consumer_liveness_check_raises():
+    with ShmRing.create(slot_events=2, num_slots=2) as ring:
+        ts = np.arange(10, dtype=np.int64)
+        keys = np.zeros(10, dtype=np.int64)
+        values = np.zeros(10, dtype=np.float64)
+        with pytest.raises(ExecutionError, match="consumer died"):
+            ring.push_events(
+                ts, keys, values, timeout=30.0, liveness=lambda: False
+            )
+
+
+def test_closed_ring_rejects_blocked_producers():
+    with ShmRing.create(slot_events=2, num_slots=2) as ring:
+        ring.push_advance(1)
+        ring.push_advance(2)
+        ring.close_ring()
+        with pytest.raises(ExecutionError, match="closed"):
+            ring.push_advance(3)
+        # Published records stay drainable after close.
+        assert ring.pop() == ("advance", 1)
+        assert ring.pop() == ("advance", 2)
+
+
+def test_attach_sees_creators_records(repro_rng):
+    producer = ShmRing.create(slot_events=32, num_slots=4)
+    try:
+        ts, keys, values = _block(repro_rng, 20)
+        producer.push_events(ts, keys, values)
+        consumer = ShmRing.attach(producer.spec)
+        try:
+            kind, got_ts, _, got_values = consumer.pop()
+            assert kind == "data"
+            np.testing.assert_array_equal(got_ts, ts)
+            np.testing.assert_array_equal(got_values, values)
+            # The consumer's head store is visible to the producer.
+            assert producer.depth == 0
+        finally:
+            consumer.close()
+    finally:
+        producer.close()
+
+
+def test_consumed_data_survives_slot_reuse(repro_rng):
+    """pop() hands back owned copies: later slot reuse must not mutate
+    previously returned arrays."""
+    with ShmRing.create(slot_events=4, num_slots=2) as ring:
+        first = np.arange(4, dtype=np.float64)
+        ring.push_events(
+            np.arange(4, dtype=np.int64), np.zeros(4, dtype=np.int64), first
+        )
+        _, _, _, got = ring.pop()
+        for wave in range(4):  # reuse every slot multiple times
+            ring.push_events(
+                np.arange(4, dtype=np.int64),
+                np.zeros(4, dtype=np.int64),
+                np.full(4, 99.0 + wave),
+            )
+            ring.pop()
+        np.testing.assert_array_equal(got, first)

@@ -1,0 +1,29 @@
+"""Tier-1 wrapper around the docs lint (``tools/check_docs.py``).
+
+The docs surface (README, DESIGN, docs/) advertises runnable snippets
+and intra-repo links; this keeps both true on every test run, not just
+in the CI ``docs-lint`` job.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_docs_links_resolve_and_snippets_execute():
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"docs lint failed:\n{proc.stdout}\n{proc.stderr}"
+    )
