@@ -1,0 +1,202 @@
+"""Ablation: checkpoint/restore costs of the durable runtime
+(DESIGN.md §9, invariant 12).
+
+Three questions a deployment sizing its checkpoint cadence needs
+answered:
+
+* **Snapshot latency** — how long does ``session.snapshot()`` stall
+  the command stream at different points of the run (state grows with
+  registered subscriptions, not with stream length, so latency should
+  plateau once the windows are warm)?
+* **Snapshot size** — how many bytes does a checkpoint file take at
+  those points (the disk cost of `CheckpointStore` rotation)?
+* **Recovery vs cold recompute** — restoring the last checkpoint and
+  replaying only the stream tail must beat recomputing from scratch;
+  the speedup is the whole value proposition of checkpointing.
+
+Every configuration's results are asserted bit-identical to the cold
+run first (invariant 12 — a recovery that got faster by being wrong
+would be worthless), and the resumed run's deterministic physical
+work counter must match the cold run's exactly (snapshots carry the
+counters, so a resumed timeline is indistinguishable).  Emits
+``BENCH_checkpoint.json``; ``bench compare --portable-only`` gates
+the recovery speedup and the physical counters across commits.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.aggregates.registry import AVG, MAX, MIN, SUM
+from repro.bench.reporting import format_table, write_json_report
+from repro.core.multiquery import Query
+from repro.runtime import ShardedSession, write_checkpoint
+from repro.windows.window import Window, WindowSet
+from repro.workloads.streams import constant_rate_stream
+
+JSON_PATH = Path(
+    os.environ.get(
+        "REPRO_BENCH_JSON",
+        Path(__file__).parent / "results" / "BENCH_checkpoint.json",
+    )
+)
+
+NUM_KEYS = 64
+RATE = 4
+NUM_SHARDS = 2
+#: Stream-position fractions where a snapshot is taken; recovery
+#: restores the last one, so the replayed tail is the complement.
+SNAPSHOT_POINTS = (0.25, 0.5, 0.75)
+QUERIES = [
+    (Query("sums", WindowSet([Window(300, 50), Window(600, 100)]), SUM), "per_key"),
+    (Query("mins", WindowSet([Window(400, 80)]), MIN), "per_key"),
+    (Query("maxs", WindowSet([Window(360, 60)]), MAX), "per_key"),
+    (Query("avgs", WindowSet([Window(480, 120)]), AVG), "global"),
+]
+
+
+def _fresh():
+    session = ShardedSession(
+        num_keys=NUM_KEYS,
+        num_shards=NUM_SHARDS,
+        backend="serial",
+        hysteresis=None,
+    )
+    for query, scope in QUERIES:
+        session.register(query, scope=scope)
+    return session
+
+
+def _assert_matches(baseline, results):
+    for name, by_window in baseline.items():
+        for window, reference in by_window.items():
+            np.testing.assert_array_equal(
+                results[name][window].values, reference.values
+            )
+
+
+def test_checkpoint_ablation_report(report_sink, bench_events, tmp_path):
+    stream = constant_rate_stream(
+        bench_events, num_keys=NUM_KEYS, rate=RATE, seed=1
+    )
+    # Integer values: snapshot() flushes the pending partial chunk, so
+    # chunk boundaries fall differently than the cold run's — exact
+    # float64 integer arithmetic makes the comparison bit-identity
+    # anyway (the same trick the invariant-10/12 property suites use).
+    rows = [
+        (ts, key, float(int(value))) for ts, key, value in stream.rows()
+    ]
+
+    # Cold run: the oracle and the recompute-from-scratch baseline.
+    cold = _fresh()
+    try:
+        started = time.perf_counter()
+        for ts, key, value in rows:
+            cold.push(ts, key, value)
+        cold_results = cold.finish(horizon=stream.horizon)
+        cold_wall = time.perf_counter() - started
+        cold_physical = cold.stats().total_physical
+    finally:
+        cold.close()
+
+    # Live run with snapshots at the configured stream points.
+    points = {
+        max(1, int(fraction * len(rows))): fraction
+        for fraction in SNAPSHOT_POINTS
+    }
+    snapshots = []  # (fraction, stream index, Snapshot, ms, bytes)
+    live = _fresh()
+    try:
+        for i, (ts, key, value) in enumerate(rows):
+            if i in points:
+                begun = time.perf_counter()
+                snap = live.snapshot()
+                latency_ms = (time.perf_counter() - begun) * 1e3
+                path = write_checkpoint(snap, tmp_path / f"at-{i}.rckpt")
+                snapshots.append(
+                    (points[i], i, snap, latency_ms, path.stat().st_size)
+                )
+            live.push(ts, key, value)
+        live_results = live.finish(horizon=stream.horizon)
+    finally:
+        live.close()
+    # Snapshotting is observationally free: the snapshotted run's
+    # results are the cold run's, bit for bit.
+    _assert_matches(cold_results, live_results)
+
+    # Recovery: restore the *last* snapshot, replay only the tail.
+    fraction, index, snap, _, _ = snapshots[-1]
+    started = time.perf_counter()
+    restored = ShardedSession.restore(snap)
+    try:
+        for ts, key, value in rows[index:]:
+            restored.push(ts, key, value)
+        restored_results = restored.finish(horizon=stream.horizon)
+        recovery_wall = time.perf_counter() - started
+        restored_physical = restored.stats().total_physical
+    finally:
+        restored.close()
+    _assert_matches(cold_results, restored_results)
+    # The snapshot carries the work counters: a resumed timeline ends
+    # with exactly the cold run's deterministic physical work.
+    assert restored_physical == cold_physical
+    # Replaying 1/4 of the stream must beat recomputing all of it.
+    assert recovery_wall < cold_wall, (
+        f"recovery ({recovery_wall:.3f}s) did not beat cold recompute "
+        f"({cold_wall:.3f}s)"
+    )
+    speedup = cold_wall / recovery_wall
+
+    table_rows = []
+    series = []
+    for point, i, snap, latency_ms, size in snapshots:
+        table_rows.append(
+            (
+                f"{point:.0%}",
+                f"{snap.watermark:,}",
+                f"{latency_ms:,.1f}",
+                f"{size / 1024:,.0f}",
+            )
+        )
+        series.append(
+            {
+                "point": point,
+                "watermark": snap.watermark,
+                "snapshot_ms": latency_ms,
+                "snapshot_bytes": size,
+            }
+        )
+    report = {
+        "benchmark": "checkpoint",
+        "events": bench_events,
+        "num_keys": NUM_KEYS,
+        "rate": RATE,
+        "shards": NUM_SHARDS,
+        "snapshots": series,
+        "recovery": {
+            "tail_fraction": round(1.0 - fraction, 4),
+            "cold_seconds": cold_wall,
+            "recovery_seconds": recovery_wall,
+            "recovery_speedup_vs_cold": speedup,
+            "resumed_total_physical": restored_physical,
+            "cold_total_physical": cold_physical,
+        },
+    }
+
+    report_sink(
+        "ablation_checkpoint",
+        format_table(
+            ["point", "watermark", "snapshot ms", "KiB"],
+            table_rows,
+            title=(
+                f"Durable runtime: snapshot cost and recovery "
+                f"({bench_events:,} events, {NUM_KEYS} keys, "
+                f"{NUM_SHARDS} shards; restore+replay last "
+                f"{1.0 - fraction:.0%}: {speedup:.1f}x vs cold)"
+            ),
+        ),
+    )
+    path = write_json_report(JSON_PATH, report)
+    assert path.exists()

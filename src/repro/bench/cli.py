@@ -16,7 +16,13 @@ Commands
                   the serial oracle, the multiprocessing pipe pool, or
                   the shared-memory ring pool (``shm``, DESIGN.md §8);
                   ``--async-ingest`` puts the bounded-queue front door
-                  in front of either session.
+                  in front of either session; ``--checkpoint-dir`` +
+                  ``--checkpoint-every`` write rotating watermark-safe
+                  checkpoints while streaming (DESIGN.md §9).
+``restore``       resume a ``session`` run from its newest checkpoint
+                  (or an explicit checkpoint file) and stream the rest
+                  of the events — bit-identical to never having
+                  stopped (invariant 12, docs/durability.md).
 ``bench``         benchmark utilities; ``bench compare`` diffs two
                   ``BENCH_*.json`` reports and exits non-zero on
                   regressions beyond a threshold (the CI perf gate).
@@ -167,6 +173,17 @@ def _cmd_session(args: argparse.Namespace) -> int:
         )
         if args.async_ingest:
             print("async ingest: bounded-queue front door enabled")
+    store = None
+    if args.checkpoint_dir is not None:
+        from ..runtime import CheckpointStore
+
+        store = CheckpointStore(
+            args.checkpoint_dir, every=args.checkpoint_every
+        )
+        print(
+            f"checkpointing every {args.checkpoint_every:,} watermark "
+            f"ticks to {args.checkpoint_dir}/"
+        )
     rows = list(stream.rows())
     # First query opens before any data; the rest spread over the
     # first half of the stream — the live-dashboard shape.
@@ -180,11 +197,42 @@ def _cmd_session(args: argparse.Namespace) -> int:
                 name = session.register(points[i])
                 print(f"[wm {session.watermark:>6}] registered {name!r}")
             session.push(ts, key, value)
+            if store is not None and store.due(session.watermark):
+                # The snapshot runs at its command-stream position
+                # (a synchronization point in async mode); meta keeps
+                # the exact stream index — a watermark cannot split a
+                # tick — plus what `restore` needs to resume the run.
+                saved = store.save(
+                    session.snapshot(
+                        meta={
+                            "position": i + 1,
+                            "stream": {
+                                "events": args.events,
+                                "keys": args.keys,
+                                "rate": args.rate,
+                                "seed": args.seed,
+                            },
+                            "pending": {
+                                j: q for j, q in points.items() if j > i
+                            },
+                        }
+                    )
+                )
+                print(
+                    f"[wm {session.watermark:>6}] checkpoint -> "
+                    f"{saved.name}"
+                )
         results = session.finish(horizon=stream.horizon)
     except BaseException:
         session.close()  # stop pump threads / workers, unlink rings
         raise
 
+    _print_session_report(session, results, args.async_ingest)
+    session.close()
+    return 0
+
+
+def _print_session_report(session, results, async_ingest: bool) -> None:
     print()
     print("plan switches:")
     for switch in session.switches:
@@ -208,13 +256,77 @@ def _cmd_session(args: argparse.Namespace) -> int:
         f"physical={stats.total_physical:,} "
         f"throughput={stats.throughput / 1e3:,.0f}K ev/s"
     )
-    if args.async_ingest:
+    if async_ingest:
         ingest = session.ingest_stats
         print(
             f"ingest queue: {ingest.enqueued_events:,} events, "
             f"{ingest.backpressure_waits:,} backpressure waits, "
             f"peak backlog {ingest.max_depth_events:,}"
         )
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from ..runtime import (
+        QuerySession,
+        ShardedSession,
+        latest_checkpoint,
+        read_checkpoint,
+    )
+    from ..workloads.streams import constant_rate_stream
+
+    target = Path(args.checkpoint)
+    path = latest_checkpoint(target) if target.is_dir() else target
+    if path is None or not path.exists():
+        print(f"no checkpoint found at {target}", file=sys.stderr)
+        return 2
+    snap = read_checkpoint(path)
+    meta = snap.meta
+    if "stream" not in meta or "position" not in meta:
+        print(
+            f"{path} carries no stream metadata (it was not written by "
+            "'factor-windows session'); restore it via the Python API "
+            "instead (docs/durability.md)",
+            file=sys.stderr,
+        )
+        return 2
+    if snap.kind == "sharded":
+        session = ShardedSession.restore(
+            snap,
+            backend=args.shard_backend,
+            async_ingest=args.async_ingest,
+        )
+    else:
+        session = QuerySession.restore(snap, async_ingest=args.async_ingest)
+    spec = meta["stream"]
+    events = args.events if args.events is not None else spec["events"]
+    stream = constant_rate_stream(
+        events, num_keys=spec["keys"], rate=spec["rate"], seed=spec["seed"]
+    )
+    rows = list(stream.rows())
+    position = min(meta["position"], len(rows))
+    pending = {
+        int(i): q for i, q in meta.get("pending", {}).items() if i < len(rows)
+    }
+    print(
+        f"restored {snap.kind!r} session from {path} "
+        f"(watermark {snap.watermark:,}, stream position {position:,}, "
+        f"{len(rows) - position:,} events to go)"
+    )
+    try:
+        for i in range(position, len(rows)):
+            if i in pending:
+                name = session.register(pending[i])
+                print(f"[wm {session.watermark:>6}] registered {name!r}")
+            ts, key, value = rows[i]
+            session.push(ts, key, value)
+        results = session.finish(horizon=stream.horizon)
+    except BaseException:
+        session.close()
+        raise
+
+    _print_session_report(session, results, args.async_ingest)
     session.close()
     return 0
 
@@ -311,7 +423,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="put the bounded-queue non-blocking front door in front "
         "of the session (backpressure instead of blocking pushes)",
     )
+    p_ses.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="write rotating watermark-safe checkpoints to this "
+        "directory while streaming (DESIGN.md §9)",
+    )
+    p_ses.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=5_000,
+        help="checkpoint cadence in watermark ticks (default 5000; "
+        "needs --checkpoint-dir)",
+    )
     p_ses.set_defaults(func=_cmd_session)
+
+    p_res = sub.add_parser(
+        "restore",
+        help="resume a checkpointed 'session' run from its newest "
+        "checkpoint (invariant 12)",
+    )
+    p_res.add_argument(
+        "checkpoint",
+        help="a checkpoint directory (newest file wins) or one "
+        "*.rckpt file",
+    )
+    p_res.add_argument(
+        "--events",
+        type=int,
+        default=None,
+        help="total stream length to run to (default: the original "
+        "run's --events)",
+    )
+    p_res.add_argument(
+        "--shard-backend",
+        choices=("serial", "process", "shm"),
+        default="serial",
+        help="backend for a restored sharded session — an override, "
+        "not part of the snapshot (invariant 12)",
+    )
+    p_res.add_argument(
+        "--async-ingest",
+        action="store_true",
+        help="restore behind the async front door (also an override)",
+    )
+    p_res.set_defaults(func=_cmd_restore)
 
     p_bench = sub.add_parser("bench", help="benchmark utilities")
     bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)

@@ -19,16 +19,31 @@ background pump thread in front of ingestion — pushes return without
 waiting for flushes, backpressure instead of loss (DESIGN.md §8,
 invariant 11).
 
+Both sessions are also *durable*: ``session.snapshot(path)`` captures
+the whole session at a safe watermark and ``Session.restore(path)``
+resumes it bit-identically (DESIGN.md §9, invariant 12) — see
+:mod:`repro.runtime.checkpoint` for the format,
+:mod:`repro.runtime.faults` for the deterministic fault-injection
+harness, and ``docs/durability.md`` for the crash-recovery story.
+
 See DESIGN.md §6 for the generation/switch model and invariant 9 for
 the observational-equivalence contract.
 """
 
+from .checkpoint import (
+    CheckpointStore,
+    Snapshot,
+    latest_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
 from .core import (
     DEFAULT_RETIRED_RESULT_CAP,
     RegisterAck,
     SessionCore,
     ShardReport,
 )
+from .faults import Fault, FaultPlan
 from .results import (
     PartialResults,
     PlanSwitchRecord,
@@ -46,8 +61,11 @@ from .sharding import (
 from .shm_ring import RingSpec, ShmRing
 
 __all__ = [
+    "CheckpointStore",
     "DEFAULT_INGEST_HIGH_WATERMARK",
     "DEFAULT_RETIRED_RESULT_CAP",
+    "Fault",
+    "FaultPlan",
     "IngestStats",
     "PartialResults",
     "PlanSwitchRecord",
@@ -61,6 +79,10 @@ __all__ = [
     "ShardedSession",
     "SharedMemoryShardBackend",
     "ShmRing",
+    "Snapshot",
     "WindowResults",
     "finalize_partials",
+    "latest_checkpoint",
+    "read_checkpoint",
+    "write_checkpoint",
 ]

@@ -1,0 +1,240 @@
+"""Durable session snapshots (DESIGN.md §9, invariant 12).
+
+A *snapshot* is a whole-session capture taken at a safe watermark: the
+reorder buffer, every group's operator state and provider partials,
+the subscription routing table, the retired-result archive, the
+registered workload with its plan generation, and — in async mode —
+the ingest-queue residue.  It generalizes the engine's
+``handoff()``/``adopt()`` operator-state transplant
+(:mod:`repro.engine.streaming`): where a plan switch transplants state
+between operator generations *inside* one process, a snapshot
+transplants the entire session across process lifetimes.  The contract
+is the same in both directions — **bit-identical resumption**: a
+session restored from a snapshot and fed the remainder of the stream
+emits exactly what the uninterrupted session would have
+(``tests/runtime/test_checkpoint.py`` holds this as a property across
+every backend × ingest combination).
+
+This module owns the *format*, not the capture: sessions assemble
+their own payloads (:meth:`~repro.runtime.QuerySession.snapshot`,
+:meth:`~repro.runtime.sharding.ShardedSession.snapshot`) and hand them
+to :func:`write_checkpoint`.  On disk a checkpoint is::
+
+    magic (6) | version (u16 LE) | sha256(body) (32) | body (pickle)
+
+written atomically (temp file + ``os.replace``) so a crash mid-write
+can never leave a truncated file that :func:`read_checkpoint` would
+trust — a corrupt or torn file fails the checksum and raises, it never
+restores garbage.  See ``docs/durability.md`` for the full format and
+the safe-watermark rules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import re
+import struct
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ExecutionError
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CheckpointStore",
+    "Snapshot",
+    "latest_checkpoint",
+    "read_checkpoint",
+    "write_checkpoint",
+]
+
+#: File magic — identifies a factor-windows checkpoint.
+CHECKPOINT_MAGIC = b"RCKPT\x00"
+
+#: Format version; bumped on any incompatible payload change.
+CHECKPOINT_VERSION = 1
+
+_VERSION_WORD = struct.Struct("<H")
+_DIGEST_BYTES = 32
+_HEADER_BYTES = len(CHECKPOINT_MAGIC) + _VERSION_WORD.size + _DIGEST_BYTES
+
+#: Checkpoint filename shape used by :class:`CheckpointStore`.
+_CKPT_NAME = re.compile(r"^ckpt-(\d{12})\.rckpt$")
+
+
+@dataclass
+class Snapshot:
+    """One whole-session capture, in memory.
+
+    ``kind`` names the session shape that produced it (``"query"`` or
+    ``"sharded"`` — restore dispatches on it), ``watermark`` is the
+    safe watermark of the cut, and ``payload`` is the session-assembled
+    state graph (pickled wholesale, so shared references — e.g. the
+    rate controller inside the rate observer — survive).  ``meta`` is
+    caller-owned (the CLI stores its stream position there so
+    ``restore`` can resume the synthetic stream deterministically).
+    """
+
+    kind: str
+    watermark: int
+    generation: int
+    queries: tuple
+    payload: dict
+    meta: dict = field(default_factory=dict)
+
+
+def write_checkpoint(snapshot: Snapshot, path: "str | Path") -> Path:
+    """Serialize ``snapshot`` to ``path`` atomically; returns the path.
+
+    The body is pickled first, its digest computed, and the whole file
+    staged in a sibling temp file before one ``os.replace`` — readers
+    only ever observe a complete checkpoint or the previous one.
+    """
+    path = Path(path)
+    body = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(body).digest()
+    blob = (
+        CHECKPOINT_MAGIC
+        + _VERSION_WORD.pack(CHECKPOINT_VERSION)
+        + digest
+        + body
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_checkpoint(path: "str | Path") -> Snapshot:
+    """Load and verify one checkpoint file.
+
+    Raises :class:`~repro.errors.ExecutionError` on a missing file, a
+    foreign or truncated header, a version mismatch, or a checksum
+    failure — a checkpoint either restores exactly or not at all.
+    """
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise ExecutionError(f"cannot read checkpoint {path}: {exc}") from exc
+    if len(blob) < _HEADER_BYTES or not blob.startswith(CHECKPOINT_MAGIC):
+        raise ExecutionError(f"{path} is not a factor-windows checkpoint")
+    offset = len(CHECKPOINT_MAGIC)
+    (version,) = _VERSION_WORD.unpack_from(blob, offset)
+    if version != CHECKPOINT_VERSION:
+        raise ExecutionError(
+            f"{path}: checkpoint format v{version} is not supported "
+            f"(this build reads v{CHECKPOINT_VERSION})"
+        )
+    offset += _VERSION_WORD.size
+    digest = blob[offset : offset + _DIGEST_BYTES]
+    body = blob[offset + _DIGEST_BYTES :]
+    if hashlib.sha256(body).digest() != digest:
+        raise ExecutionError(
+            f"{path}: checksum mismatch — checkpoint is corrupt or torn"
+        )
+    snapshot = pickle.loads(body)
+    if not isinstance(snapshot, Snapshot):  # pragma: no cover - defensive
+        raise ExecutionError(f"{path}: body is not a Snapshot")
+    return snapshot
+
+
+def latest_checkpoint(directory: "str | Path") -> "Path | None":
+    """The newest checkpoint in a :class:`CheckpointStore` directory
+    (by watermark encoded in the filename), or ``None``."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    best: "tuple[int, Path] | None" = None
+    for entry in directory.iterdir():
+        match = _CKPT_NAME.match(entry.name)
+        if match is None:
+            continue
+        watermark = int(match.group(1))
+        if best is None or watermark > best[0]:
+            best = (watermark, entry)
+    return None if best is None else best[1]
+
+
+class CheckpointStore:
+    """A rotating directory of checkpoints: ``ckpt-<watermark>.rckpt``.
+
+    ``keep`` bounds retention (oldest watermarks deleted first; the
+    newest is never deleted).  ``every`` expresses the CLI's
+    ``--checkpoint-every`` cadence: :meth:`due` is true once the
+    watermark has advanced ``every`` or more ticks past the last save.
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        keep: int = 4,
+        every: "int | None" = None,
+    ):
+        if keep < 1:
+            raise ExecutionError(f"keep must be >= 1, got {keep}")
+        if every is not None and every < 1:
+            raise ExecutionError(f"every must be >= 1, got {every}")
+        self.directory = Path(directory)
+        self.keep = keep
+        self.every = every
+        self._last_saved: "int | None" = None
+
+    def due(self, watermark: int) -> bool:
+        """Whether the cadence calls for a checkpoint at ``watermark``."""
+        if self.every is None:
+            return False
+        if self._last_saved is None:
+            return watermark >= self.every
+        return watermark - self._last_saved >= self.every
+
+    def path_for(self, watermark: int) -> Path:
+        if watermark < 0:  # pragma: no cover - defensive
+            raise ExecutionError(f"negative watermark {watermark}")
+        return self.directory / f"ckpt-{watermark:012d}.rckpt"
+
+    def save(self, snapshot: Snapshot) -> Path:
+        """Write one checkpoint and rotate old ones out."""
+        path = write_checkpoint(snapshot, self.path_for(snapshot.watermark))
+        self._last_saved = snapshot.watermark
+        self._rotate()
+        return path
+
+    def paths(self) -> "list[Path]":
+        """Every checkpoint in the store, oldest watermark first."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for entry in self.directory.iterdir():
+            match = _CKPT_NAME.match(entry.name)
+            if match is not None:
+                found.append((int(match.group(1)), entry))
+        return [path for _, path in sorted(found)]
+
+    def latest(self) -> "Path | None":
+        return latest_checkpoint(self.directory)
+
+    def _rotate(self) -> None:
+        paths = self.paths()
+        for stale in paths[: max(0, len(paths) - self.keep)]:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - defensive
+                pass

@@ -223,6 +223,25 @@ class SessionCore:
         self.wall_seconds = 0.0
 
     # ------------------------------------------------------------------
+    # Snapshot support (DESIGN.md §9, invariant 12)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle everything but :attr:`on_flush` — the hook is a bound
+        method of the owning front door (it may reach a pump thread)
+        and is re-bound by whoever restores the core.  Every other
+        field — the buffered partial chunk, the group runtimes with
+        their operators and subscriptions, the retired-result archive,
+        the workload and its plans — is plain picklable state, which is
+        what makes a core snapshot a *complete* capture: restoring it
+        resumes bit-identical to an uninterrupted run."""
+        state = dict(self.__dict__)
+        state["on_flush"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property

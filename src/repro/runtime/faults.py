@@ -1,0 +1,161 @@
+"""Deterministic fault injection for the worker shard backends.
+
+Chaos testing a multiprocess runtime is only useful if a failing
+schedule *reproduces*: a fault that fires "sometime around chunk 40"
+on one run and never on the next cannot anchor a property test.  So
+faults here are not random signals from outside — they are injected by
+the **coordinator itself**, at exact points of its own deterministic
+command stream (:class:`~repro.runtime.sharding._WorkerShardBackend`
+consults the plan before every data-plane send and every control-plane
+command).  Given the same stream and schedule, a
+:class:`FaultPlan` fires at the same instruction on every run, which
+is what lets ``tests/runtime/test_checkpoint.py`` assert bit-identical
+recovery under hypothesis-chosen crash points seeded from
+``REPRO_TEST_SEED``.
+
+Fault kinds
+-----------
+``kill``
+    SIGKILL the shard's worker process.  With ``at_watermark=W`` it
+    fires just before the coordinator ships the first watermark
+    advance ≥ W to that shard (the advance itself is retained and
+    replayed); with ``op="register"`` (or any control op) it fires
+    just before that command is delivered.
+``kill_mid_op``
+    Deliver the control command, then SIGKILL the worker before it can
+    reply — the crash-mid-``snapshot`` case: the coordinator must
+    treat a command with no reply exactly like a crash before it.
+``drop_control``
+    Silently skip delivering one control command to one shard — a
+    lost control message.  The worker stays alive but desyncs; the
+    coordinator detects the missing reply via its control timeout and
+    either recovers (respawn + replay) or raises with diagnostics.
+``delay_control``
+    Sleep ``delay_seconds`` before delivering one control command
+    (scheduling jitter; must be observationally invisible).
+``poison_ring``
+    Write a corrupt record into the shard's shared-memory ring
+    (``shm`` backend only): the worker must die loudly on the next
+    pop (a record that cannot be parsed can never be consumed, so
+    anything else would wedge the ring).  Corrupt data never reaches
+    results: without recovery the session raises an integrity error
+    carrying the worker's traceback; with recovery the worker is
+    respawned onto a *fresh* ring and replayed from the coordinator's
+    clean retained log — the poisoned segment is discarded whole.
+
+Faults fire at most once each; :attr:`FaultPlan.fired` records the
+order they actually hit, so tests can assert a schedule fully played
+out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ExecutionError
+
+__all__ = ["Fault", "FaultPlan"]
+
+#: Injection kinds a :class:`Fault` may carry.
+FAULT_KINDS = (
+    "kill",
+    "kill_mid_op",
+    "drop_control",
+    "delay_control",
+    "poison_ring",
+)
+
+
+@dataclass
+class Fault:
+    """One scheduled fault against one shard slot.
+
+    ``slot`` indexes the backend's worker list (the session's
+    ``active_shards`` order).  A data-plane trigger sets
+    ``at_watermark`` (fires at the first advance ≥ it); a control-plane
+    trigger sets ``op`` (fires at the next delivery of that command).
+    Setting both restricts the control trigger to commands issued at or
+    after the watermark.
+    """
+
+    kind: str
+    slot: int
+    at_watermark: "int | None" = None
+    op: "str | None" = None
+    delay_seconds: float = 0.0
+    fired: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ExecutionError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.slot < 0:
+            raise ExecutionError(f"fault slot must be >= 0, got {self.slot}")
+        if self.at_watermark is None and self.op is None:
+            raise ExecutionError(
+                "a fault needs a trigger: at_watermark, op, or both"
+            )
+        if self.kind in ("kill_mid_op", "drop_control", "delay_control") and (
+            self.op is None
+        ):
+            raise ExecutionError(
+                f"{self.kind} is a control-plane fault and needs op=..."
+            )
+
+
+class FaultPlan:
+    """An ordered chaos schedule, consumed by the worker backends.
+
+    The backends call :meth:`take` at their injection points; each
+    fault fires at most once.  The plan is plain data — construct it
+    from a seeded RNG for property tests.
+    """
+
+    def __init__(self, *faults: Fault):
+        self.faults: "list[Fault]" = list(faults)
+        self.fired: "list[Fault]" = []
+
+    def add(self, fault: Fault) -> "FaultPlan":
+        self.faults.append(fault)
+        return self
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every scheduled fault has fired."""
+        return all(fault.fired for fault in self.faults)
+
+    def take(
+        self,
+        point: str,
+        slot: int,
+        watermark: "int | None" = None,
+        op: "str | None" = None,
+    ) -> "list[Fault]":
+        """Claim the faults due at one injection point (marks them
+        fired).  ``point`` is ``"advance"`` (just before a data-plane
+        watermark ship) or ``"control"`` (just before a control-plane
+        command delivery)."""
+        due = []
+        for fault in self.faults:
+            if fault.fired or fault.slot != slot:
+                continue
+            if point == "advance":
+                if fault.op is not None or fault.at_watermark is None:
+                    continue
+                if watermark is None or watermark < fault.at_watermark:
+                    continue
+            elif point == "control":
+                if fault.op is None or fault.op != op:
+                    continue
+                if fault.at_watermark is not None and (
+                    watermark is None or watermark < fault.at_watermark
+                ):
+                    continue
+            else:  # pragma: no cover - defensive
+                raise ExecutionError(f"unknown injection point {point!r}")
+            fault.fired = True
+            self.fired.append(fault)
+            due.append(fault)
+        return due

@@ -189,14 +189,26 @@ class IngestQueue:
                 self._gate.notify_all()
             return item
 
+    def peek_data(self) -> list:
+        """The queued *data* items, in order, without consuming them —
+        the ingest-queue residue a session snapshot captures so queued
+        but not-yet-applied events survive a restore (DESIGN.md §9)."""
+        with self._lock:
+            return [
+                item
+                for item, _ in self._items
+                if item[0] in (_EVENT, _BATCH)
+            ]
+
     def close(self) -> list:
         """Refuse further puts; wake blocked producers; return the
-        still-queued items (the pump fails their calls)."""
+        still-queued ``(item, weight)`` pairs (the pump fails their
+        calls and counts discarded data exactly — never silently)."""
         with self._lock:
             self._closed = True
             self._gate_open = True
             self._gate.notify_all()
-            leftovers = [item for item, _ in self._items]
+            leftovers = list(self._items)
             self._items.clear()
             self._depth_events = 0
             return leftovers
@@ -273,6 +285,8 @@ class IngestPump:
         self._push_batch = push_batch
         self.queue = IngestQueue(high_watermark, low_watermark)
         self._error: "BaseException | None" = None
+        self._error_seen = False
+        self._discarded_events = 0
         self._stopped = False
         self._thread = threading.Thread(target=self._run, name=name, daemon=True)
         self._thread.start()
@@ -293,9 +307,14 @@ class IngestPump:
 
     def _raise_pending(self) -> None:
         if self._error is not None:
+            self._error_seen = True
             raise ExecutionError(
                 f"async ingest failed: {self._error}"
             ) from self._error
+
+    def pending_data(self) -> list:
+        """The queued-but-unapplied data items (snapshot residue)."""
+        return self.queue.peek_data()
 
     def submit_event(self, ts: int, key: int, value: float) -> None:
         self._raise_pending()
@@ -319,7 +338,15 @@ class IngestPump:
 
     def stop(self) -> None:
         """Drain everything already queued, then stop the pump.  Safe
-        to call more than once; later submissions raise."""
+        to call more than once; later submissions raise.
+
+        **Drain-or-raise**: queued data either flushes through the
+        pump (the stop sentinel queues FIFO behind it) or — when the
+        pump is poisoned by a parked error — the error is raised here
+        with an exact count of the discarded events, so pending input
+        is never silently dropped.  A parked error that already
+        surfaced on an earlier front-door call is not raised twice.
+        """
         if self._stopped and not self._thread.is_alive():
             return
         try:
@@ -328,6 +355,17 @@ class IngestPump:
             pass
         self._thread.join()
         self._stopped = True
+        if self._error is not None and not self._error_seen:
+            self._error_seen = True
+            dropped = (
+                f"; {self._discarded_events} queued event(s) were "
+                "discarded, not applied"
+                if self._discarded_events
+                else ""
+            )
+            raise ExecutionError(
+                f"async ingest failed: {self._error}{dropped}"
+            ) from self._error
 
     # ------------------------------------------------------------------
     # Pump side
@@ -342,6 +380,10 @@ class IngestPump:
                 if kind == _CALL:
                     call = item[1]
                     if self._error is not None:
+                        # Failing the call surfaces the parked error to
+                        # the producer blocked in submit_call(); mark it
+                        # seen so stop() does not raise it a second time.
+                        self._error_seen = True
                         call.fail(
                             ExecutionError(
                                 f"async ingest failed: {self._error}"
@@ -351,7 +393,12 @@ class IngestPump:
                         call.run()
                     continue
                 if self._error is not None:
-                    continue  # poisoned: discard data, surface on submit
+                    # Poisoned: discard data (counted — stop() raises
+                    # with the exact tally), surface on submit.
+                    self._discarded_events += (
+                        1 if kind == _EVENT else max(1, item[1].num_events)
+                    )
+                    continue
                 try:
                     if kind == _EVENT:
                         self._push(item[1], item[2], item[3])
@@ -361,8 +408,10 @@ class IngestPump:
                     self._error = exc
         finally:
             self._stopped = True
-            for item in self.queue.close():
+            for item, weight in self.queue.close():
                 if item[0] == _CALL:
                     item[1].fail(
                         ExecutionError("ingest pump stopped")
                     )
+                elif item[0] in (_EVENT, _BATCH):
+                    self._discarded_events += max(1, weight)

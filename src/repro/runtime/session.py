@@ -44,6 +44,8 @@ missing, or duplicate instance.
 
 from __future__ import annotations
 
+import pickle
+
 from ..aggregates.registry import get_aggregate
 from ..core.adaptive import RateController
 from ..core.multiquery import GroupKey, Query
@@ -51,6 +53,7 @@ from ..engine.outoforder import ReorderBuffer
 from ..engine.stats import ExecutionStats
 from ..errors import ExecutionError
 from ..windows.window import Window
+from .checkpoint import Snapshot, read_checkpoint, write_checkpoint
 from .core import (
     DEFAULT_RETIRED_RESULT_CAP,
     EpochRateObserver,
@@ -290,6 +293,107 @@ class QuerySession(AsyncIngestFrontDoor):
             self._core.chunk_ticks,
             bool(len(self._core.workload)),
         )
+
+    # ------------------------------------------------------------------
+    # Durability (DESIGN.md §9, invariant 12)
+    # ------------------------------------------------------------------
+    def snapshot(
+        self, path=None, meta: "dict | None" = None
+    ) -> Snapshot:
+        """Capture the whole session at the current safe watermark.
+
+        The capture is *complete*: the core (operator state, provider
+        partials, routing table, retired-result archive, workload +
+        plan generation), the reorder buffer, the rate controller, and
+        — in async mode — the ingest-queue residue (events enqueued
+        but not yet applied).  In async mode the capture runs at its
+        position in the command stream, like every synchronization
+        point, so it is prefix-consistent with everything pushed
+        before it.
+
+        The returned :class:`~repro.runtime.checkpoint.Snapshot` is an
+        isolated deep copy — the live session keeps running unaffected.
+        With ``path`` it is also written to disk atomically.  Restoring
+        it (:meth:`restore`) and replaying the remainder of the stream
+        is bit-identical to never having stopped (invariant 12).
+        """
+        snap = self._via_pump(self._snapshot_now, meta)
+        if path is not None:
+            write_checkpoint(snap, path)
+        return snap
+
+    def _snapshot_now(self, meta: "dict | None") -> Snapshot:
+        residue = [] if self._pump is None else self._pump.pending_data()
+        graph = {
+            "core": self._core,
+            "reorder": self._reorder,
+            "controller": self.controller,
+            "observer": self._rate_observer,
+            "auto_names": self._auto_names,
+            "num_keys": self.num_keys,
+            "residue": residue,
+        }
+        # One dumps over the whole graph: shared references (the
+        # controller inside the observer) survive, and the snapshot is
+        # isolated from further mutation of the live session.
+        return Snapshot(
+            kind="query",
+            watermark=self._core.watermark,
+            generation=self._core.generation,
+            queries=self.queries,
+            payload={
+                "state": pickle.dumps(
+                    graph, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            },
+            meta=dict(meta or {}),
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        source,
+        async_ingest: bool = False,
+        ingest_high_watermark: int = DEFAULT_INGEST_HIGH_WATERMARK,
+        ingest_low_watermark: "int | None" = None,
+    ) -> "QuerySession":
+        """Rebuild a session from a :class:`Snapshot` or a checkpoint
+        file and resume exactly where it left off.
+
+        The ingest mode is an override, not part of the snapshot —
+        invariant 11 makes it observationally invisible, so a session
+        snapshotted in async mode may restore in sync mode and vice
+        versa.  Captured ingest-queue residue is replayed through the
+        restored front door first, so the restored timeline has applied
+        exactly the events the original had accepted.
+        """
+        snap = source if isinstance(source, Snapshot) else read_checkpoint(source)
+        if snap.kind != "query":
+            raise ExecutionError(
+                f"checkpoint kind {snap.kind!r} does not restore into a "
+                "QuerySession (use ShardedSession.restore)"
+            )
+        graph = pickle.loads(snap.payload["state"])
+        self = cls.__new__(cls)
+        self._core = graph["core"]
+        self.num_keys = graph["num_keys"]
+        self.controller = graph["controller"]
+        self._reorder = graph["reorder"]
+        self._rate_observer = graph["observer"]
+        self._auto_names = graph["auto_names"]
+        self._core.on_flush = self._on_flush
+        self._pump = (
+            IngestPump(
+                push=self._push_now,
+                high_watermark=ingest_high_watermark,
+                low_watermark=ingest_low_watermark,
+            )
+            if async_ingest
+            else None
+        )
+        for item in graph["residue"]:
+            self.push(item[1], item[2], item[3])
+        return self
 
     # ------------------------------------------------------------------
     # Termination and results

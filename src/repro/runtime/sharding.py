@@ -50,6 +50,7 @@ third-party implementations in ``docs/backends.md``):
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import time
 import traceback
 from dataclasses import dataclass
@@ -64,6 +65,7 @@ from ..engine.outoforder import ReorderBuffer
 from ..engine.stats import ExecutionStats
 from ..errors import ExecutionError
 from ..windows.window import Window
+from .checkpoint import Snapshot, read_checkpoint, write_checkpoint
 from .core import (
     DEFAULT_RETIRED_RESULT_CAP,
     EpochRateObserver,
@@ -74,6 +76,7 @@ from .core import (
 )
 from .ingest import (
     DEFAULT_INGEST_HIGH_WATERMARK,
+    _EVENT,
     AsyncIngestFrontDoor,
     IngestPump,
 )
@@ -180,6 +183,23 @@ class SerialShardBackend:
             (core.max_retained_state() for core in self.cores), default=0
         )
 
+    def snapshot(self) -> "list[bytes]":
+        """Serialize every shard core (one pickle blob per shard) —
+        the backend half of a coordinator-consistent checkpoint."""
+        return [
+            pickle.dumps(core, protocol=pickle.HIGHEST_PROTOCOL)
+            for core in self.cores
+        ]
+
+    def restore(self, states: "list[bytes]") -> None:
+        """Replace every shard core with a snapshotted one."""
+        if len(states) != len(self.cores):
+            raise ExecutionError(
+                f"snapshot has {len(states)} shard cores, backend has "
+                f"{len(self.cores)}"
+            )
+        self.cores = [pickle.loads(state) for state in states]
+
     def close(self) -> None:
         pass
 
@@ -190,11 +210,39 @@ class SerialShardBackend:
 #: Commands that synchronously return a payload (everything else is
 #: fire-and-forget data plane).
 _REPLY_OPS = frozenset(
-    {"register", "deregister", "rate", "collect", "stats", "retained"}
+    {
+        "register",
+        "deregister",
+        "rate",
+        "collect",
+        "stats",
+        "retained",
+        "snapshot",
+        "restore",
+    }
 )
+
+#: Mutating control commands the coordinator retains for crash-recovery
+#: replay (reads are idempotent or reproduced via a drain barrier).
+_LOGGED_OPS = frozenset({"register", "deregister", "rate"})
 
 #: Worker idle wait on the control pipe when the data plane is quiet.
 _IDLE_POLL_SECONDS = 500e-6
+
+#: Coordinator poll step while waiting for a control reply — short
+#: enough that worker death (liveness) surfaces promptly, long enough
+#: to cost nothing against real reply latencies.
+_CONTROL_POLL_SECONDS = 0.05
+
+
+def _send_fatal(conn) -> None:
+    """Last words: ship the traceback of a dying worker loop up the
+    control pipe so the coordinator can surface the *cause* of the
+    crash, not just an EOF (satellite of DESIGN.md §9)."""
+    try:
+        conn.send(("fatal", traceback.format_exc()))
+    except Exception:  # pragma: no cover - pipe already gone
+        pass
 
 
 def _apply_control(core, conn, msg, pending_error: "str | None") -> "str | None":
@@ -221,6 +269,14 @@ def _apply_control(core, conn, msg, pending_error: "str | None") -> "str | None"
             )
         elif op == "retained":
             conn.send(("ok", core.max_retained_state()))
+        elif op == "snapshot":
+            # The coordinator broadcasts this after publishing all
+            # pending data, so the stream position of this command IS
+            # the consistent cut (pipe FIFO; the shm worker drains its
+            # ring first) — no lockstep pause needed.
+            conn.send(
+                ("ok", pickle.dumps(core, protocol=pickle.HIGHEST_PROTOCOL))
+            )
         else:  # pragma: no cover - defensive
             raise ExecutionError(f"unknown shard command {msg[0]!r}")
     except Exception:
@@ -237,8 +293,18 @@ def _shard_worker(conn, config: ShardConfig) -> None:
 
     Data-plane errors (from fire-and-forget ``feed``/``advance``) are
     parked and surfaced on the next synchronous command, so the
-    coordinator never desyncs on the reply stream.
+    coordinator never desyncs on the reply stream.  An unhandled crash
+    of the loop itself ships its traceback as a ``fatal`` message
+    before the process dies.
     """
+    try:
+        _shard_worker_loop(conn, config)
+    except BaseException:  # noqa: BLE001 - last words, then die
+        _send_fatal(conn)
+        raise
+
+
+def _shard_worker_loop(conn, config: ShardConfig) -> None:
     core = config.build()
     pending_error: "str | None" = None
     while True:
@@ -250,7 +316,13 @@ def _shard_worker(conn, config: ShardConfig) -> None:
         if op == "close":
             conn.close()
             return
-        if op in ("feed", "advance"):
+        if op == "restore":
+            # Recovery path: adopt a snapshotted core wholesale (the
+            # coordinator replays post-snapshot input right after).
+            core = pickle.loads(msg[1])
+            pending_error = None
+            conn.send(("ok", core.watermark))
+        elif op in ("feed", "advance"):
             try:
                 if op == "feed":
                     ts, keys, values = msg[1]
@@ -274,6 +346,16 @@ def _shm_shard_worker(conn, config: ShardConfig, spec, untrack: bool) -> None:
     that command at exactly its position in the stream — the same FIFO
     the single-pipe worker gets for free.
     """
+    try:
+        _shm_shard_worker_loop(conn, config, spec, untrack)
+    except BaseException:  # noqa: BLE001 - last words, then die
+        _send_fatal(conn)
+        raise
+
+
+def _shm_shard_worker_loop(
+    conn, config: ShardConfig, spec, untrack: bool
+) -> None:
     from .shm_ring import ShmRing
 
     ring = ShmRing.attach(spec, untrack=untrack)
@@ -282,15 +364,21 @@ def _shm_shard_worker(conn, config: ShardConfig, spec, untrack: bool) -> None:
 
     def drain() -> "tuple[bool, str | None]":
         progressed, error = False, None
-        try:
-            while (record := ring.pop()) is not None:
-                progressed = True
+        # A pop() failure (corrupt ring record) propagates and kills
+        # the worker: the head never moves past a record that cannot
+        # be parsed, so parking the error would wedge the ring and
+        # deadlock the coordinator.  Application errors, by contrast,
+        # are parked — the record was consumed, so draining continues
+        # and the error surfaces on the next control reply.
+        while (record := ring.pop()) is not None:
+            progressed = True
+            try:
                 if record[0] == "data":
                     core.buffer_arrays(record[1], record[2], record[3])
                 else:
                     core.advance_to(record[1])
-        except Exception:
-            error = traceback.format_exc()
+            except Exception:
+                error = error or traceback.format_exc()
         return progressed, error
 
     try:
@@ -306,6 +394,11 @@ def _shm_shard_worker(conn, config: ShardConfig, spec, untrack: bool) -> None:
             if msg[0] == "close":
                 conn.close()
                 return
+            if msg[0] == "restore":
+                core = pickle.loads(msg[1])
+                pending_error = None
+                conn.send(("ok", core.watermark))
+                continue
             _, error = drain()
             pending_error = pending_error or error
             pending_error = _apply_control(core, conn, msg, pending_error)
@@ -318,14 +411,73 @@ class _WorkerShardBackend:
     worker per shard, a control pipe each, broadcast/gather with
     drain-before-raise error collection.  Subclasses choose the data
     plane by implementing :meth:`feed` / :meth:`advance` and spawning
-    their worker loop in :meth:`start`."""
+    their worker loop in :meth:`start`.
+
+    **Durability** (DESIGN.md §9).  :meth:`configure` arms three
+    orthogonal behaviours:
+
+    * *crash diagnostics* — every control reply is awaited with a
+      liveness poll, so a dead worker surfaces as an
+      :class:`~repro.errors.ExecutionError` carrying the shard, the
+      exit code, the worker's own traceback (its ``fatal`` last words,
+      when the crash was a Python error), and the last watermark the
+      worker provably acked — never a bare ``EOFError``;
+    * *recovery* — the coordinator retains each shard's last core
+      snapshot plus an ordered replay log of everything shipped since
+      (feeds, advances, mutations, drain barriers).  A detected death
+      respawns the worker, restores the snapshot, replays the log, and
+      re-issues the in-flight command — results stay bit-identical to
+      a crash-free run (invariant 12);
+    * *fault injection* — a :class:`~repro.runtime.faults.FaultPlan`
+      is consulted before every data-plane ship and control delivery,
+      making chaos schedules deterministic and property-testable.
+    """
 
     def __init__(self, context: "str | None" = None):
         self._ctx = multiprocessing.get_context(context)
         self._conns = []
         self._procs = []
+        self._configs: "list[ShardConfig]" = []
+        self._fault_plan = None
+        self._retain = False
+        self._control_timeout: "float | None" = None
+        self._base_states: "list[bytes | None]" = []
+        self._logs: "list[list[tuple]]" = []
+        self._last_advance = 0
+        self._last_acked: "list[int]" = []
+        self._fatal_tracebacks: "dict[int, str]" = {}
+        self.recoveries = 0
 
+    def configure(
+        self,
+        fault_plan=None,
+        recovery: "bool | None" = None,
+        control_timeout: "float | None" = None,
+    ) -> None:
+        """Arm fault injection, crash recovery, and/or a control-plane
+        reply deadline (``None`` waits on liveness alone)."""
+        if fault_plan is not None:
+            self._fault_plan = fault_plan
+        if recovery is not None:
+            self._retain = recovery
+        if control_timeout is not None:
+            self._control_timeout = control_timeout
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
     def _spawn(self, config: ShardConfig, target, extra_args=()) -> None:
+        slot = len(self._configs)
+        self._configs.append(config)
+        self._conns.append(None)
+        self._procs.append(None)
+        self._base_states.append(None)
+        self._logs.append([])
+        self._last_acked.append(0)
+        self._spawn_at(slot, target, extra_args)
+
+    def _spawn_at(self, slot: int, target, extra_args=()) -> None:
+        config = self._configs[slot]
         parent, child = self._ctx.Pipe()
         proc = self._ctx.Process(
             target=target,
@@ -335,49 +487,323 @@ class _WorkerShardBackend:
         )
         proc.start()
         child.close()
-        self._conns.append(parent)
-        self._procs.append(proc)
+        old = self._conns[slot]
+        if old is not None:
+            try:
+                old.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self._conns[slot] = parent
+        self._procs[slot] = proc
 
-    def _broadcast(self, msg) -> None:
-        for conn in self._conns:
-            conn.send(msg)
+    def _kill_worker(self, slot: int) -> None:
+        """SIGKILL one worker and wait for it to die (fault injection:
+        the death must be visible before the next command ships)."""
+        proc = self._procs[slot]
+        if proc is not None and proc.is_alive():
+            proc.kill()
+            proc.join(timeout=10.0)
 
-    def _gather(self) -> list:
-        # Always drain one reply per worker before raising: leaving a
-        # failing command's replies queued would desync every later
-        # command's reply stream.
-        replies = [conn.recv() for conn in self._conns]
-        errors = [
-            (shard, payload)
-            for shard, (kind, payload) in enumerate(replies)
-            if kind == "error"
-        ]
+    def _reap(self, slot: int) -> None:
+        """Ensure one worker is dead and its pipe closed (recovery
+        pre-step; escalates terminate → kill)."""
+        proc = self._procs[slot]
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stubborn worker
+                proc.kill()
+                proc.join(timeout=10.0)
+        conn = self._conns[slot]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+    # ------------------------------------------------------------------
+    # Control plane: faulted send, liveness-aware receive
+    # ------------------------------------------------------------------
+    def _send_control(self, slot: int, msg) -> None:
+        op = msg[0]
+        plan = self._fault_plan
+        if plan is not None:
+            for fault in plan.take(
+                "control", slot, watermark=self._last_advance, op=op
+            ):
+                if fault.kind == "kill":
+                    self._kill_worker(slot)
+                elif fault.kind == "drop_control":
+                    return  # command never delivered
+                elif fault.kind == "delay_control":
+                    time.sleep(fault.delay_seconds)
+                elif fault.kind == "kill_mid_op":
+                    try:
+                        self._conns[slot].send(msg)
+                    except (BrokenPipeError, OSError):
+                        pass
+                    self._kill_worker(slot)
+                    return
+                else:  # pragma: no cover - poison handled on data plane
+                    raise ExecutionError(
+                        f"fault kind {fault.kind!r} cannot fire on the "
+                        "control plane"
+                    )
+        self._conns[slot].send(msg)
+
+    def _recv_reply(self, slot: int) -> "tuple[str, object, str | None]":
+        """Await one control reply with liveness: returns ``(kind,
+        payload, cause)`` where kind is ``ok``/``error`` (worker
+        replied), ``dead`` (worker died), or ``stall`` (alive but past
+        the control timeout)."""
+        conn, proc = self._conns[slot], self._procs[slot]
+        timeout = self._control_timeout
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            try:
+                if conn.poll(_CONTROL_POLL_SECONDS):
+                    msg = conn.recv()
+                    if msg[0] == "fatal":
+                        self._fatal_tracebacks[slot] = msg[1]
+                        return ("dead", None, "worker crashed")
+                    return (msg[0], msg[1], None)
+            except (EOFError, OSError):
+                return ("dead", None, "control connection lost")
+            if not proc.is_alive():
+                # One last poll: the dying worker may have flushed its
+                # fatal traceback before the pipe closed.
+                try:
+                    if conn.poll(0):
+                        msg = conn.recv()
+                        if msg[0] == "fatal":
+                            self._fatal_tracebacks[slot] = msg[1]
+                            return ("dead", None, "worker crashed")
+                        return (msg[0], msg[1], None)
+                except (EOFError, OSError):
+                    pass
+                return (
+                    "dead",
+                    None,
+                    f"worker exited (exitcode {proc.exitcode})",
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                return (
+                    "stall",
+                    None,
+                    f"no reply within {timeout:.1f}s (worker alive — "
+                    "control message lost or worker wedged)",
+                )
+
+    def _raise_worker_failure(
+        self, slot: int, cause: str, context: str
+    ) -> None:
+        """Actionable crash diagnostics: shard identity, exit code,
+        last-acked watermark, and the worker's own traceback when it
+        had time to send one."""
+        conn = self._conns[slot]
+        if slot not in self._fatal_tracebacks and conn is not None:
+            # A data-plane failure never reads the pipe — give the
+            # dying worker a moment to flush its last words.
+            try:
+                while conn.poll(0.2):
+                    last = conn.recv()
+                    if last[0] == "fatal":
+                        self._fatal_tracebacks[slot] = last[1]
+                        break
+            except (EOFError, OSError):
+                pass
+        proc = self._procs[slot]
+        shard = self._configs[slot].shard
+        exitcode = None if proc is None else proc.exitcode
+        detail = (
+            f"shard {shard} worker failed during {context!r}: {cause} "
+            f"[exitcode={exitcode}, last-acked watermark "
+            f"{self._last_acked[slot]}, last advance sent "
+            f"{self._last_advance}]"
+        )
+        tb = self._fatal_tracebacks.get(slot)
+        if tb:
+            detail += f"\nworker traceback:\n{tb}"
+        if not self._retain:
+            detail += (
+                "\n(no recovery snapshot retained — construct the "
+                "session with worker_recovery=True to respawn and "
+                "replay instead of failing)"
+            )
+        raise ExecutionError(detail)
+
+    # ------------------------------------------------------------------
+    # Broadcast commands with recovery
+    # ------------------------------------------------------------------
+    def _command(self, msg) -> list:
+        """Broadcast one reply-bearing command, gather one reply per
+        worker (drain-before-raise), and recover any worker that died
+        along the way."""
+        op = msg[0]
+        count = len(self._conns)
+        send_failure: "dict[int, str]" = {}
+        for slot in range(count):
+            try:
+                self._send_control(slot, msg)
+            except (BrokenPipeError, OSError) as exc:
+                send_failure[slot] = f"control send failed ({exc})"
+        replies: list = [None] * count
+        errors: "list[tuple[int, str]]" = []
+        failed: "list[tuple[int, str]]" = []
+        for slot in range(count):
+            if slot in send_failure:
+                failed.append((slot, send_failure[slot]))
+                continue
+            kind, payload, cause = self._recv_reply(slot)
+            if kind == "ok":
+                replies[slot] = payload
+                self._last_acked[slot] = self._last_advance
+            elif kind == "error":
+                errors.append((slot, payload))
+            else:  # dead or stall
+                failed.append((slot, cause))
+        for slot, cause in failed:
+            if not self._retain:
+                self._raise_worker_failure(slot, cause, op)
+            replies[slot] = self._recover_slot(slot, cause, inflight=msg)
         if errors:
             detail = "\n".join(
-                f"shard {shard}: {payload}" for shard, payload in errors
+                f"shard {self._configs[slot].shard}: {payload}"
+                for slot, payload in errors
             )
             raise ExecutionError(f"shard worker(s) failed:\n{detail}")
-        return [payload for _, payload in replies]
+        if self._retain:
+            if op in _LOGGED_OPS:
+                for slot in range(count):
+                    self._logs[slot].append(("cmd", msg))
+            elif op == "collect" and msg[1]:
+                # drain=True consumes subscription state: replay must
+                # reproduce the consumption (and discard the output).
+                for slot in range(count):
+                    self._logs[slot].append(("drain",))
+        return replies
 
+    # ------------------------------------------------------------------
+    # Crash recovery: respawn + restore + replay
+    # ------------------------------------------------------------------
+    def _recover_slot(self, slot: int, cause: str, inflight):
+        """Bring one crashed shard back: reap the dead worker, respawn
+        it (fresh data plane), restore the last retained core snapshot,
+        replay the retained post-snapshot input in order, and re-issue
+        the in-flight command (returning its reply).
+
+        The replay log and the in-flight command are disjoint by
+        construction — mutations are logged only after every shard
+        acked them — so nothing is ever applied twice.
+        """
+        shard = self._configs[slot].shard
+        self._reap(slot)
+        self._fatal_tracebacks.pop(slot, None)
+        self._respawn_slot(slot)
+        self.recoveries += 1
+        conn = self._conns[slot]
+        base = self._base_states[slot]
+        if base is not None:
+            conn.send(("restore", base))
+            self._expect_ok(slot, "restore", cause)
+        for entry in self._logs[slot]:
+            kind = entry[0]
+            if kind == "feed":
+                self._replay_feed(slot, entry[1], entry[2], entry[3])
+            elif kind == "advance":
+                self._replay_advance(slot, entry[1])
+            elif kind == "cmd":
+                conn.send(entry[1])
+                self._expect_ok(slot, entry[1][0], cause)
+            elif kind == "drain":
+                conn.send(("collect", True))
+                self._expect_ok(slot, "collect", cause)
+            else:  # pragma: no cover - defensive
+                raise ExecutionError(f"unknown replay entry {kind!r}")
+        if inflight is not None:
+            conn.send(inflight)
+            return self._expect_ok(slot, inflight[0], cause)
+        return None
+
+    def _expect_ok(self, slot: int, op: str, original_cause: str):
+        kind, payload, cause = self._recv_reply(slot)
+        if kind == "ok":
+            return payload
+        detail = payload if kind == "error" else cause
+        self._raise_worker_failure(
+            slot,
+            f"recovery replay of {op!r} failed ({detail}); original "
+            f"failure: {original_cause}",
+            op,
+        )
+
+    def _data_plane_failure(self, slot: int, cause: str, op: str) -> None:
+        """A fire-and-forget ship failed.  The entry was logged before
+        the attempt, so recovery replays it — nothing to re-send here."""
+        proc = self._procs[slot]
+        dead = proc is None or not proc.is_alive()
+        if self._retain and dead:
+            self._recover_slot(slot, cause, inflight=None)
+        else:
+            self._raise_worker_failure(slot, cause, op)
+
+    # Subclass hooks -----------------------------------------------------
+    def _respawn_slot(self, slot: int) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _replay_feed(self, slot, ts, keys, values) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _replay_advance(self, slot, watermark) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Data-plane shared helpers
+    # ------------------------------------------------------------------
+    def _log(self, slot: int, entry: tuple) -> None:
+        if self._retain:
+            self._logs[slot].append(entry)
+
+    def _inject_data_faults(self, slot: int, watermark: int) -> None:
+        plan = self._fault_plan
+        if plan is None:
+            return
+        for fault in plan.take("advance", slot, watermark=watermark):
+            if fault.kind == "kill":
+                self._kill_worker(slot)
+            elif fault.kind == "poison_ring":
+                self._poison_slot(slot)
+            else:  # pragma: no cover - defensive
+                raise ExecutionError(
+                    f"fault kind {fault.kind!r} cannot fire on the "
+                    "data plane"
+                )
+
+    def _poison_slot(self, slot: int) -> None:
+        raise ExecutionError(
+            "poison_ring faults require the shm backend (there is no "
+            "ring to poison on this data plane)"
+        )
+
+    # ------------------------------------------------------------------
+    # Backend surface (ShardedSession contract)
+    # ------------------------------------------------------------------
     def register(self, query: Query, at: int, scope: str) -> RegisterAck:
-        self._broadcast(("register", query, at, scope))
-        return _merge_acks(self._gather())
+        return _merge_acks(self._command(("register", query, at, scope)))
 
     def deregister(self, name: str, at: int) -> RegisterAck:
-        self._broadcast(("deregister", name, at))
-        return _merge_acks(self._gather())
+        return _merge_acks(self._command(("deregister", name, at)))
 
     def set_rate(self, event_rate: int, at: int) -> RegisterAck:
-        self._broadcast(("rate", event_rate, at))
-        return _merge_acks(self._gather())
+        return _merge_acks(self._command(("rate", event_rate, at)))
 
     def collect(self, drain: bool) -> "list[ShardReport]":
-        self._broadcast(("collect", drain))
-        return self._gather()
+        return self._command(("collect", drain))
 
     def _status(self) -> list:
-        self._broadcast(("stats",))
-        return self._gather()
+        return self._command(("stats",))
 
     def stats(self) -> "list[ExecutionStats]":
         return [status[0] for status in self._status()]
@@ -389,23 +815,72 @@ class _WorkerShardBackend:
         return [status[2] for status in self._status()]
 
     def max_retained_state(self) -> int:
-        self._broadcast(("retained",))
-        return max(self._gather(), default=0)
+        return max(self._command(("retained",)), default=0)
+
+    def snapshot(self) -> "list[bytes]":
+        """One consistent cut across every shard: the broadcast rides
+        the same FIFO as the data plane, so each worker serializes its
+        core at exactly the coordinator's stream position.  When
+        recovery is armed the new snapshot becomes the respawn base and
+        the replay logs truncate."""
+        states = self._command(("snapshot",))
+        if self._retain:
+            self._base_states = list(states)
+            self._logs = [[] for _ in states]
+        return states
+
+    def restore(self, states: "list[bytes]") -> None:
+        """Load one snapshotted core per worker (session restore)."""
+        if len(states) != len(self._conns):
+            raise ExecutionError(
+                f"snapshot has {len(states)} shard cores, backend has "
+                f"{len(self._conns)}"
+            )
+        for slot, state in enumerate(states):
+            self._send_control(slot, ("restore", state))
+        for slot in range(len(states)):
+            kind, _, cause = self._recv_reply(slot)
+            if kind != "ok":
+                self._raise_worker_failure(
+                    slot, cause or "restore rejected", "restore"
+                )
+        if self._retain:
+            self._base_states = list(states)
+            self._logs = [[] for _ in states]
 
     def close(self) -> None:
-        for conn in self._conns:
-            try:
-                conn.send(("close",))
-                conn.close()
-            except (BrokenPipeError, OSError):  # pragma: no cover
-                pass
-        deadline = time.monotonic() + 5.0
-        for proc in self._procs:
-            proc.join(timeout=max(0.0, deadline - time.monotonic()))
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
-        self._conns, self._procs = [], []
-        self._release_data_plane()
+        """Shut every worker down, robust to workers that are already
+        dead: bounded join with terminate → kill escalation, and the
+        data plane (shm segments included) released on every path."""
+        try:
+            for conn in self._conns:
+                if conn is None:
+                    continue
+                try:
+                    conn.send(("close",))
+                except (BrokenPipeError, OSError):
+                    pass
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+            deadline = time.monotonic() + 5.0
+            for proc in self._procs:
+                if proc is None:
+                    continue
+                proc.join(timeout=max(0.0, deadline - time.monotonic()))
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+                if proc.is_alive():  # pragma: no cover - stubborn worker
+                    proc.kill()
+                    proc.join(timeout=10.0)
+        finally:
+            self._conns, self._procs = [], []
+            self._configs = []
+            self._base_states, self._logs = [], []
+            self._last_acked = []
+            self._release_data_plane()
 
     def _release_data_plane(self) -> None:
         """Subclass hook: tear down data-plane resources after the
@@ -428,12 +903,37 @@ class ProcessShardBackend(_WorkerShardBackend):
             self._spawn(config, _shard_worker)
 
     def feed(self, slices) -> None:
-        for conn, (ts, keys, values) in zip(self._conns, slices):
-            if ts.size:
-                conn.send(("feed", (ts, keys, values)))
+        for slot, (ts, keys, values) in enumerate(slices):
+            if not ts.size:
+                continue
+            self._log(slot, ("feed", ts, keys, values))
+            try:
+                self._conns[slot].send(("feed", (ts, keys, values)))
+            except (BrokenPipeError, OSError) as exc:
+                self._data_plane_failure(
+                    slot, f"feed pipe failed ({exc})", "feed"
+                )
 
     def advance(self, watermark: int) -> None:
-        self._broadcast(("advance", watermark))
+        self._last_advance = watermark
+        for slot in range(len(self._conns)):
+            self._log(slot, ("advance", watermark))
+            self._inject_data_faults(slot, watermark)
+            try:
+                self._conns[slot].send(("advance", watermark))
+            except (BrokenPipeError, OSError) as exc:
+                self._data_plane_failure(
+                    slot, f"advance pipe failed ({exc})", "advance"
+                )
+
+    def _respawn_slot(self, slot: int) -> None:
+        self._spawn_at(slot, _shard_worker)
+
+    def _replay_feed(self, slot, ts, keys, values) -> None:
+        self._conns[slot].send(("feed", (ts, keys, values)))
+
+    def _replay_advance(self, slot, watermark) -> None:
+        self._conns[slot].send(("advance", watermark))
 
 
 class SharedMemoryShardBackend(_WorkerShardBackend):
@@ -502,25 +1002,68 @@ class SharedMemoryShardBackend(_WorkerShardBackend):
             raise
 
     def feed(self, slices) -> None:
-        for ring, proc, (ts, keys, values) in zip(
-            self._rings, self._procs, slices
-        ):
-            if ts.size:
-                ring.push_events(
+        for slot, (ts, keys, values) in enumerate(slices):
+            if not ts.size:
+                continue
+            self._log(slot, ("feed", ts, keys, values))
+            try:
+                self._rings[slot].push_events(
                     ts,
                     keys,
                     values,
                     timeout=self._feed_timeout,
-                    liveness=proc.is_alive,
+                    liveness=self._procs[slot].is_alive,
                 )
+            except ExecutionError as exc:
+                self._data_plane_failure(slot, str(exc), "feed")
 
     def advance(self, watermark: int) -> None:
-        for ring, proc in zip(self._rings, self._procs):
-            ring.push_advance(
-                watermark,
-                timeout=self._feed_timeout,
-                liveness=proc.is_alive,
-            )
+        self._last_advance = watermark
+        for slot in range(len(self._rings)):
+            self._log(slot, ("advance", watermark))
+            self._inject_data_faults(slot, watermark)
+            try:
+                self._rings[slot].push_advance(
+                    watermark,
+                    timeout=self._feed_timeout,
+                    liveness=self._procs[slot].is_alive,
+                )
+            except ExecutionError as exc:
+                self._data_plane_failure(slot, str(exc), "advance")
+
+    def _respawn_slot(self, slot: int) -> None:
+        from .shm_ring import ShmRing
+
+        # The dead worker's ring may hold half-consumed slots; replay
+        # re-ships everything, so start the respawn on a fresh segment.
+        old = self._rings[slot]
+        old.close_ring()
+        old.close()
+        ring = ShmRing.create(
+            slot_events=self._slot_events, num_slots=self._num_slots
+        )
+        self._rings[slot] = ring
+        untrack = self._ctx.get_start_method() != "fork"
+        self._spawn_at(slot, _shm_shard_worker, (ring.spec, untrack))
+
+    def _replay_feed(self, slot, ts, keys, values) -> None:
+        self._rings[slot].push_events(
+            ts,
+            keys,
+            values,
+            timeout=self._feed_timeout,
+            liveness=self._procs[slot].is_alive,
+        )
+
+    def _replay_advance(self, slot, watermark) -> None:
+        self._rings[slot].push_advance(
+            watermark,
+            timeout=self._feed_timeout,
+            liveness=self._procs[slot].is_alive,
+        )
+
+    def _poison_slot(self, slot: int) -> None:
+        self._rings[slot].poison_slot()
 
     def _release_data_plane(self) -> None:
         for ring in self._rings:
@@ -544,6 +1087,27 @@ def _resolve_backend(backend):
     return backend
 
 
+def _configure_durability(
+    backend, fault_plan, worker_recovery: bool, control_timeout
+) -> None:
+    """Arm a backend's durability knobs, or fail loudly when the
+    backend has none (serial cores cannot crash independently — a
+    chaos schedule against them would silently test nothing)."""
+    if fault_plan is None and not worker_recovery and control_timeout is None:
+        return
+    if not hasattr(backend, "configure"):
+        raise ExecutionError(
+            f"backend {getattr(backend, 'name', backend)!r} does not "
+            "support fault injection / worker recovery — use the "
+            "'process' or 'shm' backend"
+        )
+    backend.configure(
+        fault_plan=fault_plan,
+        recovery=worker_recovery,
+        control_timeout=control_timeout,
+    )
+
+
 class ShardedSession(AsyncIngestFrontDoor):
     """A live multi-query session hash-partitioned over the key space.
 
@@ -563,10 +1127,29 @@ class ShardedSession(AsyncIngestFrontDoor):
       slices, bypassing per-event Python dispatch;
     * ``scope="global"`` registrations — cross-key aggregates merged
       at the coordinator (partials for mergeable aggregates, raw
-      forwarding for holistic ones).
+      forwarding for holistic ones);
+    * durability — :meth:`snapshot` / :meth:`restore` capture and
+      resume the whole session bit-identically (invariant 12), and
+      ``worker_recovery=True`` arms transparent respawn-and-replay of
+      crashed shard workers (DESIGN.md §9, ``docs/durability.md``).
 
     Invariant 10: results are identical at every shard count, enforced
     by ``tests/runtime/test_sharding_properties.py``.
+
+    Parameters (durability)
+    -----------------------
+    worker_recovery:
+        Retain per-shard core snapshots plus a replay log of
+        everything shipped since, so a crashed worker is respawned and
+        replayed instead of failing the session.  Worker backends
+        only.
+    fault_plan:
+        A :class:`~repro.runtime.faults.FaultPlan` of deterministic
+        injected faults (chaos testing).  Worker backends only.
+    control_timeout:
+        Seconds to wait for a control-plane reply from a live worker
+        before declaring it wedged (``None`` waits on process liveness
+        alone — a lost control message then hangs rather than raises).
     """
 
     def __init__(
@@ -584,6 +1167,9 @@ class ShardedSession(AsyncIngestFrontDoor):
         async_ingest: bool = False,
         ingest_high_watermark: int = DEFAULT_INGEST_HIGH_WATERMARK,
         ingest_low_watermark: "int | None" = None,
+        fault_plan=None,
+        worker_recovery: bool = False,
+        control_timeout: "float | None" = None,
     ):
         if num_keys < 1:
             raise ExecutionError(f"num_keys must be >= 1, got {num_keys}")
@@ -607,6 +1193,9 @@ class ShardedSession(AsyncIngestFrontDoor):
         for slot, shard in enumerate(self.active_shards):
             self._slot_of_shard[shard] = slot
         self.backend = _resolve_backend(backend)
+        _configure_durability(
+            self.backend, fault_plan, worker_recovery, control_timeout
+        )
         self.backend.start(
             [
                 ShardConfig(
@@ -683,6 +1272,12 @@ class ShardedSession(AsyncIngestFrontDoor):
     @property
     def reorder_stats(self):
         return self._reorder.stats
+
+    @property
+    def worker_recoveries(self) -> int:
+        """How many shard workers have been respawned after a crash
+        (always 0 on backends without recovery support)."""
+        return getattr(self.backend, "recoveries", 0)
 
     @property
     def switches(self) -> "list[PlanSwitchRecord]":
@@ -1085,6 +1680,199 @@ class ShardedSession(AsyncIngestFrontDoor):
         self._generation += 1
 
     # ------------------------------------------------------------------
+    # Durability (DESIGN.md §9, invariant 12)
+    # ------------------------------------------------------------------
+    def snapshot(
+        self, path: "str | None" = None, meta: "dict | None" = None
+    ) -> Snapshot:
+        """Capture the whole sharded session at one consistent
+        watermark.
+
+        The coordinator first syncs every core to the safe watermark
+        (flushing any buffered partial chunk), then broadcasts a
+        ``snapshot`` control op.  The op rides the same FIFO as the
+        data plane — pipe ordering on the process backend,
+        drain-ring-before-control on shm — so each worker serializes
+        its core at exactly the coordinator's stream position: the
+        N shard cores, the coordinator-local forwarding core, the
+        reorder buffer, the rate controller, and the async ingest
+        residue form one mutually consistent cut, with no lockstep
+        pause beyond the sync flush.
+
+        Pass ``path`` to also persist the snapshot via
+        :func:`~repro.runtime.checkpoint.write_checkpoint`.
+        """
+        snap = self._via_pump(self._snapshot_now, meta)
+        if path is not None:
+            write_checkpoint(snap, path)
+        return snap
+
+    def _snapshot_now(self, meta: "dict | None") -> Snapshot:
+        self._require_backend()
+        if not self._closed:
+            self._sync(self._safe_watermark())
+        residue = [] if self._pump is None else self._pump.pending_data()
+        shard_states = self.backend.snapshot()
+        coordinator = {
+            "reorder": self._reorder,
+            "controller": self.controller,
+            "observer": self._rate_observer,
+            "queries": self._queries,
+            "modes": self._modes,
+            "forward": self._forward,
+            "forward_names": self._forward_names,
+            "auto_names": self._auto_names,
+            "generation": self._generation,
+            "watermark": self._watermark,
+            "chunk_end": self._chunk_end,
+            "chunk_ticks": self._chunk_ticks,
+            "max_event_ts": self._max_event_ts,
+            "event_rate": self._event_rate,
+            "num_keys": self.num_keys,
+            "num_shards": self.num_shards,
+            "fixed_chunk": self._fixed_chunk,
+            "enable_factor_windows": self._enable_factor_windows,
+            "max_retired_results": self._max_retired_results,
+            "closed": self._closed,
+            "wall_seconds": self.wall_seconds,
+        }
+        graph = {
+            "coordinator": coordinator,
+            "shards": shard_states,
+            "residue": residue,
+        }
+        # One dumps over the coordinator graph: shared references (the
+        # controller inside the observer) survive, and the snapshot is
+        # isolated from further mutation of the live session.  Shard
+        # cores were already serialized inside their workers.
+        return Snapshot(
+            kind="sharded",
+            watermark=self._watermark,
+            generation=self._generation,
+            queries=tuple(self._queries),
+            payload={
+                "state": pickle.dumps(
+                    graph, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            },
+            meta=dict(meta or {}),
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        source: "Snapshot | str",
+        backend: "str | object" = "serial",
+        async_ingest: bool = False,
+        ingest_high_watermark: int = DEFAULT_INGEST_HIGH_WATERMARK,
+        ingest_low_watermark: "int | None" = None,
+        fault_plan=None,
+        worker_recovery: bool = False,
+        control_timeout: "float | None" = None,
+    ) -> "ShardedSession":
+        """Rebuild a sharded session from a :class:`Snapshot` or a
+        checkpoint file and resume exactly where it left off.
+
+        The execution backend and ingest mode are overrides, not part
+        of the snapshot — invariants 10 and 11 make both
+        observationally invisible, so a session snapshotted on the shm
+        backend may restore on serial (handy for post-mortem
+        inspection) and vice versa.  The shard *count* is fixed by the
+        snapshot: shard cores partition the key space and cannot be
+        split or merged here.  Captured ingest-queue residue is
+        replayed through the restored front door first, so the
+        restored timeline has applied exactly the events the original
+        had accepted.
+        """
+        snap = (
+            source
+            if isinstance(source, Snapshot)
+            else read_checkpoint(source)
+        )
+        if snap.kind != "sharded":
+            raise ExecutionError(
+                f"checkpoint kind {snap.kind!r} is not a ShardedSession "
+                "snapshot (QuerySession.restore reads 'query' "
+                "checkpoints)"
+            )
+        graph = pickle.loads(snap.payload["state"])
+        coord = graph["coordinator"]
+        self = cls.__new__(cls)
+        self.num_keys = coord["num_keys"]
+        self.num_shards = coord["num_shards"]
+        # The partition is a pure function of (num_keys, num_shards) —
+        # recomputing it restores the exact same key ownership.
+        self.partitioner = KeyPartitioner(self.num_keys, self.num_shards)
+        self.active_shards = [
+            shard
+            for shard in range(self.num_shards)
+            if self.partitioner.owned[shard].size
+        ]
+        self._slot_of_shard = np.full(self.num_shards, -1, dtype=np.int64)
+        for slot, shard in enumerate(self.active_shards):
+            self._slot_of_shard[shard] = slot
+        self.backend = _resolve_backend(backend)
+        _configure_durability(
+            self.backend, fault_plan, worker_recovery, control_timeout
+        )
+        self.backend.start(
+            [
+                ShardConfig(
+                    shard=shard,
+                    num_keys=self.partitioner.local_num_keys(shard),
+                    chunk_ticks=coord["fixed_chunk"],
+                    event_rate=coord["event_rate"],
+                    enable_factor_windows=coord["enable_factor_windows"],
+                    max_retired_results=coord["max_retired_results"],
+                )
+                for shard in self.active_shards
+            ]
+        )
+        self.backend.restore(graph["shards"])
+        self.controller = coord["controller"]
+        self._reorder = coord["reorder"]
+        self._fixed_chunk = coord["fixed_chunk"]
+        self._chunk_ticks = coord["chunk_ticks"]
+        self._chunk_end = coord["chunk_end"]
+        self._enable_factor_windows = coord["enable_factor_windows"]
+        self._max_retired_results = coord["max_retired_results"]
+        self._event_rate = coord["event_rate"]
+        self._rate_observer = coord["observer"]
+        self._watermark = coord["watermark"]
+        self._max_event_ts = coord["max_event_ts"]
+        self._pending_events = 0
+        active = len(self.active_shards)
+        self._scalar_buf = [([], [], []) for _ in range(active)]
+        self._array_buf = [[] for _ in range(active)]
+        self._queries = coord["queries"]
+        self._modes = coord["modes"]
+        self._forward = coord["forward"]
+        self._forward_names = coord["forward_names"]
+        self._fwd_scalar = ([], [])
+        self._fwd_arrays = []
+        self._auto_names = coord["auto_names"]
+        self._generation = coord["generation"]
+        self._closed = coord["closed"]
+        self._released = False
+        self.wall_seconds = coord["wall_seconds"]
+        self._pump = (
+            IngestPump(
+                push=self._push_now,
+                push_batch=self._push_batch_now,
+                high_watermark=ingest_high_watermark,
+                low_watermark=ingest_low_watermark,
+            )
+            if async_ingest
+            else None
+        )
+        for item in graph["residue"]:
+            if item[0] == _EVENT:
+                self.push(item[1], item[2], item[3])
+            else:
+                self.push_batch(item[1])
+        return self
+
+    # ------------------------------------------------------------------
     # Termination and results
     # ------------------------------------------------------------------
     def finish(self, horizon: "int | None" = None):
@@ -1192,9 +1980,19 @@ class ShardedSession(AsyncIngestFrontDoor):
         """Shut the backend down (worker processes exit).  The session
         accepts no further calls — results must be read before
         closing.  In async mode the pump is stopped first (queued
-        events are still applied, so nothing in flight is lost)."""
-        if not self._released:
+        events are still applied, so nothing in flight is lost).
+
+        Robust to crashed workers: the backend teardown always runs —
+        bounded join with terminate → kill escalation, shared-memory
+        segments unlinked on every path — even when the pump raises a
+        parked ingest error (drain-or-raise: events the pump could not
+        apply surface here as an :class:`~repro.errors.ExecutionError`
+        with an exact discarded count, never silently dropped)."""
+        if self._released:
+            return
+        try:
             self._stop_pump()
+        finally:
             self._released = True
             self._closed = True
             self.backend.close()

@@ -64,6 +64,10 @@ __all__ = [
 RECORD_DATA = 1
 RECORD_ADVANCE = 2
 
+#: Kind word written by :meth:`ShmRing.poison_slot` — intentionally
+#: outside the valid record set so the consumer fails integrity checks.
+_POISON_KIND = 99
+
 #: Header layout: three producer/consumer/flag words in separate
 #: 64-byte cache lines (tail, head, closed).
 _TAIL_OFFSET = 0
@@ -314,6 +318,22 @@ class ShmRing:
             RECORD_ADVANCE,
             0,
             watermark,
+        )
+        self._publish(tail)
+
+    def poison_slot(self, timeout: float = 5.0) -> None:
+        """Test support (fault injection): publish one record with an
+        invalid kind word, as left by a corrupting writer.  The
+        consumer's next :meth:`pop` must fail loudly — corrupt shared
+        memory is an integrity error, never silently skipped."""
+        tail = self._acquire_slot(timeout)
+        slot = tail % self.spec.num_slots
+        _SLOT_HEADER.pack_into(
+            self._buf,
+            _HEADER_BYTES + slot * self.spec.slot_bytes,
+            _POISON_KIND,
+            0,
+            0,
         )
         self._publish(tail)
 

@@ -1,0 +1,415 @@
+"""Durability properties: checkpoint format and invariant 12.
+
+Invariant 12 (DESIGN.md §9): a session restored from a snapshot and
+fed the remainder of the stream emits **bit-identical** results to the
+uninterrupted session — across {serial, process, shm} backends × {sync,
+async} ingest, for snapshots taken at any watermark, and regardless of
+which backend the snapshot is restored onto.
+
+The checkpoint *file* contract is all-or-nothing: a torn, truncated,
+corrupted, or foreign file raises — it never restores garbage.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.registry import AVG, MEDIAN, MIN, SUM
+from repro.core.multiquery import Query
+from repro.errors import ExecutionError
+from repro.runtime import (
+    CheckpointStore,
+    QuerySession,
+    ShardedSession,
+    Snapshot,
+    latest_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.runtime.checkpoint import CHECKPOINT_MAGIC
+from repro.windows.window import Window, WindowSet
+
+from session_streams import integer_stream
+
+NUM_KEYS = 5
+TICKS = 200
+
+#: Mixed taxonomies and scopes, including the forward (global-holistic)
+#: path that only the sharded coordinator serves.
+WORKLOAD = [
+    (Query("mins", WindowSet([Window(8, 4), Window(16, 8)]), MIN), "per_key"),
+    (Query("sums", WindowSet([Window(10, 5)]), SUM), "global"),
+    (Query("avgs", WindowSet([Window(12, 4)]), AVG), "global"),
+    (Query("meds", WindowSet([Window(6, 3)]), MEDIAN), "global"),
+]
+
+MATRIX = [
+    ("serial", False),
+    ("serial", True),
+    ("process", False),
+    ("process", True),
+    ("shm", False),
+    ("shm", True),
+]
+
+
+def stream_events(seed, lateness=0):
+    batch = integer_stream(ticks=TICKS, num_keys=NUM_KEYS, seed=seed)
+    events = list(
+        zip(
+            batch.timestamps.tolist(),
+            batch.keys.tolist(),
+            batch.values.tolist(),
+        )
+    )
+    if lateness:
+        rng = np.random.default_rng(seed)
+        jitter = rng.integers(0, lateness + 1, size=len(events))
+        order = np.argsort(
+            np.array([ts for ts, _, _ in events]) + jitter, kind="stable"
+        )
+        events = [events[i] for i in order]
+    return events, batch.horizon
+
+
+def assert_identical(expected, actual, context):
+    assert set(expected) == set(actual), context
+    for name in expected:
+        assert set(expected[name]) == set(actual[name]), (context, name)
+        for window, reference in expected[name].items():
+            emitted = actual[name][window]
+            assert (
+                emitted.start_instance == reference.start_instance
+                and emitted.frontier == reference.frontier
+            ), (context, name, window)
+            np.testing.assert_array_equal(
+                emitted.values,
+                reference.values,
+                err_msg=f"{context} {name}/{window}",
+            )
+
+
+# ----------------------------------------------------------------------
+# Checkpoint file format: all-or-nothing
+# ----------------------------------------------------------------------
+class TestCheckpointFormat:
+    def make_snapshot(self):
+        return Snapshot(
+            kind="query",
+            watermark=40,
+            generation=3,
+            queries=("sums",),
+            payload={"state": b"\x01\x02\x03" * 100},
+            meta={"position": 120},
+        )
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ckpt.rckpt"
+        snap = self.make_snapshot()
+        assert write_checkpoint(snap, path) == path
+        loaded = read_checkpoint(path)
+        assert loaded == snap
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ExecutionError, match="cannot read"):
+            read_checkpoint(tmp_path / "nope.rckpt")
+
+    def test_foreign_file_raises(self, tmp_path):
+        path = tmp_path / "foreign.rckpt"
+        path.write_bytes(b"not a checkpoint at all, but long enough" * 4)
+        with pytest.raises(ExecutionError, match="not a .* checkpoint"):
+            read_checkpoint(path)
+
+    def test_truncated_file_raises(self, tmp_path):
+        path = tmp_path / "ckpt.rckpt"
+        write_checkpoint(self.make_snapshot(), path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(ExecutionError, match="corrupt or torn"):
+            read_checkpoint(path)
+
+    def test_every_corrupted_body_byte_is_detected(self, tmp_path):
+        path = tmp_path / "ckpt.rckpt"
+        write_checkpoint(self.make_snapshot(), path)
+        blob = bytearray(path.read_bytes())
+        # Flip one byte somewhere in the body (past the header).
+        for offset in range(len(CHECKPOINT_MAGIC) + 2 + 32, len(blob), 37):
+            tampered = bytearray(blob)
+            tampered[offset] ^= 0xFF
+            path.write_bytes(bytes(tampered))
+            with pytest.raises(ExecutionError, match="checksum mismatch"):
+                read_checkpoint(path)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "ckpt.rckpt"
+        write_checkpoint(self.make_snapshot(), path)
+        blob = bytearray(path.read_bytes())
+        blob[len(CHECKPOINT_MAGIC)] = 0xEE  # version word
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ExecutionError, match="not supported"):
+            read_checkpoint(path)
+
+    def test_latest_checkpoint_orders_by_watermark(self, tmp_path):
+        assert latest_checkpoint(tmp_path / "absent") is None
+        store = CheckpointStore(tmp_path)
+        for watermark in (30, 10, 200, 90):
+            snap = self.make_snapshot()
+            snap.watermark = watermark
+            store.save(snap)
+        assert latest_checkpoint(tmp_path).name == "ckpt-000000000200.rckpt"
+        assert store.latest() == latest_checkpoint(tmp_path)
+
+    def test_store_rotation_keeps_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2)
+        for watermark in (10, 20, 30, 40):
+            snap = self.make_snapshot()
+            snap.watermark = watermark
+            store.save(snap)
+        names = [p.name for p in store.paths()]
+        assert names == ["ckpt-000000000030.rckpt", "ckpt-000000000040.rckpt"]
+
+    def test_store_cadence(self, tmp_path):
+        store = CheckpointStore(tmp_path, every=50)
+        assert not store.due(49)
+        assert store.due(50)
+        snap = self.make_snapshot()
+        snap.watermark = 60
+        store.save(snap)
+        assert not store.due(109)
+        assert store.due(110)
+        assert not CheckpointStore(tmp_path).due(10**9)  # no cadence
+
+    def test_store_validation(self, tmp_path):
+        with pytest.raises(ExecutionError):
+            CheckpointStore(tmp_path, keep=0)
+        with pytest.raises(ExecutionError):
+            CheckpointStore(tmp_path, every=0)
+
+
+# ----------------------------------------------------------------------
+# QuerySession: invariant 12, hypothesis-chosen cut points
+# ----------------------------------------------------------------------
+@settings(max_examples=12, deadline=None)
+@given(
+    cut=st.integers(min_value=1, max_value=len(stream_events(0)[0]) - 1),
+    seed=st.integers(min_value=0, max_value=2**16),
+    lateness=st.sampled_from([0, 5]),
+    restore_async=st.booleans(),
+)
+def test_query_session_restores_bit_identically(
+    cut, seed, lateness, restore_async
+):
+    events, horizon = stream_events(seed, lateness)
+
+    def build():
+        session = QuerySession(num_keys=NUM_KEYS, max_lateness=lateness)
+        for query, scope in WORKLOAD[:3]:
+            if scope == "per_key" or query.aggregate.mergeable:
+                session.register(query, scope=scope)
+        return session
+
+    baseline = build()
+    for ts, key, value in events:
+        baseline.push(ts, key, value)
+    expected = baseline.finish(horizon=horizon)
+
+    live = build()
+    for ts, key, value in events[:cut]:
+        live.push(ts, key, value)
+    snap = live.snapshot()
+    restored = QuerySession.restore(snap, async_ingest=restore_async)
+    for ts, key, value in events[cut:]:
+        restored.push(ts, key, value)
+    actual = restored.finish(horizon=horizon)
+    assert_identical(expected, actual, f"cut={cut} seed={seed}")
+    # The abandoned original is unaffected by the restore's progress.
+    assert live.watermark <= restored.watermark
+
+
+def test_query_session_checkpoint_file_round_trip(tmp_path):
+    events, horizon = stream_events(3)
+    session = QuerySession(num_keys=NUM_KEYS)
+    session.register(WORKLOAD[0][0])
+    for ts, key, value in events[:250]:
+        session.push(ts, key, value)
+    path = tmp_path / "session.rckpt"
+    snap = session.snapshot(path=str(path), meta={"position": 250})
+    assert read_checkpoint(path).meta == {"position": 250}
+    restored = QuerySession.restore(str(path))
+    for ts, key, value in events[250:]:
+        restored.push(ts, key, value)
+    for ts, key, value in events[250:]:
+        session.push(ts, key, value)
+    assert_identical(
+        session.finish(horizon=horizon),
+        restored.finish(horizon=horizon),
+        "file round trip",
+    )
+    assert snap.kind == "query"
+
+
+def test_query_session_async_residue_is_captured_and_replayed():
+    events, horizon = stream_events(11)
+    baseline = QuerySession(num_keys=NUM_KEYS)
+    baseline.register(WORKLOAD[0][0])
+    for ts, key, value in events:
+        baseline.push(ts, key, value)
+    expected = baseline.finish(horizon=horizon)
+
+    session = QuerySession(
+        num_keys=NUM_KEYS, async_ingest=True, ingest_high_watermark=37
+    )
+    session.register(WORKLOAD[0][0])
+    for ts, key, value in events[:300]:
+        session.push(ts, key, value)
+    # The snapshot synchronizes through the pump: everything pushed
+    # before it is either applied or captured as residue.
+    snap = session.snapshot()
+    session.close()
+    restored = QuerySession.restore(snap, async_ingest=True)
+    for ts, key, value in events[300:]:
+        restored.push(ts, key, value)
+    assert_identical(
+        expected, restored.finish(horizon=horizon), "async residue"
+    )
+    restored.close()
+
+
+def test_restore_rejects_wrong_kind():
+    session = ShardedSession(num_keys=NUM_KEYS, num_shards=2)
+    session.register(WORKLOAD[0][0], scope="per_key")
+    snap = session.snapshot()
+    session.close()
+    with pytest.raises(
+        ExecutionError, match="does not restore into a QuerySession"
+    ):
+        QuerySession.restore(snap)
+    q = QuerySession(num_keys=NUM_KEYS)
+    qsnap = q.snapshot()
+    with pytest.raises(ExecutionError, match="not a ShardedSession"):
+        ShardedSession.restore(qsnap)
+
+
+# ----------------------------------------------------------------------
+# ShardedSession: invariant 12 across the backend × ingest matrix
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend,async_ingest", MATRIX)
+def test_sharded_session_restores_bit_identically(
+    repro_seed, backend, async_ingest
+):
+    rng = np.random.default_rng(
+        (repro_seed, MATRIX.index((backend, async_ingest)))
+    )
+    seed = int(rng.integers(0, 1000))
+    events, horizon = stream_events(seed)
+    cut = int(rng.integers(1, len(events)))
+    context = f"backend={backend} async={async_ingest} seed={seed} cut={cut}"
+
+    def build(be, async_mode):
+        session = ShardedSession(
+            num_keys=NUM_KEYS,
+            num_shards=3,
+            backend=be,
+            async_ingest=async_mode,
+            ingest_high_watermark=97,
+        )
+        for query, scope in WORKLOAD:
+            session.register(query, scope=scope)
+        return session
+
+    oracle = build("serial", False)
+    for ts, key, value in events:
+        oracle.push(ts, key, value)
+    expected = oracle.finish(horizon=horizon)
+    oracle.close()
+
+    live = build(backend, async_ingest)
+    try:
+        for ts, key, value in events[:cut]:
+            live.push(ts, key, value)
+        snap = live.snapshot()
+    finally:
+        live.close()
+
+    # Restore on the snapshot's own backend *and* on serial: the
+    # backend is an execution detail, never part of the state.
+    for restore_backend in dict.fromkeys([backend, "serial"]):
+        restored = ShardedSession.restore(
+            snap, backend=restore_backend, async_ingest=async_ingest
+        )
+        try:
+            for ts, key, value in events[cut:]:
+                restored.push(ts, key, value)
+            actual = restored.finish(horizon=horizon)
+        finally:
+            restored.close()
+        assert_identical(
+            expected, actual, f"{context} restore={restore_backend}"
+        )
+
+
+def test_sharded_snapshot_preserves_registration_schedule(repro_seed):
+    """Snapshot between mutations: the restored session must carry the
+    routing table, plan generation, and retired archives across."""
+    events, horizon = stream_events(int(repro_seed) % 1000)
+    third = len(events) // 3
+
+    def drive(session, resume_from=0, snap_at=None):
+        snap = None
+        for i, (ts, key, value) in enumerate(events):
+            if i < resume_from:
+                continue
+            if i == third and resume_from <= third:
+                session.register(WORKLOAD[2][0], scope="global")
+                session.deregister(WORKLOAD[0][0].name)
+            session.push(ts, key, value)
+            if snap_at is not None and i == snap_at:
+                snap = session.snapshot()
+        return session.finish(horizon=horizon), snap
+
+    baseline = ShardedSession(num_keys=NUM_KEYS, num_shards=3)
+    baseline.register(WORKLOAD[0][0], scope="per_key")
+    baseline.register(WORKLOAD[3][0], scope="global")
+    expected, _ = drive(baseline)
+    baseline.close()
+
+    for snap_at, label in ((third - 1, "before"), (third + 5, "after")):
+        live = ShardedSession(num_keys=NUM_KEYS, num_shards=3)
+        live.register(WORKLOAD[0][0], scope="per_key")
+        live.register(WORKLOAD[3][0], scope="global")
+        _, snap = drive(live, snap_at=snap_at)
+        live.close()
+        assert snap is not None
+        restored = ShardedSession.restore(snap)
+        actual, _ = drive(restored, resume_from=snap_at + 1)
+        restored.close()
+        assert_identical(expected, actual, f"mutation {label} snapshot")
+        assert snap.generation == restored.generation or label == "before"
+
+
+def test_sharded_checkpoint_store_rotation_with_live_session(tmp_path):
+    events, horizon = stream_events(21)
+    store = CheckpointStore(tmp_path, keep=2, every=40)
+    session = ShardedSession(num_keys=NUM_KEYS, num_shards=2)
+    session.register(WORKLOAD[0][0], scope="per_key")
+    saved = 0
+    for i, (ts, key, value) in enumerate(events):
+        session.push(ts, key, value)
+        if store.due(session.watermark):
+            # Stream position rides in caller-owned meta — the
+            # watermark alone cannot split a tick's events.
+            store.save(session.snapshot(meta={"position": i + 1}))
+            saved += 1
+    expected = session.finish(horizon=horizon)
+    session.close()
+    assert saved >= 3
+    assert len(store.paths()) == 2  # rotated down to keep=2
+    latest = read_checkpoint(store.latest())
+    restored = ShardedSession.restore(latest)
+    for ts, key, value in events[latest.meta["position"] :]:
+        restored.push(ts, key, value)
+    assert_identical(
+        expected, restored.finish(horizon=horizon), "store round trip"
+    )
+    restored.close()

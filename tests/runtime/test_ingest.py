@@ -8,6 +8,8 @@ polling ``drain_results()`` must keep buffered result state bounded
 regardless of how long the session runs.
 """
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -19,7 +21,7 @@ from repro.runtime import (
     ShardedSession,
     SharedMemoryShardBackend,
 )
-from repro.runtime.ingest import IngestQueue
+from repro.runtime.ingest import IngestPump, IngestQueue
 from repro.windows.window import Window, WindowSet
 
 from session_streams import integer_stream
@@ -109,6 +111,104 @@ def test_pump_error_is_parked_and_surfaces_on_next_call():
         while True:
             session.push(1, 0, 1.0)
     session.close()
+
+
+# ----------------------------------------------------------------------
+# Drain-or-raise close semantics
+# ----------------------------------------------------------------------
+class TestDrainOrRaiseClose:
+    """``stop()``/``close()`` must either flush queued data through or
+    raise the parked error with an exact count of what was discarded —
+    never silently drop pending input (DESIGN.md §9)."""
+
+    def test_clean_stop_flushes_queued_events(self):
+        applied = []
+        gate = threading.Event()
+
+        def push(ts, key, value):
+            gate.wait()
+            applied.append((ts, key, value))
+
+        pump = IngestPump(push=push, high_watermark=64)
+        for i in range(5):
+            pump.submit_event(i, 0, 1.0)
+        gate.set()
+        pump.stop()  # must not raise, must apply everything queued
+        assert applied == [(i, 0, 1.0) for i in range(5)]
+
+    def test_stop_raises_parked_error_with_exact_discard_count(self):
+        applied = []
+        gate = threading.Event()
+
+        def push(ts, key, value):
+            gate.wait()
+            if key == 99:
+                raise ValueError("boom")
+            applied.append((ts, key, value))
+
+        pump = IngestPump(push=push, high_watermark=64)
+        pump.submit_event(0, 99, 1.0)  # poison, held at the gate
+        for i in range(5):
+            pump.submit_event(i + 1, 0, 1.0)  # queued FIFO behind it
+        gate.set()
+        with pytest.raises(
+            ExecutionError,
+            match=r"5 queued event\(s\) were discarded, not applied",
+        ):
+            pump.stop()
+        assert applied == []  # nothing behind the poison was applied...
+        pump.stop()  # ...and a second stop does not raise it twice
+
+    def test_stop_counts_batch_discards_by_event(self):
+        batch = integer_stream(ticks=10, num_keys=NUM_KEYS, seed=7, rate=3)
+        gate = threading.Event()
+
+        def push(ts, key, value):
+            gate.wait()
+            raise ValueError("boom")
+
+        def push_batch(b):  # pragma: no cover - parked error skips it
+            raise AssertionError("batch must be discarded, not applied")
+
+        pump = IngestPump(push=push, push_batch=push_batch, high_watermark=256)
+        pump.submit_event(0, 99, 1.0)
+        pump.submit_batch(batch)
+        gate.set()
+        with pytest.raises(
+            ExecutionError,
+            match=rf"{batch.num_events} queued event\(s\) were discarded",
+        ):
+            pump.stop()
+
+    def test_session_close_raises_unobserved_parked_error_once(self):
+        session = QuerySession(num_keys=2, async_ingest=True)
+        session.push(0, 99, 1.0)  # key outside the dense id space
+        with pytest.raises(ExecutionError, match="async ingest failed"):
+            session.close()
+        session.close()  # idempotent: the error does not surface twice
+
+    def test_session_close_stays_silent_after_error_surfaced(self):
+        session = QuerySession(num_keys=2, async_ingest=True)
+        session.push(0, 99, 1.0)
+        with pytest.raises(ExecutionError, match="async ingest failed"):
+            session.results()  # the error surfaces here...
+        session.close()  # ...so close() has nothing left to report
+
+    def test_sharded_close_raises_but_still_tears_down_workers(self):
+        session = ShardedSession(
+            num_keys=NUM_KEYS,
+            num_shards=2,
+            backend="process",
+            hysteresis=None,
+            async_ingest=True,
+        )
+        session.push(0, 99, 1.0)
+        with pytest.raises(ExecutionError, match="async ingest failed"):
+            session.close()
+        # The raise must not leak the data plane: workers are reaped
+        # and a second close() is a no-op.
+        assert session.backend._procs == []
+        session.close()
 
 
 # ----------------------------------------------------------------------

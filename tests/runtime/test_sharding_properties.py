@@ -79,6 +79,8 @@ def run_sharded(
     hysteresis=None,
     async_ingest=False,
     ingest_high_watermark=97,
+    fault_plan=None,
+    worker_recovery=False,
 ):
     # The async high watermark is deliberately small and odd so the
     # pump genuinely interleaves with the producer (queueing, gate
@@ -94,6 +96,9 @@ def run_sharded(
         alpha=0.6,
         async_ingest=async_ingest,
         ingest_high_watermark=ingest_high_watermark,
+        fault_plan=fault_plan,
+        worker_recovery=worker_recovery,
+        control_timeout=10.0 if fault_plan is not None else None,
     )
     try:
         dropped = set()
@@ -279,6 +284,62 @@ def test_backend_matrix_matches_serial_sync_oracle(
         lateness,
         async_ingest=async_ingest,
     )
+    assert min(marks) == max(marks), context
+    assert_results_identical(oracle, actual, context)
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize(
+    "backend,async_ingest",
+    [("process", False), ("process", True), ("shm", False), ("shm", True)],
+    ids=["process-sync", "process-async", "shm-sync", "shm-async"],
+)
+def test_schedules_survive_injected_worker_crashes(
+    repro_seed, backend, async_ingest
+):
+    """Invariant 12 composed with 10 and 11: a randomized
+    register/deregister schedule with a seeded mid-stream worker kill
+    — recovered via respawn + replay — still matches the serial-sync
+    oracle bit-for-bit, on both worker backends in both ingest modes."""
+    from repro.runtime import Fault, FaultPlan
+
+    rng = np.random.default_rng((repro_seed, 131))
+    num_shards = int(rng.integers(2, 4))
+    lateness = int(rng.integers(0, 5))
+    batch = integer_stream(
+        ticks=300, num_keys=NUM_KEYS, seed=int(rng.integers(0, 1000))
+    )
+    events = scramble_batch(batch, lateness, seed=int(rng.integers(0, 100)))
+    schedule = make_schedule(rng, len(events))
+    # NUM_KEYS=5 over 3 shards can leave a shard keyless (no worker
+    # slot), so the kill targets slot 0 or 1 — both always exist.
+    plan = FaultPlan(
+        Fault(
+            "kill",
+            slot=int(rng.integers(0, 2)),
+            at_watermark=int(rng.integers(20, 250)),
+        )
+    )
+    context = (
+        f"seed={repro_seed} shards={num_shards} backend={backend} "
+        f"async={async_ingest} fault={plan.faults[0]}"
+    )
+
+    oracle, _ = run_sharded(
+        schedule, events, batch.horizon, num_shards, "serial", lateness
+    )
+    actual, marks = run_sharded(
+        schedule,
+        events,
+        batch.horizon,
+        num_shards,
+        backend,
+        lateness,
+        async_ingest=async_ingest,
+        fault_plan=plan,
+        worker_recovery=True,
+    )
+    assert plan.exhausted, context
     assert min(marks) == max(marks), context
     assert_results_identical(oracle, actual, context)
 
