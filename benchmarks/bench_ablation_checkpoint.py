@@ -81,10 +81,10 @@ def test_checkpoint_ablation_report(report_sink, bench_events, tmp_path):
     stream = constant_rate_stream(
         bench_events, num_keys=NUM_KEYS, rate=RATE, seed=1
     )
-    # Integer values: snapshot() flushes the pending partial chunk, so
-    # chunk boundaries fall differently than the cold run's — exact
-    # float64 integer arithmetic makes the comparison bit-identity
-    # anyway (the same trick the invariant-10/12 property suites use).
+    # Integer values: exact float64 integer arithmetic puts every
+    # comparison under the invariant-10/12 bit-identity conditions
+    # (the same trick the property suites use), so any divergence —
+    # however the restore path reassembles chunks — fails loudly.
     rows = [
         (ts, key, float(int(value))) for ts, key, value in stream.rows()
     ]

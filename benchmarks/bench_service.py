@@ -1,0 +1,236 @@
+"""Service under load: the multi-tenant TCP front door (DESIGN.md §10,
+invariant 13).
+
+Three questions a deployment of the session service needs answered:
+
+* **Front-door throughput** — events/second through the JSON-lines
+  protocol with several tenants streaming concurrently (wire codec +
+  admission + session apply, the full per-request path).
+* **Request latency** — p50/p99 per-batch ingest latency seen by a
+  well-behaved producer.
+* **The cost of dying** — the same schedule with a fault plan that
+  hard-kills one tenant mid-stream: how much wall-clock the transparent
+  restore+replay adds, and how long the replayed tail was.
+
+Correctness is asserted before anything is reported: the disturbed
+run's bystander results must be bit-identical to the undisturbed
+run's, and the killed tenant's results bit-identical to a serial
+sync-ingest oracle (invariant 13 — a throughput number measured while
+losing data would be worthless).  Emits ``BENCH_service.json``;
+``bench compare --portable-only`` gates the deterministic replay
+counter across commits.
+"""
+
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.reporting import format_table, write_json_report
+from repro.runtime import QuerySession
+from repro.runtime.faults import Fault, FaultPlan
+from repro.service import ServiceClient, SessionManager, serve_in_thread
+from repro.service.protocol import serialize_results
+
+JSON_PATH = Path(
+    os.environ.get(
+        "REPRO_BENCH_JSON",
+        Path(__file__).parent / "results" / "BENCH_service.json",
+    )
+)
+
+NUM_KEYS = 64
+NUM_TENANTS = 3
+BATCH_EVENTS = 200
+RATE = 4  # events per tick
+CHECKPOINT_EVERY = 256
+KILL_AT_WATERMARK = 40
+VICTIM = "t0"
+SQL = "SELECT SUM(v) FROM s GROUP BY WINDOWS(HOPPING(second, 60, 20))"
+
+
+def tenant_events(tenant_index: int, total_events: int):
+    """A sorted integer-valued stream per tenant (exact float64)."""
+    rng = np.random.default_rng(100 + tenant_index)
+    ticks = max(1, total_events // RATE)
+    events = []
+    for t in range(1, ticks + 1):
+        for _ in range(RATE):
+            events.append(
+                (
+                    t,
+                    int(rng.integers(0, NUM_KEYS)),
+                    float(rng.integers(0, 1000)),
+                )
+            )
+    return events
+
+
+def producer(port, tenant, events, out):
+    """One well-behaved tenant: ordered batches, one connection,
+    per-request latency recorded."""
+    try:
+        with ServiceClient(port=port) as client:
+            client.register(tenant, SQL)
+            latencies = []
+            for start in range(0, len(events), BATCH_EVENTS):
+                batch = events[start : start + BATCH_EVENTS]
+                t0 = time.perf_counter()
+                client.ingest(tenant, batch)
+                latencies.append(time.perf_counter() - t0)
+            out[tenant] = {
+                "latencies": latencies,
+                "results": serialize_results(client.results(tenant)),
+            }
+    except Exception as exc:  # noqa: BLE001 - surfaced by the assert
+        out[tenant] = {"error": exc}
+
+
+def run_fleet(tmp_path, tag, streams, fault_plan=None):
+    """All tenants streaming concurrently over TCP; returns per-tenant
+    producer output, per-tenant manager stats, and the wall time."""
+    out: dict = {}
+    with SessionManager(
+        {"defaults": {"num_keys": NUM_KEYS, "rate": 1e9, "burst": 1e9}},
+        directory=tmp_path / f"ckpt-{tag}",
+        checkpoint_every=CHECKPOINT_EVERY,
+        fault_plan=fault_plan,
+    ) as manager:
+        server = serve_in_thread(manager, max_workers=NUM_TENANTS + 1)
+        try:
+            threads = [
+                threading.Thread(
+                    target=producer,
+                    args=(server.port, tenant, events, out),
+                )
+                for tenant, events in streams.items()
+            ]
+            started = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall = time.perf_counter() - started
+            stats = {t: manager.stats(t)["stats"] for t in streams}
+        finally:
+            server.stop()
+    for tenant, result in out.items():
+        assert "error" not in result, (tenant, result.get("error"))
+    return out, stats, wall
+
+
+def percentile(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))]
+
+
+def test_service_bench_report(report_sink, bench_events, tmp_path):
+    per_tenant = max(BATCH_EVENTS, bench_events // NUM_TENANTS)
+    streams = {
+        f"t{i}": tenant_events(i, per_tenant) for i in range(NUM_TENANTS)
+    }
+    total_events = sum(len(ev) for ev in streams.values())
+
+    # Undisturbed fleet: the throughput/latency baseline and the
+    # bystander oracle for the disturbed run.
+    baseline_out, baseline_stats, baseline_wall = run_fleet(
+        tmp_path, "baseline", streams
+    )
+    for tenant, stat in baseline_stats.items():
+        assert stat["admitted_events"] == len(streams[tenant])
+        assert stat["restores"] == 0
+
+    # Disturbed fleet: same schedule, the victim hard-killed mid-run.
+    plan = FaultPlan(
+        Fault(kind="kill_session", tenant=VICTIM, op="ingest",
+              at_watermark=KILL_AT_WATERMARK)
+    )
+    disturbed_out, disturbed_stats, disturbed_wall = run_fleet(
+        tmp_path, "disturbed", streams, fault_plan=plan
+    )
+    assert disturbed_stats[VICTIM]["restores"] == 1
+    assert disturbed_stats[VICTIM]["replay_skipped"] == 0
+
+    # Invariant 13, asserted before anything is reported: bystanders
+    # bit-identical across runs, the victim bit-identical to a serial
+    # sync oracle of its own timeline.
+    for tenant in streams:
+        if tenant == VICTIM:
+            continue
+        assert disturbed_out[tenant]["results"] == (
+            baseline_out[tenant]["results"]
+        ), f"bystander {tenant} perturbed by the victim's crash"
+    oracle = QuerySession(num_keys=NUM_KEYS)
+    try:
+        oracle.register(SQL)
+        for ts, key, value in streams[VICTIM]:
+            oracle.push(ts, key, value)
+        expected = serialize_results(oracle.drain_results())
+    finally:
+        oracle.close()
+    assert disturbed_out[VICTIM]["results"] == expected
+    # The retained tail (ops since the last auto-checkpoint) is
+    # deterministic: a fixed request schedule and a fixed cadence land
+    # the same count on every machine, so it gates portably across
+    # commits — growth means checkpointing got lazier.
+    retained_tail_pairs = disturbed_stats[VICTIM]["tail_length"]
+
+    all_latencies = [
+        lat
+        for result in baseline_out.values()
+        for lat in result["latencies"]
+    ]
+    p50_ms = percentile(all_latencies, 0.50) * 1e3
+    p99_ms = percentile(all_latencies, 0.99) * 1e3
+    events_per_sec = total_events / baseline_wall
+    kill_overhead_seconds = max(0.0, disturbed_wall - baseline_wall)
+
+    report = {
+        "benchmark": "service",
+        "events": total_events,
+        "tenants": NUM_TENANTS,
+        "num_keys": NUM_KEYS,
+        "batch_events": BATCH_EVENTS,
+        "checkpoint_every": CHECKPOINT_EVERY,
+        "front_door": {
+            "events_per_sec": events_per_sec,
+            "ingest_p50_ms": p50_ms,
+            "ingest_p99_ms": p99_ms,
+            "wall_seconds": baseline_wall,
+        },
+        "recovery": {
+            "kill_at_watermark": KILL_AT_WATERMARK,
+            "restores": disturbed_stats[VICTIM]["restores"],
+            "retained_tail_pairs": retained_tail_pairs,
+            "disturbed_wall_seconds": disturbed_wall,
+            "kill_overhead_seconds": kill_overhead_seconds,
+        },
+        "identity": {
+            # Asserted above; recorded so the report is self-auditing.
+            "bystanders_bit_identical": True,
+            "victim_matches_oracle": True,
+        },
+    }
+
+    report_sink(
+        "bench_service",
+        format_table(
+            ["metric", "value"],
+            [
+                ("events/s (3 tenants over TCP)", f"{events_per_sec:,.0f}"),
+                ("ingest p50", f"{p50_ms:,.2f} ms"),
+                ("ingest p99", f"{p99_ms:,.2f} ms"),
+                ("kill overhead", f"{kill_overhead_seconds * 1e3:,.0f} ms"),
+                ("retained tail", f"{retained_tail_pairs} ops"),
+            ],
+            title=(
+                f"Session service: {total_events:,} events, "
+                f"{NUM_TENANTS} tenants, kill+restore of one "
+                f"(invariant 13 asserted bit-identical)"
+            ),
+        ),
+    )
+    path = write_json_report(JSON_PATH, report)
+    assert path.exists()

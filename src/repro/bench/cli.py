@@ -23,6 +23,12 @@ Commands
                   (or an explicit checkpoint file) and stream the rest
                   of the events — bit-identical to never having
                   stopped (invariant 12, docs/durability.md).
+``serve``         run the supervised multi-tenant session service: a
+                  JSON-lines TCP front door over many named tenant
+                  sessions with per-tenant rate quotas, queue budgets,
+                  circuit breakers, and checkpoint+replay restore
+                  (DESIGN.md §10, docs/service.md).  ``--config``
+                  loads a ``tenants.yaml`` quota file.
 ``bench``         benchmark utilities; ``bench compare`` diffs two
                   ``BENCH_*.json`` reports and exits non-zero on
                   regressions beyond a threshold (the CI perf gate).
@@ -150,6 +156,57 @@ def _cmd_session(args: argparse.Namespace) -> int:
     stream = constant_rate_stream(
         args.events, num_keys=args.keys, rate=args.rate, seed=args.seed
     )
+    rows = list(stream.rows())
+    # First query opens before any data; the rest spread over the
+    # first half of the stream — the live-dashboard shape.
+    points = {
+        (i * len(rows)) // (2 * max(1, len(args.query))): q
+        for i, q in enumerate(args.query)
+    }
+    # Auto-checkpointing runs *inside* the session (the same code path
+    # the multi-tenant service supervises; DESIGN.md §9–§10).  The
+    # meta provider fires on the applying thread at the cut, so the
+    # recorded position is the exact applied-event count — correct
+    # even in async-ingest mode, where this loop runs ahead of the
+    # pump.  A watermark cannot split a tick, so the position (plus
+    # the not-yet-registered queries) is what `restore` needs.
+    session = None
+    auto_kwargs: dict = {}
+    if args.checkpoint_dir is not None:
+        from ..runtime import CheckpointStore
+
+        store = CheckpointStore(
+            args.checkpoint_dir, every=args.checkpoint_every
+        )
+
+        def checkpoint_meta() -> dict:
+            reorder = session.reorder_stats
+            position = reorder.accepted + reorder.late_dropped
+            return {
+                "position": position,
+                "stream": {
+                    "events": args.events,
+                    "keys": args.keys,
+                    "rate": args.rate,
+                    "seed": args.seed,
+                },
+                "pending": {
+                    j: q for j, q in points.items() if j >= position
+                },
+            }
+
+        def on_checkpoint(snap, path) -> None:
+            print(f"[wm {snap.watermark:>6}] checkpoint -> {path.name}")
+
+        auto_kwargs = {
+            "auto_checkpoint": store,
+            "checkpoint_meta": checkpoint_meta,
+            "on_checkpoint": on_checkpoint,
+        }
+        print(
+            f"checkpointing every {args.checkpoint_every:,} watermark "
+            f"ticks to {args.checkpoint_dir}/"
+        )
     if args.shards > 1:
         session = ShardedSession(
             num_keys=args.keys,
@@ -158,6 +215,7 @@ def _cmd_session(args: argparse.Namespace) -> int:
             max_lateness=args.lateness,
             hysteresis=None if args.no_adapt else args.hysteresis,
             async_ingest=args.async_ingest,
+            **auto_kwargs,
         )
         print(
             f"sharded session: x{args.shards} key-hash shards "
@@ -170,58 +228,16 @@ def _cmd_session(args: argparse.Namespace) -> int:
             max_lateness=args.lateness,
             hysteresis=None if args.no_adapt else args.hysteresis,
             async_ingest=args.async_ingest,
+            **auto_kwargs,
         )
         if args.async_ingest:
             print("async ingest: bounded-queue front door enabled")
-    store = None
-    if args.checkpoint_dir is not None:
-        from ..runtime import CheckpointStore
-
-        store = CheckpointStore(
-            args.checkpoint_dir, every=args.checkpoint_every
-        )
-        print(
-            f"checkpointing every {args.checkpoint_every:,} watermark "
-            f"ticks to {args.checkpoint_dir}/"
-        )
-    rows = list(stream.rows())
-    # First query opens before any data; the rest spread over the
-    # first half of the stream — the live-dashboard shape.
-    points = {
-        (i * len(rows)) // (2 * max(1, len(args.query))): q
-        for i, q in enumerate(args.query)
-    }
     try:
         for i, (ts, key, value) in enumerate(rows):
             if i in points:
                 name = session.register(points[i])
                 print(f"[wm {session.watermark:>6}] registered {name!r}")
             session.push(ts, key, value)
-            if store is not None and store.due(session.watermark):
-                # The snapshot runs at its command-stream position
-                # (a synchronization point in async mode); meta keeps
-                # the exact stream index — a watermark cannot split a
-                # tick — plus what `restore` needs to resume the run.
-                saved = store.save(
-                    session.snapshot(
-                        meta={
-                            "position": i + 1,
-                            "stream": {
-                                "events": args.events,
-                                "keys": args.keys,
-                                "rate": args.rate,
-                                "seed": args.seed,
-                            },
-                            "pending": {
-                                j: q for j, q in points.items() if j > i
-                            },
-                        }
-                    )
-                )
-                print(
-                    f"[wm {session.watermark:>6}] checkpoint -> "
-                    f"{saved.name}"
-                )
         results = session.finish(horizon=stream.horizon)
     except BaseException:
         session.close()  # stop pump threads / workers, unlink rings
@@ -305,7 +321,16 @@ def _cmd_restore(args: argparse.Namespace) -> int:
         events, num_keys=spec["keys"], rate=spec["rate"], seed=spec["seed"]
     )
     rows = list(stream.rows())
-    position = min(meta["position"], len(rows))
+    # Resume from what the restored session has actually applied — its
+    # own (restored) reorder counters — not the checkpoint's recorded
+    # position.  The two differ when the cut was taken mid-stream in
+    # async mode: the snapshot then carries ingest-queue *residue*,
+    # which restore has just replayed on top of the recorded position.
+    # `switches` is a pump synchronization point, so the counters are
+    # settled before we read them.
+    _ = session.switches
+    reorder = session.reorder_stats
+    position = min(reorder.accepted + reorder.late_dropped, len(rows))
     pending = {
         int(i): q for i, q in meta.get("pending", {}).items() if i < len(rows)
     }
@@ -328,6 +353,49 @@ def _cmd_restore(args: argparse.Namespace) -> int:
 
     _print_session_report(session, results, args.async_ingest)
     session.close()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..service import (
+        DEFAULT_CHECKPOINT_EVERY,
+        ServiceServer,
+        SessionManager,
+        load_tenants_config,
+    )
+
+    config = (
+        load_tenants_config(args.config) if args.config is not None else None
+    )
+    every = (
+        args.checkpoint_every
+        if args.checkpoint_every is not None
+        else DEFAULT_CHECKPOINT_EVERY
+    )
+    manager = SessionManager(
+        config, directory=args.checkpoint_dir, checkpoint_every=every
+    )
+    server = ServiceServer(
+        manager, host=args.host, port=args.port, max_workers=args.workers
+    )
+
+    def on_started(srv: ServiceServer) -> None:
+        # Flushed so wrappers reading the pipe see the bound port
+        # immediately (with --port 0 it is only known here).
+        print(
+            f"factor-windows service listening on {srv.host}:{srv.port}",
+            flush=True,
+        )
+        if args.config is not None:
+            print(f"tenant quotas: {args.config}", flush=True)
+        print('stop with Ctrl-C or {"op": "shutdown"}', flush=True)
+
+    try:
+        server.run(on_started=on_started)
+    except KeyboardInterrupt:
+        print("\nstopping")
+    finally:
+        manager.close()
     return 0
 
 
@@ -468,6 +536,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore behind the async front door (also an override)",
     )
     p_res.set_defaults(func=_cmd_restore)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the supervised multi-tenant session service "
+        "(JSON-lines TCP; DESIGN.md §10, docs/service.md)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port",
+        type=int,
+        default=7071,
+        help="TCP port (0 binds an ephemeral port, printed at startup)",
+    )
+    p_srv.add_argument(
+        "--config",
+        default=None,
+        help="tenants.yaml-shaped quota/session config "
+        "(docs/service.md); omitted = defaults for every tenant",
+    )
+    p_srv.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="root for per-tenant checkpoint stores "
+        "(default: a private temp dir cleaned up on exit)",
+    )
+    p_srv.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="auto-checkpoint cadence in watermark ticks "
+        "(default: the service default, 512; also bounds each "
+        "tenant's replay tail)",
+    )
+    p_srv.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="request-handler thread pool size (bounds concurrent "
+        "tenant requests)",
+    )
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_bench = sub.add_parser("bench", help="benchmark utilities")
     bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)

@@ -53,6 +53,7 @@ from .results import (
 from .ingest import DEFAULT_INGEST_HIGH_WATERMARK, IngestStats
 from .session import QuerySession
 from .sharding import (
+    DEFAULT_CONTROL_TIMEOUT,
     ProcessShardBackend,
     SerialShardBackend,
     ShardedSession,
@@ -62,6 +63,7 @@ from .shm_ring import RingSpec, ShmRing
 
 __all__ = [
     "CheckpointStore",
+    "DEFAULT_CONTROL_TIMEOUT",
     "DEFAULT_INGEST_HIGH_WATERMARK",
     "DEFAULT_RETIRED_RESULT_CAP",
     "Fault",

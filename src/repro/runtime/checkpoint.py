@@ -173,6 +173,21 @@ def latest_checkpoint(directory: "str | Path") -> "Path | None":
     return None if best is None else best[1]
 
 
+def require_cadence(store: "CheckpointStore | None") -> "CheckpointStore | None":
+    """Validate a store handed to a session's ``auto_checkpoint=``.
+
+    In-session auto-checkpointing is cadence-driven (:meth:`due` is
+    consulted after every applied push), so a store constructed without
+    ``every=`` would silently never checkpoint — fail loudly instead."""
+    if store is not None and store.every is None:
+        raise ExecutionError(
+            "auto_checkpoint needs a cadence: construct the "
+            "CheckpointStore with every=<ticks> (a store without a "
+            "cadence would never be due)"
+        )
+    return store
+
+
 class CheckpointStore:
     """A rotating directory of checkpoints: ``ckpt-<watermark>.rckpt``.
 

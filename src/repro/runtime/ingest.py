@@ -31,6 +31,20 @@ corrupts results (``tests/runtime/test_ingest.py`` holds this as a
 property).  Waits and the backlog high-water mark are counted exactly
 in :class:`IngestStats`.
 
+**Multi-producer, single-consumer.**  The queue is MPSC: any number
+of threads may ``feed`` one session concurrently — every producer-side
+entry point (``put_data`` / ``put_control`` and the pump's ``submit_*``
+wrappers) runs under one lock, so admissions are atomic and the pump
+still sees one totally-ordered command stream.  What the queue cannot
+restore is an order the producers never had: events from different
+threads interleave in admission order, so cross-thread timestamp
+ordering is the producers' problem (give the session ``max_lateness``
+slack, or keep each key's events on one thread).  The multi-tenant
+service (:mod:`repro.service`) leans on exactly this: N connection
+handlers feed one tenant's session concurrently
+(``tests/runtime/test_ingest.py`` holds N-producers ≡ serial-oracle as
+a property).
+
 **Errors.**  The pump applies data commands fire-and-forget, so a
 failure (e.g. a key outside the dense id space) is parked and raised
 on the *next* front-door call — the same park-and-surface discipline
@@ -111,6 +125,12 @@ class IngestQueue:
     call and stop items bypass it (they are control plane — blocking a
     ``register`` behind the very backlog it is meant to synchronize
     with would invert its priority).
+
+    Multi-producer safe: every entry point takes the one internal
+    lock, so concurrent ``put_data``/``put_control`` callers admit
+    atomically in lock-acquisition order and blocked producers wake
+    fairly off the same gate condition.  There is exactly one
+    consumer (the pump thread) — ``get`` is not designed for more.
     """
 
     def __init__(
@@ -269,8 +289,9 @@ class IngestPump:
     ``push`` / ``push_batch`` are the session's *synchronous*
     single-threaded entry points — the pump is their only caller while
     it runs, which is the whole concurrency story: one producer-facing
-    bounded queue, one consumer thread, zero shared mutable session
-    state across threads.
+    bounded MPSC queue (any number of submitting threads), one
+    consumer thread, zero shared mutable session state across
+    threads.
     """
 
     def __init__(

@@ -53,7 +53,13 @@ from ..engine.outoforder import ReorderBuffer
 from ..engine.stats import ExecutionStats
 from ..errors import ExecutionError
 from ..windows.window import Window
-from .checkpoint import Snapshot, read_checkpoint, write_checkpoint
+from .checkpoint import (
+    CheckpointStore,
+    Snapshot,
+    read_checkpoint,
+    require_cadence,
+    write_checkpoint,
+)
 from .core import (
     DEFAULT_RETIRED_RESULT_CAP,
     EpochRateObserver,
@@ -105,6 +111,18 @@ class QuerySession(AsyncIngestFrontDoor):
         reads become synchronization points; emitted results are
         bit-identical to sync mode (invariant 11).  Close the session
         (or ``finish`` it) to stop the pump thread.
+    auto_checkpoint / checkpoint_meta / on_checkpoint:
+        In-session checkpoint cadence (DESIGN.md §9): pass a
+        :class:`~repro.runtime.checkpoint.CheckpointStore` constructed
+        with ``every=<ticks>`` and the session saves a rotating
+        checkpoint whenever a push advances the watermark past the
+        cadence — the same code path the CLI and the session service
+        use, so neither reimplements it.  ``checkpoint_meta`` is an
+        optional zero-argument callable producing the ``meta`` dict
+        stored in each checkpoint (called at save time);
+        ``on_checkpoint`` is an optional ``(snapshot, path)`` callback
+        fired after each save (the service supervisor truncates its
+        replay tail there).
     """
 
     def __init__(
@@ -120,6 +138,9 @@ class QuerySession(AsyncIngestFrontDoor):
         async_ingest: bool = False,
         ingest_high_watermark: int = DEFAULT_INGEST_HIGH_WATERMARK,
         ingest_low_watermark: "int | None" = None,
+        auto_checkpoint: "CheckpointStore | None" = None,
+        checkpoint_meta=None,
+        on_checkpoint=None,
     ):
         self._core = SessionCore(
             num_keys=num_keys,
@@ -140,6 +161,9 @@ class QuerySession(AsyncIngestFrontDoor):
         self._reorder = ReorderBuffer(max_lateness)
         self._rate_observer = EpochRateObserver(self.controller)
         self._auto_names = 0
+        self._auto_store = require_cadence(auto_checkpoint)
+        self._checkpoint_meta = checkpoint_meta
+        self._on_checkpoint = on_checkpoint
         self._pump = (
             IngestPump(
                 push=self._push_now,
@@ -280,6 +304,23 @@ class QuerySession(AsyncIngestFrontDoor):
         if self._rate_observer.pending_rate is not None:
             rate = self._rate_observer.take_pending()
             self._core.set_event_rate(rate, at=self._safe_watermark())
+        self._maybe_auto_checkpoint()
+
+    def _maybe_auto_checkpoint(self) -> None:
+        """Cadence-driven checkpointing, inside the ingest path itself:
+        fires on the same thread that applies pushes (the pump thread
+        in async mode), so every saved cut is prefix-consistent with
+        the command stream by construction."""
+        store = self._auto_store
+        if store is None or not store.due(self._core.watermark):
+            return
+        meta = (
+            {} if self._checkpoint_meta is None else self._checkpoint_meta()
+        )
+        snap = self._snapshot_now(meta)
+        path = store.save(snap)
+        if self._on_checkpoint is not None:
+            self._on_checkpoint(snap, path)
 
     def push_many(self, events) -> None:
         """Ingest an iterable of ``(ts, key, value)`` events."""
@@ -356,6 +397,9 @@ class QuerySession(AsyncIngestFrontDoor):
         async_ingest: bool = False,
         ingest_high_watermark: int = DEFAULT_INGEST_HIGH_WATERMARK,
         ingest_low_watermark: "int | None" = None,
+        auto_checkpoint: "CheckpointStore | None" = None,
+        checkpoint_meta=None,
+        on_checkpoint=None,
     ) -> "QuerySession":
         """Rebuild a session from a :class:`Snapshot` or a checkpoint
         file and resume exactly where it left off.
@@ -365,7 +409,10 @@ class QuerySession(AsyncIngestFrontDoor):
         snapshotted in async mode may restore in sync mode and vice
         versa.  Captured ingest-queue residue is replayed through the
         restored front door first, so the restored timeline has applied
-        exactly the events the original had accepted.
+        exactly the events the original had accepted.  The
+        auto-checkpoint knobs mirror the constructor's (cadence state
+        lives in the store, not the snapshot — pass the same store to
+        keep the cadence rolling).
         """
         snap = source if isinstance(source, Snapshot) else read_checkpoint(source)
         if snap.kind != "query":
@@ -381,6 +428,9 @@ class QuerySession(AsyncIngestFrontDoor):
         self._reorder = graph["reorder"]
         self._rate_observer = graph["observer"]
         self._auto_names = graph["auto_names"]
+        self._auto_store = require_cadence(auto_checkpoint)
+        self._checkpoint_meta = checkpoint_meta
+        self._on_checkpoint = on_checkpoint
         self._core.on_flush = self._on_flush
         self._pump = (
             IngestPump(

@@ -65,7 +65,13 @@ from ..engine.outoforder import ReorderBuffer
 from ..engine.stats import ExecutionStats
 from ..errors import ExecutionError
 from ..windows.window import Window
-from .checkpoint import Snapshot, read_checkpoint, write_checkpoint
+from .checkpoint import (
+    CheckpointStore,
+    Snapshot,
+    read_checkpoint,
+    require_cadence,
+    write_checkpoint,
+)
 from .core import (
     DEFAULT_RETIRED_RESULT_CAP,
     EpochRateObserver,
@@ -84,6 +90,20 @@ from .results import PlanSwitchRecord, WindowResults, finalize_partials
 
 #: Coordinator merge modes, derived from (scope, taxonomy).
 MERGE_MODES = ("concat", "partial", "forward")
+
+#: Default control-plane reply deadline, in seconds.  A worker that is
+#: alive but silent past this (lost control message, wedged loop) is
+#: declared stalled instead of hanging the coordinator forever: with
+#: ``worker_recovery=True`` it is respawned and replayed like a crash,
+#: otherwise the session raises with diagnostics.  Pass
+#: ``control_timeout=None`` to wait on process liveness alone.  Generous
+#: on purpose: a *working* worker never takes anywhere near this long to
+#: ack a control op, so a false stall requires pathological scheduling.
+DEFAULT_CONTROL_TIMEOUT = 60.0
+
+#: ``configure(control_timeout=...)`` sentinel: "leave it unchanged"
+#: must be distinguishable from an explicit ``None`` (no deadline).
+_TIMEOUT_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -440,7 +460,7 @@ class _WorkerShardBackend:
         self._configs: "list[ShardConfig]" = []
         self._fault_plan = None
         self._retain = False
-        self._control_timeout: "float | None" = None
+        self._control_timeout: "float | None" = DEFAULT_CONTROL_TIMEOUT
         self._base_states: "list[bytes | None]" = []
         self._logs: "list[list[tuple]]" = []
         self._last_advance = 0
@@ -452,15 +472,18 @@ class _WorkerShardBackend:
         self,
         fault_plan=None,
         recovery: "bool | None" = None,
-        control_timeout: "float | None" = None,
+        control_timeout: "float | None" = _TIMEOUT_UNSET,
     ) -> None:
         """Arm fault injection, crash recovery, and/or a control-plane
-        reply deadline (``None`` waits on liveness alone)."""
+        reply deadline (defaults to
+        :data:`DEFAULT_CONTROL_TIMEOUT`; an explicit ``None`` waits on
+        liveness alone — a lost control message then hangs rather than
+        stalls out)."""
         if fault_plan is not None:
             self._fault_plan = fault_plan
         if recovery is not None:
             self._retain = recovery
-        if control_timeout is not None:
+        if control_timeout is not _TIMEOUT_UNSET:
             self._control_timeout = control_timeout
 
     # ------------------------------------------------------------------
@@ -589,12 +612,18 @@ class _WorkerShardBackend:
                     f"worker exited (exitcode {proc.exitcode})",
                 )
             if deadline is not None and time.monotonic() >= deadline:
-                return (
-                    "stall",
-                    None,
+                cause = (
                     f"no reply within {timeout:.1f}s (worker alive — "
-                    "control message lost or worker wedged)",
+                    "control message lost or worker wedged)"
                 )
+                if not self._retain:
+                    # Match the crash path's actionable hint: a stall is
+                    # recoverable the same way a crash is.
+                    cause += (
+                        "; worker_recovery=True would respawn and "
+                        "replay the stalled worker instead of failing"
+                    )
+                return ("stall", None, cause)
 
     def _raise_worker_failure(
         self, slot: int, cause: str, context: str
@@ -1090,17 +1119,23 @@ def _resolve_backend(backend):
 def _configure_durability(
     backend, fault_plan, worker_recovery: bool, control_timeout
 ) -> None:
-    """Arm a backend's durability knobs, or fail loudly when the
-    backend has none (serial cores cannot crash independently — a
-    chaos schedule against them would silently test nothing)."""
-    if fault_plan is None and not worker_recovery and control_timeout is None:
-        return
+    """Arm a backend's durability knobs.
+
+    Fault injection and worker recovery fail loudly on backends without
+    a ``configure`` hook (serial cores cannot crash independently — a
+    chaos schedule against them would silently test nothing).  The
+    control timeout is passed through only where it means something:
+    in-process calls cannot stall, so it is ignored — not rejected — on
+    such backends (it carries a finite default, so rejecting it would
+    break every serial construction)."""
     if not hasattr(backend, "configure"):
-        raise ExecutionError(
-            f"backend {getattr(backend, 'name', backend)!r} does not "
-            "support fault injection / worker recovery — use the "
-            "'process' or 'shm' backend"
-        )
+        if fault_plan is not None or worker_recovery:
+            raise ExecutionError(
+                f"backend {getattr(backend, 'name', backend)!r} does not "
+                "support fault injection / worker recovery — use the "
+                "'process' or 'shm' backend"
+            )
+        return
     backend.configure(
         fault_plan=fault_plan,
         recovery=worker_recovery,
@@ -1148,8 +1183,19 @@ class ShardedSession(AsyncIngestFrontDoor):
         injected faults (chaos testing).  Worker backends only.
     control_timeout:
         Seconds to wait for a control-plane reply from a live worker
-        before declaring it wedged (``None`` waits on process liveness
-        alone — a lost control message then hangs rather than raises).
+        before declaring it wedged (default
+        :data:`DEFAULT_CONTROL_TIMEOUT`; ``None`` waits on process
+        liveness alone — a lost control message then hangs rather than
+        raises).  Ignored by the serial backend, whose in-process
+        calls cannot stall.
+    auto_checkpoint / checkpoint_meta / on_checkpoint:
+        In-session checkpoint cadence, identical to
+        :class:`~repro.runtime.QuerySession`'s: a
+        :class:`~repro.runtime.checkpoint.CheckpointStore` built with
+        ``every=<ticks>`` is consulted after every applied push and
+        saves a rotating coordinator-consistent snapshot when due;
+        ``checkpoint_meta()`` supplies each checkpoint's ``meta`` and
+        ``on_checkpoint(snapshot, path)`` fires after each save.
     """
 
     def __init__(
@@ -1169,7 +1215,10 @@ class ShardedSession(AsyncIngestFrontDoor):
         ingest_low_watermark: "int | None" = None,
         fault_plan=None,
         worker_recovery: bool = False,
-        control_timeout: "float | None" = None,
+        control_timeout: "float | None" = DEFAULT_CONTROL_TIMEOUT,
+        auto_checkpoint: "CheckpointStore | None" = None,
+        checkpoint_meta=None,
+        on_checkpoint=None,
     ):
         if num_keys < 1:
             raise ExecutionError(f"num_keys must be >= 1, got {num_keys}")
@@ -1241,6 +1290,9 @@ class ShardedSession(AsyncIngestFrontDoor):
         self._closed = False
         self._released = False
         self.wall_seconds = 0.0
+        self._auto_store = require_cadence(auto_checkpoint)
+        self._checkpoint_meta = checkpoint_meta
+        self._on_checkpoint = on_checkpoint
         self._pump = (
             IngestPump(
                 push=self._push_now,
@@ -1497,6 +1549,23 @@ class ShardedSession(AsyncIngestFrontDoor):
         # fully drain before a switch advances the watermark.
         if self._rate_observer.pending_rate is not None:
             self._apply_rate(self._rate_observer.take_pending())
+        self._maybe_auto_checkpoint()
+
+    def _maybe_auto_checkpoint(self) -> None:
+        """Cadence-driven checkpointing inside the ingest path (same
+        contract as :meth:`QuerySession._maybe_auto_checkpoint`): runs
+        on the thread applying pushes, so each saved cut is
+        prefix-consistent with the command stream."""
+        store = self._auto_store
+        if store is None or not store.due(self._watermark):
+            return
+        meta = (
+            {} if self._checkpoint_meta is None else self._checkpoint_meta()
+        )
+        snap = self._snapshot_now(meta)
+        path = store.save(snap)
+        if self._on_checkpoint is not None:
+            self._on_checkpoint(snap, path)
 
     def push_many(self, events) -> None:
         """Ingest an iterable of ``(ts, key, value)`` events."""
@@ -1570,6 +1639,7 @@ class ShardedSession(AsyncIngestFrontDoor):
                 self._flush(self._chunk_end)
         if self._rate_observer.pending_rate is not None:
             self._apply_rate(self._rate_observer.take_pending())
+        self._maybe_auto_checkpoint()
 
     def _buffer_slice(self, batch: EventBatch, lo: int, hi: int) -> None:
         ts = batch.timestamps[lo:hi]
@@ -1688,16 +1758,19 @@ class ShardedSession(AsyncIngestFrontDoor):
         """Capture the whole sharded session at one consistent
         watermark.
 
-        The coordinator first syncs every core to the safe watermark
-        (flushing any buffered partial chunk), then broadcasts a
-        ``snapshot`` control op.  The op rides the same FIFO as the
-        data plane — pipe ordering on the process backend,
-        drain-ring-before-control on shm — so each worker serializes
-        its core at exactly the coordinator's stream position: the
-        N shard cores, the coordinator-local forwarding core, the
-        reorder buffer, the rate controller, and the async ingest
-        residue form one mutually consistent cut, with no lockstep
-        pause beyond the sync flush.
+        The coordinator first ships its buffered partial chunk down to
+        the shard cores *without advancing the watermark* (so taking a
+        snapshot never perturbs the stream's flush positions — results
+        are bit-identical whether or not, and however often, the
+        session checkpoints), then broadcasts a ``snapshot`` control
+        op.  The op rides the same FIFO as the data plane — pipe
+        ordering on the process backend, drain-ring-before-control on
+        shm — so each worker serializes its core at exactly the
+        coordinator's stream position: the N shard cores (including
+        the just-fed in-chunk events), the coordinator-local
+        forwarding core, the reorder buffer, the rate controller, and
+        the async ingest residue form one mutually consistent cut,
+        with no lockstep pause.
 
         Pass ``path`` to also persist the snapshot via
         :func:`~repro.runtime.checkpoint.write_checkpoint`.
@@ -1710,7 +1783,14 @@ class ShardedSession(AsyncIngestFrontDoor):
     def _snapshot_now(self, meta: "dict | None") -> Snapshot:
         self._require_backend()
         if not self._closed:
-            self._sync(self._safe_watermark())
+            # Ship the buffered partial chunk down to the shard cores
+            # WITHOUT advancing the watermark: the cores then hold the
+            # full event prefix at the coordinator's clock, so the cut
+            # is consistent while the stream's flush positions — and
+            # therefore its results — stay bit-identical to a run that
+            # never snapshotted (results must not depend on checkpoint
+            # cadence; invariant 10 meets invariant 12).
+            self._feed_buffers()
         residue = [] if self._pump is None else self._pump.pending_data()
         shard_states = self.backend.snapshot()
         coordinator = {
@@ -1735,6 +1815,11 @@ class ShardedSession(AsyncIngestFrontDoor):
             "max_retired_results": self._max_retired_results,
             "closed": self._closed,
             "wall_seconds": self.wall_seconds,
+            # The partial-chunk event count lives in the shard cores
+            # after the pre-snapshot feed; the rate observer still owes
+            # it to the next observe_flush, so a restored session must
+            # report the same flush count the uninterrupted one would.
+            "pending_events": self._pending_events,
         }
         graph = {
             "coordinator": coordinator,
@@ -1768,7 +1853,10 @@ class ShardedSession(AsyncIngestFrontDoor):
         ingest_low_watermark: "int | None" = None,
         fault_plan=None,
         worker_recovery: bool = False,
-        control_timeout: "float | None" = None,
+        control_timeout: "float | None" = DEFAULT_CONTROL_TIMEOUT,
+        auto_checkpoint: "CheckpointStore | None" = None,
+        checkpoint_meta=None,
+        on_checkpoint=None,
     ) -> "ShardedSession":
         """Rebuild a sharded session from a :class:`Snapshot` or a
         checkpoint file and resume exactly where it left off.
@@ -1840,7 +1928,7 @@ class ShardedSession(AsyncIngestFrontDoor):
         self._rate_observer = coord["observer"]
         self._watermark = coord["watermark"]
         self._max_event_ts = coord["max_event_ts"]
-        self._pending_events = 0
+        self._pending_events = coord.get("pending_events", 0)
         active = len(self.active_shards)
         self._scalar_buf = [([], [], []) for _ in range(active)]
         self._array_buf = [[] for _ in range(active)]
@@ -1855,6 +1943,9 @@ class ShardedSession(AsyncIngestFrontDoor):
         self._closed = coord["closed"]
         self._released = False
         self.wall_seconds = coord["wall_seconds"]
+        self._auto_store = require_cadence(auto_checkpoint)
+        self._checkpoint_meta = checkpoint_meta
+        self._on_checkpoint = on_checkpoint
         self._pump = (
             IngestPump(
                 push=self._push_now,

@@ -1,0 +1,217 @@
+"""The asyncio JSON-lines TCP front door (dependency-free).
+
+:class:`ServiceServer` is a deliberately thin pipe onto
+:meth:`SessionManager.handle`: one connection at a time reads a line,
+decodes it, runs the request on a bounded thread pool (the manager is
+thread-safe; sessions hold the GIL-releasing numpy work), and writes
+exactly one reply line.  All protocol semantics — admission control,
+supervision, error shapes — live in the manager, which is what lets
+the chaos suite drive the *same* code path in-process with
+deterministic interleavings while this module only ever moves bytes.
+
+Per connection, requests are strictly sequential (read → handle →
+reply → read): replies can never reorder against their requests, and a
+client gets natural backpressure on its own socket without the server
+buffering more than one in-flight request per connection.  Concurrency
+comes from *connections*, capped by ``max_workers`` handler threads —
+the server's own memory stays bounded no matter how many clients pile
+in, which is the transport half of the no-unbounded-queueing story
+(the manager's byte budget is the admission half).
+
+Two ops are served by the transport itself, not the manager:
+
+* ``{"op": "ping"}`` → ``{"ok": true, "pong": true}`` — liveness.
+* ``{"op": "shutdown"}`` → ``{"ok": true, "stopping": true}`` — stop
+  the server loop (the manager is left to its owner to close).
+
+``serve_in_thread`` / :meth:`ServiceServer.start` run the loop in a
+daemon thread for tests and embedding; :meth:`ServiceServer.run`
+blocks in the caller's thread for the CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from ..errors import ExecutionError
+from .manager import SessionManager
+from .protocol import BadRequest, decode_line, encode_line
+
+__all__ = ["ServiceServer", "serve_in_thread"]
+
+
+class ServiceServer:
+    """Serve one :class:`SessionManager` over JSON-lines TCP.
+
+    ``port=0`` (the default) binds an ephemeral port; read the bound
+    address from :attr:`host` / :attr:`port` after :meth:`start` (or
+    inside :meth:`run` via ``on_started``).  The server never closes
+    the manager — its owner does — so a stopped server can be
+    restarted on the same manager without losing tenant state.
+    """
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 8,
+    ):
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self.max_workers = max_workers
+        self._thread: "threading.Thread | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._stopping: "asyncio.Event | None" = None
+        self._ready = threading.Event()
+        self._startup_error: "BaseException | None" = None
+
+    # ------------------------------------------------------------------
+    # The event loop body
+    # ------------------------------------------------------------------
+    async def _amain(self, on_started=None) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        pool = ThreadPoolExecutor(
+            max_workers=self.max_workers,
+            thread_name_prefix="repro-service-handler",
+        )
+        try:
+            server = await asyncio.start_server(
+                lambda r, w: self._serve_connection(r, w, pool),
+                host=self.host,
+                port=self.port,
+            )
+        except OSError as exc:
+            self._startup_error = ExecutionError(
+                f"cannot bind service on {self.host}:{self.port}: {exc}"
+            )
+            self._ready.set()
+            pool.shutdown(wait=False)
+            return
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        if on_started is not None:
+            on_started(self)
+        try:
+            async with server:
+                await self._stopping.wait()
+        finally:
+            pool.shutdown(wait=True)
+
+    async def _serve_connection(self, reader, writer, pool) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while not self._stopping.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_line(line)
+                except BadRequest as exc:
+                    reply = {
+                        "ok": False,
+                        "error": "bad_request",
+                        "detail": str(exc),
+                    }
+                else:
+                    op = request.get("op")
+                    if op == "ping":
+                        reply = {"ok": True, "pong": True}
+                    elif op == "shutdown":
+                        reply = {"ok": True, "stopping": True}
+                    else:
+                        reply = await loop.run_in_executor(
+                            pool, self.manager.handle, request
+                        )
+                writer.write(encode_line(reply))
+                await writer.drain()
+                if reply.get("stopping"):
+                    self._stopping.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-exchange; nothing to clean up
+        except asyncio.CancelledError:
+            # The loop is tearing down (stop() while this client sat
+            # idle in readline); end quietly so the cancellation does
+            # not surface through streams' done-callback as a spurious
+            # "exception in callback" log.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):
+                pass
+
+    # ------------------------------------------------------------------
+    # Blocking entry point (CLI)
+    # ------------------------------------------------------------------
+    def run(self, on_started=None) -> None:
+        """Serve in the calling thread until ``shutdown`` or
+        :meth:`stop`; ``on_started(server)`` fires once the port is
+        bound (the CLI prints the address from it)."""
+        asyncio.run(self._amain(on_started=on_started))
+        if self._startup_error is not None:
+            raise self._startup_error
+
+    # ------------------------------------------------------------------
+    # Threaded entry point (tests, embedding)
+    # ------------------------------------------------------------------
+    def start(self) -> "ServiceServer":
+        """Serve on a daemon thread; returns once the port is bound
+        (raises if binding failed)."""
+        if self._thread is not None:
+            raise ExecutionError("service server already started")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._amain()),
+            name="repro-service",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):  # pragma: no cover
+            raise ExecutionError("service server failed to start in 30s")
+        if self._startup_error is not None:
+            self._thread.join(timeout=5)
+            raise self._startup_error
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the loop and join the server thread (idempotent).
+        The manager is *not* closed — it outlives the transport."""
+        loop, stopping = self._loop, self._stopping
+        if loop is not None and stopping is not None and loop.is_running():
+            loop.call_soon_threadsafe(stopping.set)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            if self._thread.is_alive():  # pragma: no cover - defensive
+                raise ExecutionError("service server did not stop")
+            self._thread = None
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    manager: SessionManager,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_workers: int = 8,
+) -> ServiceServer:
+    """Start a :class:`ServiceServer` on a daemon thread and return it
+    (already bound; address on ``.host`` / ``.port``)."""
+    return ServiceServer(
+        manager, host=host, port=port, max_workers=max_workers
+    ).start()

@@ -1,0 +1,162 @@
+"""Supervision primitives: circuit breaker and bounded retries.
+
+Two small, deterministic state machines the service composes around
+every tenant session (DESIGN.md §10):
+
+* :class:`CircuitBreaker` — after ``failure_threshold`` consecutive
+  session failures the breaker *opens*: requests shed immediately
+  (``reason="circuit_open"``) instead of burning a restore cycle per
+  request against a session that keeps dying.  After ``reset_after``
+  seconds it goes *half-open* and admits exactly one probe; the
+  probe's outcome closes it or re-opens it for another window.
+* :class:`RetryPolicy` — bounded exponential backoff with seeded
+  jitter and an overall deadline, used by the client for control ops
+  and honored ``retry_after`` hints.  Never retries forever, never
+  synchronizes herds (jitter), never exceeds the deadline.
+
+Both take an injectable ``clock`` (and the policy a seeded ``rng``) so
+tests drive them deterministically — no sleeping, no flaking.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from ..errors import ExecutionError
+
+__all__ = ["CircuitBreaker", "RetryPolicy"]
+
+#: Breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probes.
+
+    Not thread-safe by itself — the manager calls it under the
+    tenant's admission lock, which is also what makes the shed
+    counters it feeds exact.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_after: float = 2.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ExecutionError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_after <= 0:
+            raise ExecutionError(
+                f"reset_after must be > 0, got {reset_after}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_after = float(reset_after)
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half_open`` (evaluated at now)."""
+        self._tick()
+        return self._state
+
+    def _tick(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_after
+        ):
+            self._state = HALF_OPEN
+
+    def allow(self) -> bool:
+        """Whether a request may proceed.  In half-open, the first
+        caller becomes the probe (subsequent callers are shed until
+        its outcome is recorded)."""
+        self._tick()
+        if self._state == CLOSED:
+            return True
+        if self._state == HALF_OPEN:
+            # Admit one probe; re-open pending its outcome so
+            # concurrent callers shed instead of stampeding.
+            self._state = OPEN
+            self._opened_at = self._clock()
+            return True
+        return False
+
+    @property
+    def retry_after(self) -> float:
+        """Seconds until the breaker next admits a probe."""
+        self._tick()
+        if self._state != OPEN:
+            return 0.0
+        return max(
+            self.reset_after - (self._clock() - self._opened_at), 1e-9
+        )
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._state = CLOSED
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._state = OPEN
+            self._opened_at = self._clock()
+
+
+class RetryPolicy:
+    """Bounded exponential backoff with seeded full jitter.
+
+    ``delays()`` yields at most ``attempts - 1`` waits (the first
+    attempt is free): attempt *k* waits ``uniform(0, min(cap, base *
+    factor**k))`` seconds.  ``deadline`` (seconds from the first
+    ``delays()`` call) caps the whole retry budget: a delay that would
+    cross it is truncated, and once it is reached the generator stops
+    — so a caller's worst case is bounded by wall clock, not just by
+    attempt count.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 5,
+        base: float = 0.05,
+        factor: float = 2.0,
+        cap: float = 2.0,
+        deadline: "float | None" = None,
+        rng: "random.Random | None" = None,
+        clock=time.monotonic,
+    ):
+        if attempts < 1:
+            raise ExecutionError(f"attempts must be >= 1, got {attempts}")
+        if base <= 0 or factor < 1 or cap < base:
+            raise ExecutionError(
+                f"need base > 0 <= cap and factor >= 1; got base={base}, "
+                f"factor={factor}, cap={cap}"
+            )
+        self.attempts = attempts
+        self.base = base
+        self.factor = factor
+        self.cap = cap
+        self.deadline = deadline
+        self._rng = rng if rng is not None else random.Random()
+        self._clock = clock
+
+    def delays(self):
+        """Yield the jittered wait before each retry (not the first
+        attempt).  Stops at the attempt bound or the deadline,
+        whichever comes first."""
+        started = self._clock()
+        for attempt in range(self.attempts - 1):
+            ceiling = min(self.cap, self.base * self.factor**attempt)
+            delay = self._rng.uniform(0.0, ceiling)
+            if self.deadline is not None:
+                remaining = self.deadline - (self._clock() - started)
+                if remaining <= 0:
+                    return
+                delay = min(delay, remaining)
+            yield delay

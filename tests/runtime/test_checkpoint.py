@@ -413,3 +413,173 @@ def test_sharded_checkpoint_store_rotation_with_live_session(tmp_path):
         expected, restored.finish(horizon=horizon), "store round trip"
     )
     restored.close()
+
+
+# ----------------------------------------------------------------------
+# Auto-checkpoint: the cadence lives inside the session
+# ----------------------------------------------------------------------
+class TestAutoCheckpoint:
+    """``auto_checkpoint=`` on both session classes: the ingest path
+    itself saves at the store's cadence, on the applying thread, so the
+    CLI and the session service share one durability code path."""
+
+    QUERY = WORKLOAD[0]
+
+    def feed(self, session, events):
+        for ts, key, value in events:
+            session.push(ts, key, value)
+
+    @pytest.mark.parametrize("async_ingest", [False, True])
+    def test_query_session_cadence_fires_in_the_push_path(
+        self, tmp_path, repro_seed, async_ingest
+    ):
+        events, _ = stream_events(repro_seed)
+        saved = []
+        store = CheckpointStore(tmp_path, every=25)
+        session = QuerySession(
+            num_keys=NUM_KEYS,
+            async_ingest=async_ingest,
+            auto_checkpoint=store,
+            checkpoint_meta=lambda: {"tag": "auto"},
+            on_checkpoint=lambda snap, path: saved.append(
+                (snap.watermark, path)
+            ),
+        )
+        try:
+            query, scope = self.QUERY
+            session.register(query, scope=scope)
+            self.feed(session, events)
+            _ = session.switches  # async mode: pump sync point
+        finally:
+            session.close()
+        assert len(saved) >= 5
+        # Strictly increasing watermarks, each >= the cadence apart.
+        marks = [wm for wm, _ in saved]
+        assert all(b - a >= 25 for a, b in zip(marks, marks[1:]))
+        # Every save hit disk, is the store's own rotation, and the
+        # meta provider's payload rode along.
+        assert store.latest() is not None
+        newest = read_checkpoint(store.latest())
+        assert newest.meta["tag"] == "auto"
+        assert newest.watermark == marks[-1]
+
+    def test_sharded_session_cadence_fires_in_both_push_paths(
+        self, tmp_path, repro_seed
+    ):
+        batch = integer_stream(ticks=TICKS, num_keys=NUM_KEYS, seed=repro_seed)
+        saved = []
+        store = CheckpointStore(tmp_path, every=40)
+        session = ShardedSession(
+            num_keys=NUM_KEYS,
+            num_shards=2,
+            backend="serial",
+            auto_checkpoint=store,
+            on_checkpoint=lambda snap, path: saved.append(snap.watermark),
+        )
+        try:
+            query, scope = self.QUERY
+            session.register(query, scope=scope)
+            half = batch.num_events // 2
+            # The vectorized batch path first (it needs an untouched
+            # reorder buffer), then the scalar path — the cadence must
+            # keep rolling across both.
+            from repro.engine.events import EventBatch
+
+            session.push_batch(
+                EventBatch(
+                    timestamps=batch.timestamps[:half],
+                    keys=batch.keys[:half],
+                    values=batch.values[:half],
+                    horizon=batch.horizon,
+                    num_keys=batch.num_keys,
+                )
+            )
+            for i in range(half, batch.num_events):
+                session.push(
+                    int(batch.timestamps[i]),
+                    int(batch.keys[i]),
+                    float(batch.values[i]),
+                )
+        finally:
+            session.close()
+        assert len(saved) >= 3
+        assert all(b - a >= 40 for a, b in zip(saved, saved[1:]))
+
+    def test_auto_checkpoint_requires_a_cadence(self, tmp_path):
+        store = CheckpointStore(tmp_path)  # no every=
+        with pytest.raises(ExecutionError, match="cadence"):
+            QuerySession(num_keys=NUM_KEYS, auto_checkpoint=store)
+
+    def test_restore_keeps_the_cadence_rolling(self, tmp_path, repro_seed):
+        """Crash after an auto-save, restore with the same store, keep
+        streaming: the remaining saves land as if nothing happened, and
+        the final results are bit-identical to an uninterrupted run."""
+        events, horizon = stream_events(repro_seed)
+        query, scope = self.QUERY
+
+        uninterrupted = QuerySession(num_keys=NUM_KEYS)
+        try:
+            uninterrupted.register(query, scope=scope)
+            self.feed(uninterrupted, events)
+            expected = uninterrupted.finish(horizon=horizon)
+        finally:
+            uninterrupted.close()
+
+        store = CheckpointStore(tmp_path, every=30)
+        cut = len(events) // 2
+        first = QuerySession(num_keys=NUM_KEYS, auto_checkpoint=store)
+        applied = 0
+        try:
+            first.register(query, scope=scope)
+            self.feed(first, events[:cut])
+            stats = first.reorder_stats
+            applied = stats.accepted + stats.late_dropped
+        finally:
+            first.close()  # the "crash": whatever was saved is saved
+
+        resume_from = read_checkpoint(store.latest())
+        second = QuerySession.restore(
+            resume_from, auto_checkpoint=store
+        )
+        try:
+            # Resume from the snapshot's own exact position (the
+            # restored reorder counters), not the crash position.
+            stats = second.reorder_stats
+            position = stats.accepted + stats.late_dropped
+            assert position <= applied
+            before = len(store.paths())
+            self.feed(second, events[position:])
+            assert len(store.paths()) > before  # cadence kept rolling
+            actual = second.finish(horizon=horizon)
+        finally:
+            second.close()
+        assert_identical(
+            expected, actual, f"seed={repro_seed} auto-restore"
+        )
+
+    def test_sharded_snapshots_never_perturb_results(
+        self, tmp_path, repro_seed
+    ):
+        """Snapshotting is observationally free: a sharded session
+        auto-checkpointing at an aggressive cadence emits results
+        bit-identical to one that never snapshots (the pre-snapshot
+        feed must not advance the watermark)."""
+        events, horizon = stream_events(repro_seed)
+
+        def run(**kw):
+            session = ShardedSession(
+                num_keys=NUM_KEYS, num_shards=2, backend="serial", **kw
+            )
+            try:
+                for query, scope in WORKLOAD:
+                    session.register(query, scope=scope)
+                self.feed(session, events)
+                return session.finish(horizon=horizon)
+            finally:
+                session.close()
+
+        plain = run()
+        chatty = run(auto_checkpoint=CheckpointStore(tmp_path, every=10))
+        assert_identical(
+            plain, chatty, f"seed={repro_seed} cadence-invariance"
+        )

@@ -395,3 +395,129 @@ def _concat_block(blocks):
         frontier=blocks[-1].frontier,
         values=values,
     )
+
+
+# ----------------------------------------------------------------------
+# MPSC: many producers, one session, one serial truth
+# ----------------------------------------------------------------------
+def _mpsc_run(session, batch, producers):
+    """Feed ``batch`` through ``producers`` threads, each pushing its
+    own strided (and therefore sorted) subsequence concurrently."""
+    ts, keys, values = batch.timestamps, batch.keys, batch.values
+    errors = []
+
+    def producer(lane: int) -> None:
+        try:
+            for i in range(lane, ts.size, producers):
+                session.push(int(ts[i]), int(keys[i]), float(values[i]))
+        except Exception as exc:  # noqa: BLE001 - surfaced after join
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=producer, args=(lane,))
+        for lane in range(producers)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+
+
+@pytest.mark.parametrize("producers", [2, 4])
+def test_mpsc_producers_equal_serial_oracle(repro_seed, producers):
+    """The MPSC contract of the async front door (DESIGN.md §8): any
+    thread may call ``push`` concurrently, and the merged timeline is
+    indistinguishable from the serial sorted oracle.
+
+    Each producer owns a strided lane of one sorted stream, so each
+    lane is itself sorted but the interleaving at the queue is
+    arbitrary scheduling; ``max_lateness`` spanning the stream makes
+    the reorder buffer the serializer, so *no* interleaving may drop
+    an event or change a value."""
+    ticks = 60
+    batch = integer_stream(ticks, rate=3, num_keys=NUM_KEYS, seed=repro_seed)
+    span = int(batch.horizon) + 1
+    # Mergeable queries only: a single-core session has no raw
+    # forwarding, so holistic-global (median) stays with the sharded
+    # variant below.
+    queries = [(q, scope) for q, scope in QUERIES if q.aggregate.mergeable]
+
+    def build(cls, **kw):
+        session = cls(
+            num_keys=NUM_KEYS, max_lateness=span, hysteresis=None, **kw
+        )
+        for query, scope in queries:
+            session.register(query, scope=scope)
+        return session
+
+    oracle = build(QuerySession)
+    try:
+        for i in range(batch.num_events):
+            oracle.push(
+                int(batch.timestamps[i]),
+                int(batch.keys[i]),
+                float(batch.values[i]),
+            )
+        expected = oracle.finish(horizon=batch.horizon)
+    finally:
+        oracle.close()
+
+    session = build(QuerySession, async_ingest=True)
+    try:
+        _mpsc_run(session, batch, producers)
+        actual = session.finish(horizon=batch.horizon)
+        stats = session.reorder_stats  # pump fully drained by finish()
+        assert stats.accepted == batch.num_events
+        assert stats.late_dropped == 0
+    finally:
+        session.close()
+    _assert_identical(
+        expected, actual, f"seed={repro_seed} producers={producers}"
+    )
+
+
+def test_mpsc_producers_on_a_sharded_session(repro_seed):
+    """Same property through the sharded front door: concurrent
+    producers, two shard cores (median rides raw forwarding), against
+    a sync-ingest twin of the same topology — concurrency is the only
+    variable."""
+    batch = integer_stream(60, rate=3, num_keys=NUM_KEYS, seed=repro_seed)
+    span = int(batch.horizon) + 1
+
+    oracle = ShardedSession(
+        num_keys=NUM_KEYS,
+        num_shards=2,
+        backend="serial",
+        max_lateness=span,
+        hysteresis=None,
+    )
+    try:
+        for query, scope in QUERIES:
+            oracle.register(query, scope=scope)
+        for i in range(batch.num_events):
+            oracle.push(
+                int(batch.timestamps[i]),
+                int(batch.keys[i]),
+                float(batch.values[i]),
+            )
+        expected = oracle.finish(horizon=batch.horizon)
+    finally:
+        oracle.close()
+
+    session = ShardedSession(
+        num_keys=NUM_KEYS,
+        num_shards=2,
+        backend="serial",
+        max_lateness=span,
+        hysteresis=None,
+        async_ingest=True,
+    )
+    try:
+        for query, scope in QUERIES:
+            session.register(query, scope=scope)
+        _mpsc_run(session, batch, 3)
+        actual = session.finish(horizon=batch.horizon)
+    finally:
+        session.close()
+    _assert_identical(expected, actual, f"seed={repro_seed} sharded-mpsc")

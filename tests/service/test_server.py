@@ -1,0 +1,212 @@
+"""The TCP front door: wire round-trips, failure shapes, lifecycle.
+
+The server is a thin pipe onto ``SessionManager.handle`` — these tests
+pin the transport's own obligations: one reply per request line in
+order, parseable replies for unparseable requests, typed client-side
+errors, bounded overload-aware retries, and a clean start/stop story.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.service import (
+    BadRequest,
+    Overloaded,
+    RetryPolicy,
+    ServiceClient,
+    ServiceServer,
+    SessionManager,
+    serve_in_thread,
+)
+from service_helpers import SQL_SUM, integer_events, oracle_results
+
+NUM_KEYS = 4
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A running server over a defaults-config manager."""
+    with SessionManager(
+        {"defaults": {"num_keys": NUM_KEYS, "rate": 1e9, "burst": 1e9}},
+        directory=tmp_path / "ckpt",
+    ) as manager:
+        server = serve_in_thread(manager)
+        try:
+            yield manager, server
+        finally:
+            server.stop()
+
+
+class TestRoundTrips:
+    def test_ping(self, served):
+        _, server = served
+        with ServiceClient(port=server.port) as client:
+            assert client.ping()
+
+    def test_full_tenant_flow_matches_oracle(self, served, repro_seed):
+        _, server = served
+        events = integer_events(40, NUM_KEYS, seed=repro_seed)
+        with ServiceClient(port=server.port) as client:
+            client.open("alice")
+            assert client.register("alice", SQL_SUM) == "q1"
+            out = client.ingest("alice", events)
+            assert out["admitted"] == len(events)
+            got = client.results("alice")
+            stats = client.stats("alice")
+            assert stats["stats"]["admitted_events"] == len(events)
+        from repro.service.protocol import serialize_results
+
+        expected = oracle_results(
+            events, [(0, SQL_SUM, "", "per_key")], NUM_KEYS
+        )
+        assert serialize_results(got) == expected, f"seed={repro_seed}"
+
+    def test_snapshot_over_the_wire(self, served):
+        _, server = served
+        with ServiceClient(port=server.port) as client:
+            client.register("alice", SQL_SUM)
+            client.ingest("alice", [(t, 0, 1.0) for t in range(1, 30)])
+            snap = client.snapshot("alice")
+            assert snap["watermark"] > 0
+
+    def test_replies_stay_in_request_order(self, served):
+        _, server = served
+        with ServiceClient(port=server.port) as client:
+            client.register("alice", SQL_SUM)
+            for ts in range(1, 50):
+                out = client.ingest("alice", [(ts, ts % NUM_KEYS, 1.0)])
+                assert out["admitted"] == 1
+
+    def test_concurrent_clients_separate_tenants(self, served, repro_seed):
+        _, server = served
+        errors: list = []
+
+        def run_tenant(tenant: str, seed: int) -> None:
+            try:
+                events = integer_events(30, NUM_KEYS, seed=seed)
+                with ServiceClient(port=server.port) as client:
+                    client.register(tenant, SQL_SUM)
+                    client.ingest(tenant, events)
+                    stats = client.stats(tenant)
+                    assert stats["stats"]["admitted_events"] == len(events)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append((tenant, exc))
+
+        threads = [
+            threading.Thread(target=run_tenant, args=(f"t{i}", repro_seed + i))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, f"seed={repro_seed}: {errors}"
+
+
+class TestFailureShapes:
+    def test_malformed_json_line_gets_a_reply(self, served):
+        _, server = served
+        with socket.create_connection(("127.0.0.1", server.port), 5) as sock:
+            f = sock.makefile("rwb")
+            f.write(b"this is not json\n")
+            f.flush()
+            reply = json.loads(f.readline())
+            assert reply["ok"] is False
+            assert reply["error"] == "bad_request"
+            # The connection survives a garbage line.
+            f.write(b'{"op": "ping"}\n')
+            f.flush()
+            assert json.loads(f.readline())["ok"] is True
+
+    def test_non_object_line_is_bad_request(self, served):
+        _, server = served
+        with socket.create_connection(("127.0.0.1", server.port), 5) as sock:
+            f = sock.makefile("rwb")
+            f.write(b"[1, 2, 3]\n")
+            f.flush()
+            assert json.loads(f.readline())["error"] == "bad_request"
+
+    def test_typed_client_errors(self, served):
+        _, server = served
+        with ServiceClient(port=server.port) as client:
+            with pytest.raises(BadRequest):
+                client.register("alice", "SELECT nonsense")
+            client.open("limited", {"rate": 5.0, "burst": 5})
+            client.register("limited", SQL_SUM)
+            client.ingest("limited", [(1, 0, 1.0)] * 5)
+            with pytest.raises(Overloaded) as exc_info:
+                client.ingest("limited", [(2, 0, 1.0)] * 5)
+            assert exc_info.value.reason == "rate_quota"
+            assert exc_info.value.retry_after > 0
+
+    def test_retry_honors_server_quote(self, served):
+        _, server = served
+        sleeps: list = []
+        client = ServiceClient(
+            port=server.port, sleeper=sleeps.append
+        )
+        try:
+            # rate=1/s keeps refills negligible over the test's runtime,
+            # so the retried batch sheds deterministically every attempt.
+            client.open("q", {"rate": 1.0, "burst": 10})
+            client.register("q", SQL_SUM)
+            client.ingest("q", [(1, 0, 1.0)] * 10)
+            with pytest.raises(Overloaded):
+                # The fake sleeper never waits, so every retry sheds;
+                # the policy must bound the attempts and re-raise.
+                client.ingest_with_retry(
+                    "q", [(2, 0, 1.0)] * 10,
+                    policy=RetryPolicy(attempts=3),
+                )
+            assert len(sleeps) == 2  # attempts - 1 backoffs
+            # Each sleep honors the server's ~10s refill quote as a
+            # floor over the policy's sub-second jittered backoff.
+            assert all(s > 5.0 for s in sleeps)
+        finally:
+            client.close()
+
+    def test_client_rejects_unbound_port(self):
+        with pytest.raises(ExecutionError):
+            ServiceClient(port=0)
+
+
+class TestLifecycle:
+    def test_shutdown_op_stops_the_server(self, tmp_path):
+        with SessionManager(directory=tmp_path / "c") as manager:
+            server = serve_in_thread(manager)
+            with ServiceClient(port=server.port) as client:
+                client.shutdown()
+            server.stop()
+            with pytest.raises(ExecutionError):
+                ServiceClient(port=server.port, timeout=1.0).ping()
+
+    def test_manager_outlives_the_transport(self, tmp_path):
+        with SessionManager(
+            {"defaults": {"num_keys": NUM_KEYS}}, directory=tmp_path / "c"
+        ) as manager:
+            server = serve_in_thread(manager)
+            with ServiceClient(port=server.port) as client:
+                client.register("alice", SQL_SUM)
+                client.ingest("alice", [(1, 0, 1.0)])
+            server.stop()
+            # Tenant state survives a transport restart.
+            server2 = serve_in_thread(manager)
+            try:
+                with ServiceClient(port=server2.port) as client:
+                    stats = client.stats("alice")
+                    assert stats["stats"]["admitted_events"] == 1
+            finally:
+                server2.stop()
+
+    def test_context_manager_and_double_start(self, tmp_path):
+        with SessionManager(directory=tmp_path / "c") as manager:
+            with ServiceServer(manager) as server:
+                assert server.port > 0
+                with pytest.raises(ExecutionError):
+                    server.start()
+            # stop() is idempotent.
+            server.stop()

@@ -1,0 +1,190 @@
+"""Sustained multi-tenant load over the real TCP service.
+
+The overload story under genuine concurrency, asserted exactly:
+
+* **Never silent, never unbounded** — every batch a producer sends is
+  either admitted or answered with an explicit ``overloaded`` reply
+  carrying a positive ``retry_after``; at the end, per tenant,
+  ``admitted_events + shed replies == batches sent``, counter for
+  counter, across all producer threads.
+* **Isolation** — a noisy tenant hammering its quota from several
+  connections never slows a well-behaved co-tenant: the quiet
+  tenant's p99 per-request ingest latency stays within budget and its
+  results remain bit-identical to the serial sync oracle.
+
+Kept deliberately lean (a few thousand events, a couple of seconds)
+because the default pytest invocation runs it; the bench suite is
+where sustained throughput gets measured.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    Overloaded,
+    ServiceClient,
+    SessionManager,
+    serve_in_thread,
+)
+from repro.service.protocol import OVERLOAD_REASONS
+from service_helpers import SQL_SUM, integer_events, oracle_results
+
+pytestmark = pytest.mark.soak
+
+NUM_KEYS = 8
+
+QUIET, NOISY = "quiet", "noisy"
+NOISY_PRODUCERS = 3
+NOISY_BATCHES = 40  # per producer
+NOISY_BATCH_EVENTS = 25
+QUIET_BATCH_TICKS = 2
+P99_BUDGET_SECONDS = 0.5
+
+
+class ProducerLog:
+    """One producer thread's exact ledger (no shared mutable state —
+    each thread owns its log; totals are summed after the join)."""
+
+    def __init__(self):
+        self.admitted_events = 0
+        self.ok_batches = 0
+        self.shed_batches = 0
+        self.latencies: list = []
+        self.error: "Exception | None" = None
+
+
+def noisy_producer(port: int, producer_id: int, log: ProducerLog) -> None:
+    """Hammer the noisy tenant's quota without retrying: every reply
+    must be a clean admit or an explicit shed."""
+    try:
+        with ServiceClient(port=port) as client:
+            ts = 1
+            for _ in range(NOISY_BATCHES):
+                batch = [
+                    (ts + i, (producer_id + i) % NUM_KEYS, 1.0)
+                    for i in range(NOISY_BATCH_EVENTS)
+                ]
+                ts += NOISY_BATCH_EVENTS
+                try:
+                    reply = client.ingest(NOISY, batch)
+                except Overloaded as exc:
+                    log.shed_batches += 1
+                    assert exc.reason in OVERLOAD_REASONS
+                    assert exc.retry_after > 0.0
+                else:
+                    log.ok_batches += 1
+                    log.admitted_events += reply["admitted"]
+    except Exception as exc:  # noqa: BLE001 - surfaced after the join
+        log.error = exc
+
+
+def quiet_producer(port: int, events, log: ProducerLog) -> None:
+    """The well-behaved co-tenant: ordered batches, one connection,
+    per-request latency recorded."""
+    try:
+        with ServiceClient(port=port) as client:
+            client.register(QUIET, SQL_SUM)
+            batch: list = []
+            limit = QUIET_BATCH_TICKS
+            for event in events:
+                if event[0] > limit:
+                    t0 = time.monotonic()
+                    client.ingest(QUIET, batch)
+                    log.latencies.append(time.monotonic() - t0)
+                    log.admitted_events += len(batch)
+                    batch, limit = [], limit + QUIET_BATCH_TICKS
+                batch.append(event)
+            if batch:
+                t0 = time.monotonic()
+                client.ingest(QUIET, batch)
+                log.latencies.append(time.monotonic() - t0)
+                log.admitted_events += len(batch)
+    except Exception as exc:  # noqa: BLE001
+        log.error = exc
+
+
+def percentile(samples, q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def test_soak_exact_accounting_and_co_tenant_latency(tmp_path, repro_seed):
+    quiet_events = integer_events(120, NUM_KEYS, seed=repro_seed)
+    config = {
+        "defaults": {"num_keys": NUM_KEYS, "rate": 1e9, "burst": 1e9},
+        "tenants": {
+            # Tight enough that the noisy fleet sheds constantly, with
+            # a small queue budget so both shed reasons are reachable.
+            NOISY: {
+                "rate": 200.0,
+                "burst": 256,
+                "queue_budget_bytes": 64 * 24,
+            },
+        },
+    }
+    with SessionManager(config, directory=tmp_path / "ckpt") as manager:
+        server = serve_in_thread(manager, max_workers=NOISY_PRODUCERS + 2)
+        try:
+            quiet_log = ProducerLog()
+            noisy_logs = [ProducerLog() for _ in range(NOISY_PRODUCERS)]
+            threads = [
+                threading.Thread(
+                    target=quiet_producer,
+                    args=(server.port, quiet_events, quiet_log),
+                )
+            ] + [
+                threading.Thread(
+                    target=noisy_producer, args=(server.port, i, log)
+                )
+                for i, log in enumerate(noisy_logs)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not any(t.is_alive() for t in threads)
+
+            for log in [quiet_log, *noisy_logs]:
+                assert log.error is None, log.error
+
+            # --- exact admission accounting, noisy tenant ------------
+            noisy_stats = manager.stats(NOISY)["stats"]
+            sent_batches = NOISY_PRODUCERS * NOISY_BATCHES
+            ok = sum(log.ok_batches for log in noisy_logs)
+            shed = sum(log.shed_batches for log in noisy_logs)
+            assert ok + shed == sent_batches  # nothing vanished
+            assert shed > 0, "quota never bit — soak too gentle"
+            assert (
+                sum(log.admitted_events for log in noisy_logs)
+                == noisy_stats["admitted_events"]
+                == ok * NOISY_BATCH_EVENTS
+            )
+            assert (
+                noisy_stats["shed_rate_quota"]
+                + noisy_stats["shed_queue_budget"]
+                + noisy_stats["shed_circuit_open"]
+                == shed
+            )
+            assert noisy_stats["requests"] == sent_batches
+
+            # --- the quiet tenant never noticed ----------------------
+            quiet_stats = manager.stats(QUIET)["stats"]
+            assert quiet_stats["admitted_events"] == len(quiet_events)
+            assert quiet_stats["shed_rate_quota"] == 0
+            assert quiet_stats["shed_queue_budget"] == 0
+            p99 = percentile(quiet_log.latencies, 0.99)
+            assert p99 < P99_BUDGET_SECONDS, (
+                f"quiet tenant p99 {p99:.3f}s behind a noisy co-tenant"
+            )
+
+            # --- and its results are still oracle-exact --------------
+            got = manager.results(QUIET)
+            expected = oracle_results(
+                quiet_events, [(0, SQL_SUM, "", "per_key")], NUM_KEYS
+            )
+            assert got == expected, f"seed={repro_seed}"
+        finally:
+            server.stop()

@@ -12,6 +12,10 @@ everything under ``docs/``.
   in a fresh namespace with ``src/`` importable, exactly as a reader
   would run it.  Blocks that are illustrative rather than runnable
   should use a different info string (``pycon``, ``text``, ``bash``).
+* **YAML** — every fenced ```` ```yaml ```` block must load through
+  the service's tenants-config loader
+  (:func:`repro.service.load_tenants_config`), so a documented
+  ``tenants.yaml`` example can always be pasted into ``--config``.
 
 Run from anywhere: ``python tools/check_docs.py``.  Exits non-zero on
 the first category of failure, printing every offender.  CI runs this
@@ -41,21 +45,26 @@ def iter_links(text: str):
         yield match.group(1)
 
 
-def iter_python_blocks(text: str):
-    """Yield (first_line_number, source) for each ```python fence."""
+def iter_fenced_blocks(text: str, language: str):
+    """Yield (first_line_number, source) for each ```<language> fence."""
     lines = text.splitlines()
     block: "list[str] | None" = None
     start = 0
     for i, line in enumerate(lines, start=1):
         fence = _FENCE.match(line.strip())
         if block is None:
-            if fence and fence.group(1) == "python":
+            if fence and fence.group(1) == language:
                 block, start = [], i + 1
         elif fence:
             yield start, "\n".join(block)
             block = None
         else:
             block.append(line)
+
+
+def iter_python_blocks(text: str):
+    """Yield (first_line_number, source) for each ```python fence."""
+    yield from iter_fenced_blocks(text, "python")
 
 
 def check_links() -> list[str]:
@@ -99,6 +108,27 @@ def check_snippets() -> list[str]:
     return problems
 
 
+def check_yaml_blocks() -> list[str]:
+    """Every ```yaml block must be a loadable tenants config — the
+    only YAML dialect this repo documents."""
+    problems = []
+    src = str(REPO / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.service import load_tenants_config
+
+    for doc in DOC_FILES:
+        for line, source in iter_fenced_blocks(doc.read_text(), "yaml"):
+            where = f"{doc.relative_to(REPO)}:{line}"
+            try:
+                load_tenants_config(source)
+            except Exception as exc:  # noqa: BLE001 - reported
+                problems.append(f"{where}: yaml block failed: {exc}")
+            else:
+                print(f"ok {where} (tenants config)")
+    return problems
+
+
 def main() -> int:
     missing = [d for d in DOC_FILES if not d.exists()]
     if missing:
@@ -106,6 +136,7 @@ def main() -> int:
         return 1
     problems = check_links()
     problems += check_snippets()
+    problems += check_yaml_blocks()
     for problem in problems:
         print(problem)
     if problems:
