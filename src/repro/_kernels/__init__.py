@@ -1,0 +1,368 @@
+"""Optional compiled hot kernels behind a pure-NumPy fallback.
+
+``reprokernels.c`` holds three small C kernels for the engine's scalar
+hot spots (scatter segment-reduce, segmented holistic compute, and
+reorder-buffer batch insert).  This package builds them **on demand**
+with whatever C compiler the host has (``cc`` / ``gcc`` / ``clang``,
+overridable via ``REPRO_CC``), caches the shared object per source
+hash, and loads it through :mod:`ctypes` — no build-time dependency, no
+compiled artifact in the tree, and a byte-for-byte pure-Python fallback
+when no compiler is available.
+
+Control knob — the ``REPRO_KERNELS`` environment variable:
+
+* unset / ``auto`` — kernels are used only where a caller explicitly
+  asks for them (the ``columnar-panes-native`` engine path), silently
+  falling back to NumPy when they cannot be built;
+* ``1`` — kernels are used *everywhere* segment reduction, holistic
+  segment compute, or batch reorder runs (all engine paths and the
+  live runtime), still falling back silently;
+* ``require`` — like ``1`` but raising :class:`KernelsUnavailable`
+  instead of falling back (CI uses this to pin the compiled path);
+* ``0`` — kernels are never used, even where explicitly requested.
+
+Everything here depends only on the standard library and NumPy, so the
+aggregate/engine layers can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "KernelsUnavailable",
+    "available",
+    "availability_error",
+    "globally_enabled",
+    "resolve",
+    "supports_segment_reduce",
+    "segment_reduce",
+    "holistic_kind",
+    "holistic_segment_values",
+    "NativeReorderHeap",
+]
+
+
+class KernelsUnavailable(RuntimeError):
+    """Raised when ``REPRO_KERNELS=require`` but no kernel library."""
+
+
+_SOURCE = Path(__file__).with_name("reprokernels.c")
+
+#: Ufuncs segment_reduce may route through the native grouping kernel.
+#: Any ufunc works for correctness (the reduce stays in NumPy); the
+#: allowlist just keeps the contract explicit.
+SEG_UFUNCS = (np.add, np.minimum, np.maximum)
+
+_lib = None
+_load_attempted = False
+_load_error: "str | None" = None
+
+
+def _mode() -> str:
+    return os.environ.get("REPRO_KERNELS", "auto").strip().lower()
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_KERNELS_CACHE")
+    if override:
+        return Path(override)
+    uid = os.getuid() if hasattr(os, "getuid") else "user"
+    return Path(tempfile.gettempdir()) / f"repro-kernels-{uid}"
+
+
+def _find_compiler() -> "str | None":
+    override = os.environ.get("REPRO_CC")
+    if override:
+        return shutil.which(override) or override
+    for name in ("cc", "gcc", "clang"):
+        found = shutil.which(name)
+        if found:
+            return found
+    return None
+
+
+def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
+    p = ctypes.c_void_p
+    i64 = ctypes.c_int64
+    i32 = ctypes.c_int32
+    f64 = ctypes.c_double
+    lib.repro_counting_argsort.argtypes = [p, i64, i64, p, p, p, p, p]
+    lib.repro_counting_argsort.restype = i64
+    lib.repro_seg_holistic.argtypes = [p, p, i64, i64, i32, f64, p, p, p, p, p]
+    lib.repro_seg_holistic.restype = i64
+    lib.repro_reorder_push_batch.argtypes = [
+        p, p, p, p, p, p, p, p, i64, i64, p, p, p, p, p, p, p,
+    ]
+    lib.repro_reorder_push_batch.restype = i64
+    return lib
+
+
+def _build_and_load() -> ctypes.CDLL:
+    source = _SOURCE.read_bytes()
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    cache = _cache_dir()
+    target = cache / f"reprokernels-{digest}.so"
+    if not target.exists():
+        compiler = _find_compiler()
+        if compiler is None:
+            raise KernelsUnavailable(
+                "no C compiler found (tried $REPRO_CC, cc, gcc, clang)"
+            )
+        cache.mkdir(parents=True, exist_ok=True)
+        tmp = cache / f"reprokernels-{digest}.{os.getpid()}.tmp.so"
+        cmd = [
+            compiler, "-O3", "-shared", "-fPIC",
+            "-o", str(tmp), str(_SOURCE), "-lm",
+        ]
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+        except OSError as exc:
+            raise KernelsUnavailable(
+                f"compiler {compiler} is not runnable: {exc}"
+            ) from exc
+        if proc.returncode != 0:
+            tmp.unlink(missing_ok=True)
+            raise KernelsUnavailable(
+                f"kernel build failed ({' '.join(cmd)}): {proc.stderr.strip()}"
+            )
+        os.replace(tmp, target)  # atomic: concurrent builders race safely
+    return _bind(ctypes.CDLL(str(target)))
+
+
+def _load() -> "ctypes.CDLL | None":
+    global _lib, _load_attempted, _load_error
+    if not _load_attempted:
+        _load_attempted = True
+        try:
+            _lib = _build_and_load()
+        except KernelsUnavailable as exc:
+            _load_error = str(exc)
+        except OSError as exc:  # pragma: no cover - corrupt cache etc.
+            _load_error = f"kernel library failed to load: {exc}"
+    return _lib
+
+
+def available() -> bool:
+    """True when the compiled library is (or can be) loaded."""
+    if _mode() == "0":
+        return False
+    return _load() is not None
+
+
+def availability_error() -> "str | None":
+    """Why kernels are unavailable (None when they are available)."""
+    if _mode() == "0":
+        return "disabled via REPRO_KERNELS=0"
+    _load()
+    return _load_error
+
+
+def globally_enabled() -> bool:
+    """True when every reduction site should use the kernels."""
+    return _mode() in ("1", "require") and available()
+
+
+def resolve(native: "bool | None") -> bool:
+    """Decide whether a call site should take the native path.
+
+    ``native=True`` is an explicit request (the native engine path),
+    ``None`` defers to ``REPRO_KERNELS``, ``False`` forces NumPy.
+    ``REPRO_KERNELS=0`` wins over everything; ``require`` raises when
+    the library cannot be built.
+    """
+    mode = _mode()
+    if mode == "0" or native is False:
+        return False
+    if mode == "require":
+        if not available():
+            raise KernelsUnavailable(
+                f"REPRO_KERNELS=require but kernels are unavailable: "
+                f"{_load_error}"
+            )
+        return True
+    if native is True:
+        return available()
+    return mode == "1" and available()
+
+
+def _ptr(array: np.ndarray) -> ctypes.c_void_p:
+    return ctypes.c_void_p(array.ctypes.data)
+
+
+def _contiguous(array, dtype) -> np.ndarray:
+    return np.ascontiguousarray(np.asarray(array), dtype=dtype)
+
+
+# ------------------------------------------------------------------ #
+# segment scatter-reduce                                             #
+# ------------------------------------------------------------------ #
+
+def supports_segment_reduce(aggregate) -> bool:
+    """True when every lifted component reduces via add/min/max."""
+    ufuncs = aggregate.component_ufuncs
+    return bool(ufuncs) and all(u in SEG_UFUNCS for u in ufuncs)
+
+
+def counting_argsort(codes: np.ndarray, num_segments: int):
+    """Stable O(n) argsort of segment codes via the native kernel.
+
+    Returns ``(order, starts, segment_ids)`` — exactly what the head of
+    ``AggregateFunction.segment_reduce`` computes with a stable
+    ``np.argsort`` plus boundary-finding, in one C pass.
+    """
+    lib = _load()
+    codes = _contiguous(codes, np.int64)
+    n = codes.size
+    counts = np.empty(num_segments, dtype=np.int64)
+    offsets = np.empty(num_segments, dtype=np.int64)
+    order = np.empty(n, dtype=np.int64)
+    starts = np.empty(num_segments, dtype=np.int64)
+    seg_ids = np.empty(num_segments, dtype=np.int64)
+    written = lib.repro_counting_argsort(
+        _ptr(codes), ctypes.c_int64(n), ctypes.c_int64(num_segments),
+        _ptr(counts), _ptr(offsets), _ptr(order), _ptr(starts),
+        _ptr(seg_ids),
+    )
+    return order, starts[:written], seg_ids[:written]
+
+
+def segment_reduce(aggregate, codes, values, num_segments):
+    """Native drop-in for ``AggregateFunction.segment_reduce``.
+
+    Identical contract: one identity-initialised float64 array of
+    length ``num_segments`` per component.  Only the grouping runs in
+    C; the FP reduction is NumPy's own ``reduceat`` over the same
+    per-segment sequence the pure path reduces, so the results are
+    bit-identical.
+    """
+    codes = _contiguous(codes, np.int64)
+    components = aggregate.lift(np.asarray(values))
+    out = tuple(
+        np.full(num_segments, ident, dtype=np.float64)
+        for ident in aggregate.identity_components
+    )
+    if codes.size == 0:
+        return out
+    order, starts, seg_ids = counting_argsort(codes, num_segments)
+    for ufunc, comp, slot in zip(
+        aggregate.component_ufuncs, components, out
+    ):
+        comp = _contiguous(comp, np.float64)
+        slot[seg_ids] = ufunc.reduceat(comp[order], starts)
+    return out
+
+
+# ------------------------------------------------------------------ #
+# segmented holistic compute                                         #
+# ------------------------------------------------------------------ #
+
+def holistic_kind(aggregate) -> "tuple | None":
+    """The native closed form an aggregate declares, if any."""
+    return getattr(aggregate, "native_segment_kind", None)
+
+
+def holistic_segment_values(codes, values, aggregate):
+    """Native drop-in for ``engine.columnar.holistic_segment_values``.
+
+    Returns ``(segment_ids, results)`` for the non-empty segments, in
+    ascending segment order — the same contract as the NumPy path.
+    """
+    kind = holistic_kind(aggregate)
+    lib = _load()
+    codes = _contiguous(codes, np.int64)
+    values = _contiguous(values, np.float64)
+    if codes.size == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    num_segments = int(codes.max()) + 1
+    kind_code = 0 if kind[0] == "quantile" else 1
+    q = float(kind[1]) if kind[0] == "quantile" else 0.0
+    counts = np.empty(num_segments, dtype=np.int64)
+    offsets = np.empty(num_segments, dtype=np.int64)
+    grouped = np.empty(codes.size, dtype=np.float64)
+    seg_ids = np.empty(num_segments, dtype=np.int64)
+    results = np.empty(num_segments, dtype=np.float64)
+    written = lib.repro_seg_holistic(
+        _ptr(codes), _ptr(values), ctypes.c_int64(codes.size),
+        ctypes.c_int64(num_segments), ctypes.c_int32(kind_code),
+        ctypes.c_double(q), _ptr(counts), _ptr(offsets), _ptr(grouped),
+        _ptr(seg_ids), _ptr(results),
+    )
+    return seg_ids[:written], results[:written]
+
+
+# ------------------------------------------------------------------ #
+# reorder-buffer batch push                                          #
+# ------------------------------------------------------------------ #
+
+class NativeReorderHeap:
+    """Stateless-per-call wrapper around ``repro_reorder_push_batch``.
+
+    The heap itself lives in four parallel NumPy arrays owned by the
+    caller (the :class:`~repro.engine.outoforder.ReorderBuffer`), so the
+    buffer can move freely between the per-event Python path and this
+    batch path.
+    """
+
+    @staticmethod
+    def push_batch(heap_tuples, max_seen, sequence, max_lateness,
+                   ts, keys, values):
+        """Push a batch through the heap.
+
+        ``heap_tuples`` is the current heap as a list of
+        ``(ts, seq, key, value)`` tuples (heapq layout — already a valid
+        binary heap under the same order the C side uses).  Returns
+        ``(released_ts, released_keys, released_values, late_idx,
+        late_lateness, new_heap_tuples, new_max_seen, new_sequence)``.
+        """
+        lib = _load()
+        ts = _contiguous(ts, np.int64)
+        keys = _contiguous(keys, np.int64)
+        values = _contiguous(values, np.float64)
+        n = ts.size
+        hs0 = len(heap_tuples)
+        cap = hs0 + n
+        hts = np.empty(cap, dtype=np.int64)
+        hseq = np.empty(cap, dtype=np.int64)
+        hkey = np.empty(cap, dtype=np.int64)
+        hval = np.empty(cap, dtype=np.float64)
+        for i, (t, s, k, v) in enumerate(heap_tuples):
+            hts[i], hseq[i], hkey[i], hval[i] = t, s, k, v
+        heap_size = np.array([hs0], dtype=np.int64)
+        state = np.array([max_seen, sequence], dtype=np.int64)
+        out_ts = np.empty(cap, dtype=np.int64)
+        out_keys = np.empty(cap, dtype=np.int64)
+        out_values = np.empty(cap, dtype=np.float64)
+        late_idx = np.empty(n, dtype=np.int64)
+        late_lateness = np.empty(n, dtype=np.int64)
+        late_count = np.array([0], dtype=np.int64)
+        released = lib.repro_reorder_push_batch(
+            _ptr(hts), _ptr(hseq), _ptr(hkey), _ptr(hval),
+            _ptr(heap_size),
+            _ptr(ts), _ptr(keys), _ptr(values), ctypes.c_int64(n),
+            ctypes.c_int64(max_lateness), _ptr(state),
+            _ptr(out_ts), _ptr(out_keys), _ptr(out_values),
+            _ptr(late_idx), _ptr(late_lateness), _ptr(late_count),
+        )
+        hs = int(heap_size[0])
+        new_heap = [
+            (int(hts[i]), int(hseq[i]), int(hkey[i]), float(hval[i]))
+            for i in range(hs)
+        ]
+        late = int(late_count[0])
+        return (
+            out_ts[:released], out_keys[:released], out_values[:released],
+            late_idx[:late], late_lateness[:late],
+            new_heap, int(state[0]), int(state[1]),
+        )

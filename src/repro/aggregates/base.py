@@ -36,6 +36,7 @@ import numpy as np
 
 from ..errors import UnsupportedAggregateError
 from ..windows.coverage import CoverageSemantics
+from .. import _kernels as kernels
 
 
 class Taxonomy(str, Enum):
@@ -117,6 +118,17 @@ class AggregateFunction(ABC):
 
         ``values`` may be a scalar or an ndarray; components come back
         with matching shape.
+
+        Ownership contract: a component **may alias** the ``values``
+        array itself (most lifts return it as their first component),
+        so every consumer of lifted components — ``combine``,
+        ``reduce_stack``, ``segment_reduce``, the streaming operators —
+        must treat them as read-only.  No engine stage mutates lifted
+        components or raw event arrays in place; stages that need a
+        writable buffer (pane tables, holistic event retention) copy
+        into state they own.  This is the same contract that lets the
+        zero-copy data plane hand shared-memory ring views directly to
+        the engines (see docs/performance.md).
         """
 
     @abstractmethod
@@ -161,6 +173,7 @@ class AggregateFunction(ABC):
         codes: np.ndarray,
         values: np.ndarray,
         num_segments: int,
+        native: "bool | None" = None,
     ) -> Components:
         """Aggregate ``values`` grouped by integer ``codes``.
 
@@ -169,7 +182,17 @@ class AggregateFunction(ABC):
         the raw-event aggregation primitive of the columnar engine; the
         sort makes it O(P log P) in the number of (event, instance)
         pairs P, uniformly across all plans.
+
+        ``native`` routes the grouping through the compiled kernels
+        (``repro._kernels``): ``True`` requests them explicitly (the
+        ``columnar-panes-native`` path), ``None`` defers to the
+        ``REPRO_KERNELS`` environment switch, ``False`` forces the pure
+        path.  Either way the FP reduction itself runs in NumPy's
+        ``reduceat`` over identical per-segment sequences, so the two
+        paths are bit-identical.
         """
+        if kernels.resolve(native) and kernels.supports_segment_reduce(self):
+            return kernels.segment_reduce(self, codes, values, num_segments)
         components = self.lift(np.asarray(values))
         out = tuple(
             np.full(num_segments, ident, dtype=np.float64)
@@ -203,6 +226,18 @@ class AggregateFunction(ABC):
         columnar engine can evaluate every (key, instance) group in one
         NumPy pass.  Returning ``None`` (the default) tells the caller
         to fall back to a per-segment :meth:`compute` loop.
+        """
+        return None
+
+    @property
+    def native_segment_kind(self) -> "tuple | None":
+        """Closed form the compiled holistic kernel implements, if any.
+
+        Holistic aggregates with a segmented closed form declare it
+        here — ``("quantile", q)`` or ``("count_distinct",)`` — so the
+        native engine path can evaluate segments entirely in C.  ``None``
+        (the default) keeps the aggregate on the NumPy
+        :meth:`segment_compute` / per-segment :meth:`compute` paths.
         """
         return None
 

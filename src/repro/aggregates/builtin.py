@@ -242,6 +242,10 @@ class Median(_Holistic):
     def segment_compute(self, sorted_values, starts, ends):
         return _segment_quantile(sorted_values, starts, ends, 0.5)
 
+    @property
+    def native_segment_kind(self):
+        return ("quantile", 0.5)
+
 
 class Quantile(_Holistic):
     """QUANTILE(q) — holistic; generalizes MEDIAN (``q = 0.5``)."""
@@ -260,3 +264,7 @@ class Quantile(_Holistic):
 
     def segment_compute(self, sorted_values, starts, ends):
         return _segment_quantile(sorted_values, starts, ends, self.q)
+
+    @property
+    def native_segment_kind(self):
+        return ("quantile", self.q)

@@ -50,8 +50,12 @@ class Range(AggregateFunction):
         return (np.inf, -np.inf)
 
     def lift(self, values) -> Components:
+        # Both components may alias the input: lifted components are
+        # read-only by contract (see AggregateFunction.lift), so the
+        # defensive copy the original implementation made here bought
+        # nothing but one allocation + memcpy per lifted chunk.
         array = np.asarray(values, dtype=np.float64)
-        return (array, array.copy())
+        return (array, array)
 
     def finalize(self, components: Components):
         low = np.asarray(components[0], dtype=np.float64)
@@ -154,3 +158,7 @@ class CountDistinct(_Holistic):
             0,
         )
         return (distinct + (nans > 0)).astype(np.float64)
+
+    @property
+    def native_segment_kind(self):
+        return ("count_distinct",)

@@ -407,6 +407,7 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
         args.current,
         threshold=args.threshold,
         portable_only=args.portable_only,
+        require_cpu_match=args.require_cpu_match,
     )
     print(text)
     return code
@@ -597,6 +598,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="gate only machine-independent metrics (speedups, logical/"
         "physical counters) — use when comparing across hardware",
+    )
+    p_cmp.add_argument(
+        "--require-cpu-match",
+        action="store_true",
+        help="fail (exit 1) when the baseline's recorded meta.cpu_count "
+        "differs from the current report's — wall-clock gating is only "
+        "meaningful on matching hardware",
     )
     p_cmp.set_defaults(func=_cmd_bench_compare)
     return parser

@@ -32,6 +32,7 @@ LOWER_IS_BETTER = (
     "elided",
     "evicted",
     "retained",
+    "copied",
 )
 
 #: Key-name fragments marking a higher-is-better metric.
@@ -39,7 +40,15 @@ HIGHER_IS_BETTER = ("throughput", "speedup", "gain", "boost", "events_per_sec")
 
 #: Key-name fragments of machine-independent metrics (dimensionless
 #: ratios and deterministic counters) — safe to gate across hardware.
-PORTABLE = ("speedup", "gain", "boost", "physical", "pairs", "fraction")
+PORTABLE = (
+    "speedup",
+    "gain",
+    "boost",
+    "physical",
+    "pairs",
+    "fraction",
+    "copied",
+)
 
 
 @dataclass
@@ -154,25 +163,51 @@ def format_comparison(
     )
 
 
+def cpu_count_mismatch(baseline: dict, current: dict) -> "str | None":
+    """Describe a host-parallelism mismatch between two reports.
+
+    ``write_json_report`` stamps ``meta.cpu_count`` into every payload;
+    wall-clock metrics measured on hosts with different core counts are
+    not comparable, so the diff surfaces the mismatch.  Returns a
+    human-readable description, or ``None`` when the counts match (or
+    either report predates the stamp)."""
+    base_cpus = baseline.get("meta", {}).get("cpu_count")
+    cur_cpus = current.get("meta", {}).get("cpu_count")
+    if base_cpus is None or cur_cpus is None or base_cpus == cur_cpus:
+        return None
+    return (
+        f"cpu_count mismatch: baseline recorded {base_cpus} CPU(s), "
+        f"current host has {cur_cpus} — wall-clock metrics are not "
+        f"comparable (use --portable-only, or regenerate the baseline)"
+    )
+
+
 def compare_files(
     baseline_path: "str | Path",
     current_path: "str | Path",
     threshold: float = 0.2,
     portable_only: bool = False,
+    require_cpu_match: bool = False,
 ) -> "tuple[int, str]":
     """Diff two ``BENCH_*.json`` files.
 
     Returns ``(exit_code, rendered report)``: exit code 1 when any
-    gated metric regressed by more than ``threshold``, else 0.
+    gated metric regressed by more than ``threshold``.  A
+    ``meta.cpu_count`` mismatch between the reports is warned about
+    (and fails the comparison when ``require_cpu_match`` is set).
     """
     baseline = json.loads(Path(baseline_path).read_text())
     current = json.loads(Path(current_path).read_text())
+    mismatch = cpu_count_mismatch(baseline, current)
     deltas = diff_reports(baseline, current)
     gated = [
         d for d in deltas if (not portable_only or d.portable)
     ]
     regressions = [d for d in gated if d.regressed(threshold)]
     text = format_comparison(deltas, threshold, portable_only)
+    if mismatch:
+        prefix = "FAIL" if require_cpu_match else "WARNING"
+        text = f"{prefix}: {mismatch}\n\n" + text
     if regressions:
         text += (
             f"\n{len(regressions)} metric(s) regressed beyond "
@@ -180,4 +215,5 @@ def compare_files(
         )
     else:
         text += "\nno regressions beyond the threshold"
-    return (1 if regressions else 0), text
+    failed = bool(regressions) or (require_cpu_match and mismatch)
+    return (1 if failed else 0), text

@@ -8,6 +8,7 @@ in a terminal.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Sequence
 
@@ -67,7 +68,15 @@ def render_json(payload: dict) -> str:
 
 
 def write_json_report(path: "str | Path", payload: dict) -> Path:
-    """Write ``payload`` as deterministic JSON; returns the path."""
+    """Write ``payload`` as deterministic JSON; returns the path.
+
+    Stamps ``meta.cpu_count`` (the host's parallelism) into the payload
+    so ``bench compare`` can warn when a baseline produced on different
+    hardware is diffed against the current host — wall-clock metrics
+    from hosts with different core counts are not comparable.
+    """
+    meta = payload.setdefault("meta", {})
+    meta.setdefault("cpu_count", os.cpu_count())
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(render_json(payload))

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..aggregates.base import AggregateFunction
 from ..errors import ExecutionError
+from .. import _kernels as kernels
 from ..windows.coverage import covering_multiplier
 from ..windows.window import Window
 from .events import EventBatch
@@ -152,6 +153,7 @@ def holistic_segment_values(
     codes: np.ndarray,
     values: np.ndarray,
     aggregate: AggregateFunction,
+    native: "bool | None" = None,
 ) -> "tuple[np.ndarray, np.ndarray]":
     """Evaluate a holistic aggregate per integer-coded group.
 
@@ -160,7 +162,20 @@ def holistic_segment_values(
     ``segment_compute`` kernel (MEDIAN/QUANTILE via sorted-segment index
     arithmetic) run in one vectorized pass; others fall back to a
     per-segment ``compute`` loop.
+
+    When ``native`` resolves true (see ``repro._kernels.resolve``) and
+    the aggregate declares a ``native_segment_kind``, the whole pass —
+    grouping, per-segment sort, closed form — runs in the compiled
+    kernel.  The results depend only on each segment's ascending value
+    sequence and repeat the NumPy index arithmetic operation for
+    operation, so both paths are bit-identical.
     """
+    if (
+        codes.size
+        and kernels.holistic_kind(aggregate) is not None
+        and kernels.resolve(native)
+    ):
+        return kernels.holistic_segment_values(codes, values, aggregate)
     order = np.lexsort((values, codes))
     sorted_codes = codes[order]
     sorted_values = values[order]
@@ -186,6 +201,7 @@ def aggregate_raw_holistic(
     window: Window,
     aggregate: AggregateFunction,
     stats: "ExecutionStats | None" = None,
+    native: "bool | None" = None,
 ) -> np.ndarray:
     """Directly evaluate a holistic aggregate per (key, instance).
 
@@ -210,6 +226,8 @@ def aggregate_raw_holistic(
         stats.record_pairs(window, int(codes.size))
     if codes.size == 0:
         return out
-    segment_ids, results = holistic_segment_values(codes, values, aggregate)
+    segment_ids, results = holistic_segment_values(
+        codes, values, aggregate, native=native
+    )
     out.reshape(-1)[segment_ids] = results
     return out

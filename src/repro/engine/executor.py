@@ -14,6 +14,11 @@ Registered paths (DESIGN.md §5):
 ``columnar-panes``
     The pane-partitioned fast path: bin events once per pane table,
     assemble instances with a vectorized gather+reduce.
+``columnar-panes-native``
+    The pane path with its grouping/holistic hot spots running in the
+    optional compiled kernels (``repro._kernels``); bit-identical to
+    ``columnar-panes``, and falls back to it transparently when no C
+    compiler is available.
 ``streaming``
     Row-at-a-time reference interpreter (the semantic oracle).
 ``streaming-chunked``
@@ -192,6 +197,19 @@ def _execute_columnar_panes(
     results, stats = execute_plan_panes(plan, batch)
     return ExecutionResult(
         plan=plan, results=results, stats=stats, engine="columnar-panes"
+    )
+
+
+@register_engine("columnar-panes-native")
+def _execute_columnar_panes_native(
+    plan: LogicalPlan, batch: EventBatch
+) -> ExecutionResult:
+    results, stats = execute_plan_panes(plan, batch, native=True)
+    return ExecutionResult(
+        plan=plan,
+        results=results,
+        stats=stats,
+        engine="columnar-panes-native",
     )
 
 

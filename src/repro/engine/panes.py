@@ -104,13 +104,14 @@ def build_pane_table(
     width: int,
     aggregate: AggregateFunction,
     stats: "ExecutionStats | None" = None,
+    native: "bool | None" = None,
 ) -> PaneTable:
     """Bin every event once into per-(key, pane) partials — O(N)."""
     num_panes = -(-batch.horizon // width)
     panes = batch.timestamps // width
     codes = batch.keys * num_panes + panes
     flat = aggregate.segment_reduce(
-        codes, batch.values, batch.num_keys * num_panes
+        codes, batch.values, batch.num_keys * num_panes, native=native
     )
     if stats is not None:
         stats.record_binned(batch.num_events)
@@ -166,6 +167,7 @@ def aggregate_raw_panes(
     aggregate: AggregateFunction,
     stats: "ExecutionStats | None" = None,
     table: "PaneTable | None" = None,
+    native: "bool | None" = None,
 ) -> WindowState:
     """Pane-partitioned drop-in for :func:`aggregate_raw`.
 
@@ -183,7 +185,9 @@ def aggregate_raw_panes(
         )
         return WindowState(window, comps, batch.num_keys, n_inst)
     if table is None:
-        table = build_pane_table(batch, pane_width(window), aggregate, stats)
+        table = build_pane_table(
+            batch, pane_width(window), aggregate, stats, native=native
+        )
     logical = logical_raw_pairs(batch.timestamps, window, n_inst)
     return assemble_from_panes(
         table, window, aggregate, n_inst, stats, logical_pairs=logical
@@ -207,7 +211,7 @@ def plan_pane_groups(
 
 
 def execute_plan_panes(
-    plan: LogicalPlan, batch: EventBatch
+    plan: LogicalPlan, batch: EventBatch, native: "bool | None" = None
 ) -> "tuple[dict[Window, np.ndarray], ExecutionStats]":
     """Execute ``plan`` on the pane-partitioned columnar path.
 
@@ -215,6 +219,10 @@ def execute_plan_panes(
     use the (already vectorized) sub-aggregate gather; holistic reads
     fall back to the direct segmented evaluator.  Results and logical
     stats are identical to the plain columnar engine.
+
+    ``native=True`` routes the pane binning and holistic segment
+    kernels through the compiled backend when available (the
+    ``columnar-panes-native`` engine path) — same bits, fewer cycles.
     """
     stats = ExecutionStats(events=batch.num_events)
     started = time.perf_counter()
@@ -222,7 +230,7 @@ def execute_plan_panes(
     for (width, agg_name), group in plan_pane_groups(plan).items():
         node = plan.node_for(group[0])
         tables[(width, agg_name)] = build_pane_table(
-            batch, width, node.aggregate, stats
+            batch, width, node.aggregate, stats, native=native
         )
 
     states: dict[Window, WindowState] = {}
@@ -244,7 +252,7 @@ def execute_plan_panes(
                         "holistic aggregates cannot be factor windows"
                     )
                 results[node.window] = aggregate_raw_holistic(
-                    batch, node.window, aggregate, stats
+                    batch, node.window, aggregate, stats, native=native
                 )
         else:
             state = aggregate_from_provider(

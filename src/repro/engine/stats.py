@@ -42,6 +42,8 @@ class ExecutionStats:
     pairs_per_window: dict[Window, int] = field(default_factory=dict)
     physical_per_window: dict[Window, int] = field(default_factory=dict)
     events_binned: int = 0
+    bytes_copied: int = 0
+    copies_elided: int = 0
 
     def record_pairs(
         self, window: Window, pairs: int, physical: "int | None" = None
@@ -68,6 +70,21 @@ class ExecutionStats:
     def record_binned(self, events: int) -> None:
         """Record one shared pane-table binning pass over ``events``."""
         self.events_binned += events
+
+    def record_copied(self, nbytes: int) -> None:
+        """Record ``nbytes`` of event data physically copied.
+
+        The zero-copy data plane (docs/performance.md) charges every
+        materializing copy of event columns — ring-slot reads, flush
+        re-contiguation — here, so benchmarks can gate bytes copied
+        per event end-to-end.
+        """
+        self.bytes_copied += nbytes
+
+    def record_copy_elided(self, events: int) -> None:
+        """Record ``events`` handed downstream without a copy (borrowed
+        ring views, single-run flush pass-through)."""
+        self.copies_elided += events
 
     @property
     def total_pairs(self) -> int:
@@ -98,6 +115,8 @@ class ExecutionStats:
         self.events += other.events
         self.wall_seconds += other.wall_seconds
         self.events_binned += other.events_binned
+        self.bytes_copied += other.bytes_copied
+        self.copies_elided += other.copies_elided
         for window, pairs in other.pairs_per_window.items():
             self.pairs_per_window[window] = (
                 self.pairs_per_window.get(window, 0) + pairs

@@ -36,10 +36,13 @@ def physical_path(node: WindowAggregateNode, engine: str) -> str:
         multiplier = covering_multiplier(window, node.provider)
         return f"subagg-gather[M={multiplier}]"
     if not node.aggregate.mergeable:
+        if engine == "columnar-panes-native":
+            return "raw-segmented-scan[holistic, native-kernel]"
         return "raw-segmented-scan[holistic]"
-    if engine in ("columnar-panes", "streaming-chunked"):
+    if engine in ("columnar-panes", "columnar-panes-native", "streaming-chunked"):
         pane = math.gcd(window.range, window.slide)
-        return f"panes[p={pane}, r/p={window.range // pane}]"
+        suffix = ", native-kernel" if engine == "columnar-panes-native" else ""
+        return f"panes[p={pane}, r/p={window.range // pane}{suffix}]"
     if engine == "streaming":
         return f"event-loop[k={window.range // window.slide}]"
     return f"raw-materialize[k={window.range // window.slide}]"

@@ -38,6 +38,7 @@ from ..core.multiquery import (
     Query,
     WorkloadDelta,
 )
+from ..engine.events import EVENT_BYTES
 from ..engine.stats import ExecutionStats
 from ..errors import ExecutionError
 from ..windows.window import Window
@@ -209,6 +210,14 @@ class SessionCore:
         self._buf_keys: list[int] = []
         self._buf_values: list[float] = []
         self._buffered = 0
+        # Reusable flush arena: multi-chunk flushes re-contiguate into
+        # these preallocated columns instead of a fresh ``concatenate``
+        # per flush; a single-chunk flush passes its arrays through
+        # untouched (zero copies).  Operators never retain absorbed
+        # arrays past the flush, so reusing the arena is safe.
+        self._arena: "tuple[np.ndarray, np.ndarray, np.ndarray] | None" = None
+        self.bytes_copied = 0
+        self.copies_elided = 0
         self._watermark = 0
         self._max_event_ts = -1
         self._groups: dict[GroupKey, GroupRuntime] = {}
@@ -233,9 +242,15 @@ class SessionCore:
         their operators and subscriptions, the retired-result archive,
         the workload and its plans — is plain picklable state, which is
         what makes a core snapshot a *complete* capture: restoring it
-        resumes bit-identical to an uninterrupted run."""
+        resumes bit-identical to an uninterrupted run.
+
+        The flush arena is dropped too: it holds no live data between
+        flushes (only capacity), and buffered chunk *views* — which may
+        alias shared-memory ring slots — pickle by value, so a snapshot
+        never captures an aliased page."""
         state = dict(self.__dict__)
         state["on_flush"] = None
+        state["_arena"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -275,6 +290,8 @@ class SessionCore:
         for runtime in self._groups.values():
             merged.merge(runtime.stats)
         merged.wall_seconds = self.wall_seconds
+        merged.bytes_copied += self.bytes_copied
+        merged.copies_elided += self.copies_elided
         return merged
 
     def group_stats(self) -> "dict[GroupKey, ExecutionStats]":
@@ -529,6 +546,27 @@ class SessionCore:
         if last > self._max_event_ts:
             self._max_event_ts = last
 
+    def localize_buffer(self) -> None:
+        """Copy every buffered chunk into freshly owned arrays.
+
+        Zero-copy consumers (the shm shard worker) buffer *views over
+        ring slots* and normally release the slots right after a flush
+        absorbs them.  When slots must be freed *before* a flush — the
+        borrow budget is exhausted, or the ring goes idle with views
+        still buffered — this materializes the buffer first so no view
+        outlives its slot.  On the steady-state path (flush between
+        feeds) this never runs and events reach the operators with
+        zero or one copies; localization adds one bounded copy only
+        for the events caught by an early release.
+        """
+        if not self._buf_chunks:
+            return
+        localized = []
+        for ts, keys, values in self._buf_chunks:
+            localized.append((np.array(ts), np.array(keys), np.array(values)))
+            self.bytes_copied += int(ts.size) * EVENT_BYTES
+        self._buf_chunks = localized
+
     def _seal_scalar_buffer(self) -> None:
         if self._buf_ts:
             self._buf_chunks.append(
@@ -563,6 +601,37 @@ class SessionCore:
         if self._buffered or target > self._watermark:
             self._flush(target)
 
+    def _gather_chunks(
+        self,
+        chunks: "list[tuple[np.ndarray, np.ndarray, np.ndarray]]",
+        count: int,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Copy buffered runs into the reused arena, returning length-
+        ``count`` views over it.
+
+        Growth is geometric so steady-state flushes allocate nothing.
+        The views die with the flush (operators do not retain absorbed
+        arrays), so the arena can be rewritten next flush.
+        """
+        if self._arena is None or self._arena[0].size < count:
+            cap = count
+            if self._arena is not None:
+                cap = max(cap, 2 * self._arena[0].size)
+            self._arena = (
+                np.empty(cap, dtype=np.int64),
+                np.empty(cap, dtype=np.int64),
+                np.empty(cap, dtype=np.float64),
+            )
+        arena_ts, arena_keys, arena_values = self._arena
+        pos = 0
+        for chunk_ts, chunk_keys, chunk_values in chunks:
+            n = int(chunk_ts.size)
+            arena_ts[pos : pos + n] = chunk_ts
+            arena_keys[pos : pos + n] = chunk_keys
+            arena_values[pos : pos + n] = chunk_values
+            pos += n
+        return arena_ts[:count], arena_keys[:count], arena_values[:count]
+
     def _flush(self, to_watermark: int) -> None:
         started = time.perf_counter()
         self._seal_scalar_buffer()
@@ -571,11 +640,17 @@ class SessionCore:
             chunks, self._buf_chunks = self._buf_chunks, []
             self._buffered = 0
             if len(chunks) == 1:
+                # Pass the single run straight through — no copy.  The
+                # arrays may be borrowed ring views; operators reduce
+                # them into their own state without retaining them.
                 ts, keys, values = chunks[0]
+                self.copies_elided += count
             else:
-                ts = np.concatenate([c[0] for c in chunks])
-                keys = np.concatenate([c[1] for c in chunks])
-                values = np.concatenate([c[2] for c in chunks])
+                # Re-contiguate into the reused arena (one bounded
+                # copy), so operators see one contiguous block per
+                # flush — the same bits a concatenate would produce.
+                ts, keys, values = self._gather_chunks(chunks, count)
+                self.bytes_copied += count * EVENT_BYTES
             for runtime in self._groups.values():
                 runtime.absorb(ts, keys, values)
         for runtime in self._groups.values():

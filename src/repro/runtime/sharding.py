@@ -160,9 +160,10 @@ class SerialShardBackend:
         self.cores = [config.build() for config in configs]
 
     def feed(self, slices) -> None:
-        for core, (ts, keys, values) in zip(self.cores, slices):
-            if ts.size:
-                core.buffer_arrays(ts, keys, values)
+        for core, chunks in zip(self.cores, slices):
+            for ts, keys, values in chunks:
+                if ts.size:
+                    core.buffer_arrays(ts, keys, values)
 
     def advance(self, watermark: int) -> None:
         for core in self.cores:
@@ -345,9 +346,9 @@ def _shard_worker_loop(conn, config: ShardConfig) -> None:
         elif op in ("feed", "advance"):
             try:
                 if op == "feed":
-                    ts, keys, values = msg[1]
-                    if ts.size:
-                        core.buffer_arrays(ts, keys, values)
+                    for ts, keys, values in msg[1]:
+                        if ts.size:
+                            core.buffer_arrays(ts, keys, values)
                 else:
                     core.advance_to(msg[1])
             except Exception:
@@ -381,6 +382,21 @@ def _shm_shard_worker_loop(
     ring = ShmRing.attach(spec, untrack=untrack)
     core = config.build()
     pending_error: "str | None" = None
+    # Zero-copy consume: data records are *borrowed* (slot views go
+    # straight into the core's chunk buffer; no per-column memcpy) and
+    # their slots are released in bulk once a flush has absorbed the
+    # views.  The budget keeps two slots available to the producer so
+    # it can always publish the advance record that triggers that
+    # flush; hitting the budget localizes the buffer (one bounded
+    # copy) and releases, so a borrow can never deadlock the
+    # coordinator or outlive a slot's reuse.
+    borrow_budget = max(ring.spec.num_slots - 2, 0)
+
+    def release_borrows() -> None:
+        if ring.borrowed:
+            if core.buffered_events:
+                core.localize_buffer()
+            ring.release()
 
     def drain() -> "tuple[bool, str | None]":
         progressed, error = False, None
@@ -390,7 +406,12 @@ def _shm_shard_worker_loop(
         # deadlock the coordinator.  Application errors, by contrast,
         # are parked — the record was consumed, so draining continues
         # and the error surfaces on the next control reply.
-        while (record := ring.pop()) is not None:
+        while True:
+            if ring.borrowed >= borrow_budget:
+                release_borrows()
+            record = ring.pop(copy=False)
+            if record is None:
+                break
             progressed = True
             try:
                 if record[0] == "data":
@@ -399,6 +420,12 @@ def _shm_shard_worker_loop(
                     core.advance_to(record[1])
             except Exception:
                 error = error or traceback.format_exc()
+            if ring.borrowed and not core.buffered_events:
+                ring.release()
+        core.bytes_copied += ring.bytes_copied
+        core.copies_elided += ring.copies_elided
+        ring.bytes_copied = 0
+        ring.copies_elided = 0
         return progressed, error
 
     try:
@@ -415,6 +442,10 @@ def _shm_shard_worker_loop(
                 conn.close()
                 return
             if msg[0] == "restore":
+                # The adopted core owns all of its buffered chunks
+                # (views pickle by value), so any slots the discarded
+                # core still borrowed can be freed outright.
+                ring.release()
                 core = pickle.loads(msg[1])
                 pending_error = None
                 conn.send(("ok", core.watermark))
@@ -740,7 +771,7 @@ class _WorkerShardBackend:
         for entry in self._logs[slot]:
             kind = entry[0]
             if kind == "feed":
-                self._replay_feed(slot, entry[1], entry[2], entry[3])
+                self._replay_feed(slot, entry[1])
             elif kind == "advance":
                 self._replay_advance(slot, entry[1])
             elif kind == "cmd":
@@ -782,7 +813,7 @@ class _WorkerShardBackend:
     def _respawn_slot(self, slot: int) -> None:  # pragma: no cover
         raise NotImplementedError
 
-    def _replay_feed(self, slot, ts, keys, values) -> None:  # pragma: no cover
+    def _replay_feed(self, slot, chunks) -> None:  # pragma: no cover
         raise NotImplementedError
 
     def _replay_advance(self, slot, watermark) -> None:  # pragma: no cover
@@ -932,12 +963,12 @@ class ProcessShardBackend(_WorkerShardBackend):
             self._spawn(config, _shard_worker)
 
     def feed(self, slices) -> None:
-        for slot, (ts, keys, values) in enumerate(slices):
-            if not ts.size:
+        for slot, chunks in enumerate(slices):
+            if not chunks:
                 continue
-            self._log(slot, ("feed", ts, keys, values))
+            self._log(slot, ("feed", chunks))
             try:
-                self._conns[slot].send(("feed", (ts, keys, values)))
+                self._conns[slot].send(("feed", chunks))
             except (BrokenPipeError, OSError) as exc:
                 self._data_plane_failure(
                     slot, f"feed pipe failed ({exc})", "feed"
@@ -958,8 +989,8 @@ class ProcessShardBackend(_WorkerShardBackend):
     def _respawn_slot(self, slot: int) -> None:
         self._spawn_at(slot, _shard_worker)
 
-    def _replay_feed(self, slot, ts, keys, values) -> None:
-        self._conns[slot].send(("feed", (ts, keys, values)))
+    def _replay_feed(self, slot, chunks) -> None:
+        self._conns[slot].send(("feed", chunks))
 
     def _replay_advance(self, slot, watermark) -> None:
         self._conns[slot].send(("advance", watermark))
@@ -1031,18 +1062,19 @@ class SharedMemoryShardBackend(_WorkerShardBackend):
             raise
 
     def feed(self, slices) -> None:
-        for slot, (ts, keys, values) in enumerate(slices):
-            if not ts.size:
+        for slot, chunks in enumerate(slices):
+            if not chunks:
                 continue
-            self._log(slot, ("feed", ts, keys, values))
+            self._log(slot, ("feed", chunks))
             try:
-                self._rings[slot].push_events(
-                    ts,
-                    keys,
-                    values,
-                    timeout=self._feed_timeout,
-                    liveness=self._procs[slot].is_alive,
-                )
+                for ts, keys, values in chunks:
+                    self._rings[slot].push_events(
+                        ts,
+                        keys,
+                        values,
+                        timeout=self._feed_timeout,
+                        liveness=self._procs[slot].is_alive,
+                    )
             except ExecutionError as exc:
                 self._data_plane_failure(slot, str(exc), "feed")
 
@@ -1075,14 +1107,15 @@ class SharedMemoryShardBackend(_WorkerShardBackend):
         untrack = self._ctx.get_start_method() != "fork"
         self._spawn_at(slot, _shm_shard_worker, (ring.spec, untrack))
 
-    def _replay_feed(self, slot, ts, keys, values) -> None:
-        self._rings[slot].push_events(
-            ts,
-            keys,
-            values,
-            timeout=self._feed_timeout,
-            liveness=self._procs[slot].is_alive,
-        )
+    def _replay_feed(self, slot, chunks) -> None:
+        for ts, keys, values in chunks:
+            self._rings[slot].push_events(
+                ts,
+                keys,
+                values,
+                timeout=self._feed_timeout,
+                liveness=self._procs[slot].is_alive,
+            )
 
     def _replay_advance(self, slot, watermark) -> None:
         self._rings[slot].push_advance(
@@ -1674,6 +1707,12 @@ class ShardedSession(AsyncIngestFrontDoor):
             self._flush(self._chunk_end)
 
     def _feed_buffers(self) -> None:
+        # Ship per-shard chunk *runs*, never concatenating here: the
+        # shard core re-contiguates once per flush (into its reused
+        # arena), so a coordinator-side concatenate would be a second
+        # copy of every event.  Chunk order is preserved end-to-end,
+        # which keeps the flushed block bit-identical to the old
+        # concatenate-then-ship plane.
         slices = []
         for slot in range(len(self.active_shards)):
             chunks = self._array_buf[slot]
@@ -1687,19 +1726,7 @@ class ShardedSession(AsyncIngestFrontDoor):
                     )
                 )
                 self._scalar_buf[slot] = ([], [], [])
-            if not chunks:
-                empty = np.empty(0, dtype=np.int64)
-                slices.append((empty, empty, np.empty(0, dtype=np.float64)))
-            elif len(chunks) == 1:
-                slices.append(chunks[0])
-            else:
-                slices.append(
-                    (
-                        np.concatenate([c[0] for c in chunks]),
-                        np.concatenate([c[1] for c in chunks]),
-                        np.concatenate([c[2] for c in chunks]),
-                    )
-                )
+            slices.append(chunks)
             self._array_buf[slot] = []
         self.backend.feed(slices)
         if self._forward is not None:

@@ -24,11 +24,18 @@ hardware.
 
 Both sides map the same pages, so the producer's column writes are
 **zero-copy** into the slot and the consumer reads them back through
-numpy views over the same memory.  The consumer performs one bounded
-``memcpy`` per column (``np.array(view[:count])``) to own the data
-beyond the slot's reuse — still orders of magnitude cheaper than the
-pickle → pipe → unpickle round trip it replaces, and independent of
-the Python object count.
+numpy views over the same memory.  By default the consumer performs
+one bounded ``memcpy`` per column (``np.array(view[:count])``) to own
+the data beyond the slot's reuse.  The zero-copy consume path
+(``pop(copy=False)``) skips even that: it hands out the slot views
+directly and *borrows* the slot — ``head`` is not advanced, so the
+producer cannot reuse it — until the consumer calls :meth:`release`
+after it has finished reducing the data into its own state.  The
+aliasing contract is strict: borrowed views are read-only and die at
+:meth:`release`; any consumer that must retain event data past the
+release point copies it explicitly.  Per-column copy traffic is
+tracked in :attr:`bytes_copied` / :attr:`copies_elided` so the
+benchmark harness can gate bytes-copied-per-event end-to-end.
 
 Flow control is blocking-with-deadline on the producer side (a full
 ring means the consumer is behind; the coordinator's backpressure
@@ -164,6 +171,14 @@ class ShmRing:
                 )
                 offset += spec.slot_events * dtype.itemsize
             self._columns.append(tuple(views))
+        # Consumer-side borrow bookkeeping (zero-copy consume path):
+        # records read past ``head`` but not yet released.  Purely
+        # local to the consumer process — the producer never sees it
+        # except through the delayed ``head`` advance.
+        self._pending = 0
+        #: Consumer-side copy accounting (see module docstring).
+        self.bytes_copied = 0
+        self.copies_elided = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -345,14 +360,25 @@ class ShmRing:
     # ------------------------------------------------------------------
     # Consumer side
     # ------------------------------------------------------------------
-    def pop(self):
+    def pop(self, copy: bool = True):
         """Consume one record, or return ``None`` on an empty ring.
 
-        Data records come back as ``("data", ts, keys, values)`` with
-        freshly-owned arrays (one bounded copy per column); advance
-        records as ``("advance", watermark)``.
+        Data records come back as ``("data", ts, keys, values)``;
+        advance records as ``("advance", watermark)``.
+
+        With ``copy=True`` (default) the data arrays are freshly owned
+        (one bounded copy per column) and the slot is freed
+        immediately — unless earlier borrowed records are still
+        outstanding, in which case freeing is deferred to
+        :meth:`release` (``head`` may never overtake a borrowed slot).
+
+        With ``copy=False`` the data arrays are **views over the slot
+        itself** — zero copies — and the record is *borrowed*: the
+        slot stays unavailable to the producer until :meth:`release`.
+        Borrowed views are read-only and must not be retained past the
+        release; consumers that need longevity copy explicitly.
         """
-        head = self._load(_HEAD_OFFSET)
+        head = self._load(_HEAD_OFFSET) + self._pending
         if head >= self._load(_TAIL_OFFSET):
             return None
         slot = head % self.spec.num_slots
@@ -363,16 +389,53 @@ class ShmRing:
             record = ("advance", watermark)
         elif kind == RECORD_DATA:
             slot_ts, slot_keys, slot_values = self._columns[slot]
-            record = (
-                "data",
-                np.array(slot_ts[:count]),
-                np.array(slot_keys[:count]),
-                np.array(slot_values[:count]),
-            )
+            if copy:
+                record = (
+                    "data",
+                    np.array(slot_ts[:count]),
+                    np.array(slot_keys[:count]),
+                    np.array(slot_values[:count]),
+                )
+                self.bytes_copied += count * EVENT_BYTES
+            else:
+                record = (
+                    "data",
+                    slot_ts[:count],
+                    slot_keys[:count],
+                    slot_values[:count],
+                )
+                self.copies_elided += count
         else:  # pragma: no cover - defensive
             raise ExecutionError(f"corrupt ring record kind {kind}")
-        self._store(_HEAD_OFFSET, head + 1)
+        if kind == RECORD_DATA and not copy:
+            self._pending += 1
+        elif self._pending:
+            # Fully-owned record behind an outstanding borrow: its slot
+            # cannot be freed until the borrow releases, so it joins
+            # the pending run and frees with it.
+            self._pending += 1
+        else:
+            self._store(_HEAD_OFFSET, head + 1)
         return record
+
+    @property
+    def borrowed(self) -> int:
+        """Records consumed via ``pop(copy=False)`` (plus any records
+        consumed behind them) whose slots are still held."""
+        return self._pending
+
+    def release(self) -> None:
+        """Free every borrowed slot back to the producer.
+
+        All views handed out by ``pop(copy=False)`` since the last
+        release become invalid — the producer may overwrite those
+        slots immediately.
+        """
+        if self._pending:
+            self._store(
+                _HEAD_OFFSET, self._load(_HEAD_OFFSET) + self._pending
+            )
+            self._pending = 0
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -173,3 +173,110 @@ class TestAcceptSorted:
         list(buffer.push(7, 0, 1.0))  # ts=7 still buffered (lateness 0)
         with pytest.raises(ExecutionError):
             buffer.accept_sorted(1, 8, 8)
+
+class TestPushBatch:
+    """The columnar batch push is bit-identical to the per-event path
+    — on the pure fallback and the compiled kernel alike — including
+    every late-drop decision and stats counter."""
+
+    events_strategy = st.lists(
+        st.tuples(
+            st.integers(0, 120),  # timestamp
+            st.integers(0, 3),  # key
+            st.floats(-100, 100, allow_nan=False, width=32),
+        ),
+        min_size=0,
+        max_size=200,
+    )
+
+    @staticmethod
+    def _oracle(events, splits, max_lateness, keep_late):
+        buffer = ReorderBuffer(max_lateness, keep_late_events=keep_late)
+        released = []
+        for ts, key, value in events:
+            released.extend(buffer.push(ts, key, value))
+        return released, buffer
+
+    @staticmethod
+    def _batched(events, splits, max_lateness, keep_late, native):
+        buffer = ReorderBuffer(max_lateness, keep_late_events=keep_late)
+        out_ts, out_keys, out_values = [], [], []
+        bounds = sorted(min(s, len(events)) for s in splits)
+        pieces = np.split(np.arange(len(events)), bounds)
+        for piece in pieces:
+            block = [events[i] for i in piece]
+            ts = np.array([e[0] for e in block], dtype=np.int64)
+            keys = np.array([e[1] for e in block], dtype=np.int64)
+            values = np.array([e[2] for e in block], dtype=np.float64)
+            r_ts, r_keys, r_values = buffer.push_batch(
+                ts, keys, values, native=native
+            )
+            out_ts.append(r_ts)
+            out_keys.append(r_keys)
+            out_values.append(r_values)
+        released = list(
+            zip(
+                np.concatenate(out_ts).tolist(),
+                np.concatenate(out_keys).tolist(),
+                np.concatenate(out_values).tolist(),
+            )
+        )
+        return released, buffer
+
+    @given(
+        events=events_strategy,
+        splits=st.lists(st.integers(0, 200), max_size=3),
+        max_lateness=st.integers(0, 15),
+        keep_late=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_per_event_push_on_both_paths(
+        self, events, splits, max_lateness, keep_late
+    ):
+        from repro import _kernels
+
+        oracle, oracle_buf = self._oracle(
+            events, splits, max_lateness, keep_late
+        )
+        paths = [False]
+        if _kernels.available():
+            paths.append(True)
+        for native in paths:
+            released, buf = self._batched(
+                events, splits, max_lateness, keep_late, native
+            )
+            context = f"native={native}"
+            assert released == oracle, context
+            # Drain order after the batch must also agree.
+            assert list(buf.flush()) == list(
+                self._oracle(events, splits, max_lateness, keep_late)[
+                    1
+                ].flush()
+            ), context
+            for counter in (
+                "accepted",
+                "late_dropped",
+                "max_observed_lateness",
+                "late_events",
+                "late_events_elided",
+            ):
+                assert getattr(buf.stats, counter) == getattr(
+                    oracle_buf.stats, counter
+                ), (context, counter)
+
+    def test_negative_timestamp_rejected_upfront_on_both_paths(self):
+        from repro import _kernels
+
+        paths = [False] + ([True] if _kernels.available() else [])
+        for native in paths:
+            buffer = ReorderBuffer(2)
+            with pytest.raises(ExecutionError, match=">= 0"):
+                buffer.push_batch(
+                    np.array([3, -1, 4]),
+                    np.zeros(3, dtype=np.int64),
+                    np.zeros(3),
+                    native=native,
+                )
+            # Upfront validation: nothing was pushed.
+            assert buffer.stats.total == 0
+            assert buffer.buffered == 0

@@ -14,7 +14,14 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.aggregates.registry import AVG, MAX, MIN, SUM
+from repro.aggregates.registry import (
+    AVG,
+    COUNT_DISTINCT,
+    MAX,
+    MEDIAN,
+    MIN,
+    SUM,
+)
 from repro.core.cost import CostModel
 from repro.core.optimizer import min_cost_wcg_with_factors, optimize
 from repro.core.rewrite import rewrite_plan
@@ -31,6 +38,7 @@ from repro.windows.window import Window, WindowSet
 ALL_ENGINES = (
     "columnar",
     "columnar-panes",
+    "columnar-panes-native",
     "streaming",
     "streaming-chunked",
 )
@@ -82,6 +90,39 @@ def _all_variants(windows, aggregate):
 
 def test_registry_exposes_all_paths():
     assert set(ALL_ENGINES) <= set(available_engines())
+
+
+@pytest.mark.parametrize(
+    "aggregate", [MIN, SUM, AVG, MEDIAN, COUNT_DISTINCT], ids=lambda a: a.name
+)
+def test_native_path_bit_identical_to_panes(aggregate):
+    """Native kernels must match the pure pane path *bitwise*, not just
+    within allclose tolerance — same grouping order, same FP reduce."""
+    windows = WindowSet([Window(12, 4), Window(20, 4), Window(6, 6)])
+    batch = _random_batch(404, horizon=240, num_keys=3)
+    plan = original_plan(windows, aggregate)
+    pure = execute_plan(plan, batch, engine="columnar-panes")
+    native = execute_plan(plan, batch, engine="columnar-panes-native")
+    assert set(pure.results) == set(native.results)
+    for window, array in pure.results.items():
+        np.testing.assert_array_equal(array, native.results[window])
+    assert pure.stats.pairs_per_window == native.stats.pairs_per_window
+
+
+def test_native_path_falls_back_without_kernels(monkeypatch):
+    """REPRO_KERNELS=0 must leave the fifth path registered and
+    producing identical results on the pure-NumPy fallback."""
+    monkeypatch.setenv("REPRO_KERNELS", "0")
+    from repro import _kernels
+
+    assert not _kernels.available()
+    assert "disabled" in _kernels.availability_error()
+    windows = WindowSet([Window(12, 4), Window(8, 8)])
+    batch = _random_batch(77)
+    plan = original_plan(windows, MIN)
+    pure = execute_plan(plan, batch, engine="columnar-panes")
+    fallback = execute_plan(plan, batch, engine="columnar-panes-native")
+    assert results_equal(pure, fallback)
 
 
 @pytest.mark.parametrize("aggregate", [MIN, MAX], ids=lambda a: a.name)
@@ -145,7 +186,11 @@ def test_fast_path_logical_pairs_match_cost_model(windows, periods):
         windows, CoverageSemantics.PARTITIONED_BY
     )
     plan = rewrite_plan(gmin, MIN)
-    for engine in ("columnar-panes", "streaming-chunked"):
+    for engine in (
+        "columnar-panes",
+        "columnar-panes-native",
+        "streaming-chunked",
+    ):
         result = execute_plan(plan, batch, engine=engine)
         assert result.stats.total_pairs == periods * gmin.total_cost
         # Physical work never exceeds logical on constant-rate streams

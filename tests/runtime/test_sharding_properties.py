@@ -389,3 +389,82 @@ def test_push_batch_matches_per_event_push(repro_seed, backend, async_ingest):
         run(True),
         f"seed={repro_seed} push_batch {backend} async={async_ingest}",
     )
+
+
+# ---------------------------------------------------------------------
+# Zero-copy data plane (DESIGN.md §11)
+# ---------------------------------------------------------------------
+
+from repro.engine.events import EVENT_BYTES  # noqa: E402
+
+
+@pytest.mark.parametrize("backend", ["serial", "shm", "process"])
+def test_zero_copy_plane_copies_at_most_once_per_event(
+    repro_seed, backend
+):
+    """End-to-end copy discipline: across partition -> transport ->
+    shard-core buffering, each event is materialized at most once
+    (``bytes_copied <= EVENT_BYTES * events``), a non-trivial share of
+    the stream moves with no copy at all, and the results still match
+    the serial oracle bit-for-bit."""
+    rng = np.random.default_rng((repro_seed, 1109))
+    batch = integer_stream(
+        ticks=400, num_keys=NUM_KEYS, seed=int(rng.integers(0, 1000))
+    )
+    queries = [(POOL[0][0], "per_key"), (POOL[2][0], "per_key")]
+
+    def run(which):
+        session = ShardedSession(
+            num_keys=NUM_KEYS,
+            num_shards=2,
+            backend=which,
+            hysteresis=None,
+        )
+        try:
+            for query, scope in queries:
+                session.register(query, scope=scope)
+            session.push_batch(batch)
+            results = session.finish(horizon=batch.horizon)
+            stats = session.stats()
+        finally:
+            session.close()
+        return results, stats
+
+    oracle, _ = run("serial")
+    results, stats = run(backend)
+    assert_results_identical(
+        oracle, results, f"seed={repro_seed} backend={backend}"
+    )
+    assert stats.bytes_copied <= EVENT_BYTES * batch.num_events, (
+        f"{backend}: {stats.bytes_copied} bytes copied for "
+        f"{batch.num_events} events (> one copy per event)"
+    )
+    assert stats.copies_elided > 0, backend
+
+
+@pytest.mark.parametrize("backend", ["serial", "shm", "process"])
+def test_ingest_never_mutates_caller_arrays(repro_seed, backend):
+    """The zero-copy plane hands caller arrays (and views of them)
+    straight to the shard cores; no stage may write into them."""
+    rng = np.random.default_rng((repro_seed, 211))
+    batch = integer_stream(
+        ticks=300, num_keys=NUM_KEYS, seed=int(rng.integers(0, 1000))
+    )
+    before = (
+        batch.timestamps.copy(),
+        batch.keys.copy(),
+        batch.values.copy(),
+    )
+    session = ShardedSession(
+        num_keys=NUM_KEYS, num_shards=3, backend=backend, hysteresis=None
+    )
+    try:
+        session.register(POOL[2][0], scope="per_key")
+        session.register(POOL[8][0], scope="global")
+        session.push_batch(batch)
+        session.finish(horizon=batch.horizon)
+    finally:
+        session.close()
+    np.testing.assert_array_equal(batch.timestamps, before[0])
+    np.testing.assert_array_equal(batch.keys, before[1])
+    np.testing.assert_array_equal(batch.values, before[2])
