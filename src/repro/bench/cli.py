@@ -208,6 +208,8 @@ def _cmd_session(args: argparse.Namespace) -> int:
             f"ticks to {args.checkpoint_dir}/"
         )
     if args.shards > 1:
+        if args.slots is not None:
+            auto_kwargs["num_slots"] = args.slots
         session = ShardedSession(
             num_keys=args.keys,
             num_shards=args.shards,
@@ -218,8 +220,8 @@ def _cmd_session(args: argparse.Namespace) -> int:
             **auto_kwargs,
         )
         print(
-            f"sharded session: x{args.shards} key-hash shards "
-            f"({args.shard_backend} backend"
+            f"sharded session: x{args.shards} key-hash shards over "
+            f"{session.num_slots} slots ({args.shard_backend} backend"
             f"{', async ingest' if args.async_ingest else ''})"
         )
     else:
@@ -232,20 +234,55 @@ def _cmd_session(args: argparse.Namespace) -> int:
         )
         if args.async_ingest:
             print("async ingest: bounded-queue front door enabled")
+    rebalance_every = args.rebalance_every if args.shards > 1 else 0
     try:
         for i, (ts, key, value) in enumerate(rows):
             if i in points:
                 name = session.register(points[i])
                 print(f"[wm {session.watermark:>6}] registered {name!r}")
             session.push(ts, key, value)
+            if rebalance_every and i and i % rebalance_every == 0:
+                moved = session.rebalance()
+                if moved:
+                    print(
+                        f"[wm {session.watermark:>6}] rebalanced: "
+                        f"{moved} slot(s) migrated"
+                    )
         results = session.finish(horizon=stream.horizon)
     except BaseException:
         session.close()  # stop pump threads / workers, unlink rings
         raise
 
     _print_session_report(session, results, args.async_ingest)
+    if args.shards > 1:
+        _print_slot_map(session)
     session.close()
     return 0
+
+
+def _print_slot_map(session) -> None:
+    """The final slot->shard layout, run-length compressed, plus the
+    decayed per-shard load the layout ended at (DESIGN.md §12)."""
+    slot_map = session.slot_map
+    if slot_map is None:
+        return
+    runs = []
+    start = 0
+    for i in range(1, len(slot_map) + 1):
+        if i == len(slot_map) or slot_map[i] != slot_map[start]:
+            count = i - start
+            label = f"{slot_map[start]}"
+            runs.append(label if count == 1 else f"{label}x{count}")
+            start = i
+    print()
+    print(f"final slot map ({len(slot_map)} slots -> shard):")
+    print("  " + " ".join(runs))
+    for shard, load in sorted(session.shard_loads().items()):
+        print(
+            f"  shard {shard}: {int(load['slots'])} slots, "
+            f"{int(load['keys'])} keys, load {load['events']:.1f} ev "
+            f"/ {load['bytes']:.0f} B (decayed)"
+        )
 
 
 def _print_session_report(session, results, async_ingest: bool) -> None:
@@ -485,6 +522,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="where shard cores run: in-process (deterministic oracle), "
         "one worker process per shard over pipes, or one worker per "
         "shard over shared-memory rings (DESIGN.md §8)",
+    )
+    p_ses.add_argument(
+        "--slots",
+        type=int,
+        default=None,
+        help="virtual slot count for the elastic slot->shard partition "
+        "(sharded sessions only; default 256 — DESIGN.md §12)",
+    )
+    p_ses.add_argument(
+        "--rebalance-every",
+        type=int,
+        default=0,
+        help="greedily migrate hot slots off the most-loaded shard "
+        "every N events (0 = never; sharded sessions only — "
+        "DESIGN.md §12)",
     )
     p_ses.add_argument(
         "--async-ingest",

@@ -77,23 +77,38 @@ def _physical_section(result: OptimizationResult, engine: str) -> list[str]:
     return lines
 
 
-def _shard_section(result: OptimizationResult, shards: int) -> list[str]:
-    """Key-shard fan-out of the winning plan (DESIGN.md §7)."""
-    from ..plans.render import shard_merge_description
+def _shard_section(result: OptimizationResult, shards) -> list[str]:
+    """Key-shard fan-out of the winning plan (DESIGN.md §7).
 
-    return [
+    ``shards`` is a fan-out count or a live
+    :class:`~repro.runtime.ShardedSession`; a session contributes its
+    decayed per-shard load counters (DESIGN.md §12) so the trace shows
+    where the stream's weight currently sits.
+    """
+    from ..plans.render import (
+        resolve_shards,
+        shard_load_lines,
+        shard_merge_description,
+    )
+
+    shards, loads = resolve_shards(shards)
+    lines = [
         f"shard fan-out (x{shards} key-hash shards):",
         "  plan replicated per shard over a disjoint key slice; "
         "workload mutations broadcast at one safe watermark",
         f"  merge ({result.aggregate.name}): "
         f"{shard_merge_description(result.aggregate)}",
     ]
+    if loads is not None:
+        lines.append("  load (decayed, per shard):")
+        lines.extend(shard_load_lines(loads, indent="    "))
+    return lines
 
 
 def explain(
     result: OptimizationResult,
     engine: "str | None" = None,
-    shards: "int | None" = None,
+    shards: "int | object | None" = None,
 ) -> str:
     """Render the full optimization trace for ``result``.
 
@@ -101,8 +116,11 @@ def explain(
     window of the winning plan takes on that engine (DESIGN.md §5) —
     the logical/physical split makes "what the optimizer chose" and
     "what the engine does" separately inspectable.  With ``shards``
-    given, also append the key-shard fan-out the sharded runtime would
-    execute the plan under (DESIGN.md §7).
+    given — a fan-out count or a live
+    :class:`~repro.runtime.ShardedSession` — also append the key-shard
+    fan-out the sharded runtime would execute the plan under
+    (DESIGN.md §7), including the session's decayed per-shard load
+    counters when a session is passed (DESIGN.md §12).
     """
     lines = [
         "EXPLAIN multi-window aggregate optimization",

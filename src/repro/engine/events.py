@@ -163,30 +163,68 @@ def encode_keys(raw_keys: Sequence) -> tuple[np.ndarray, dict]:
 
 
 # ----------------------------------------------------------------------
-# Key-sharded partitioning (DESIGN.md §7)
+# Key-sharded partitioning (DESIGN.md §7, §12)
 # ----------------------------------------------------------------------
 #: Fibonacci-hashing multiplier (2^64 / φ): consecutive dense key ids
-#: spread low-discrepancy across shards, so round-robin keys stay
+#: spread low-discrepancy across slots, so round-robin slots stay
 #: balanced at any shard count.
 _FIB_MIX = np.uint64(0x9E3779B97F4A7C15)
 
+#: Size of the virtual-slot pool keys hash into.  A shard owns a set of
+#: slots, not a set of keys — migrating load relabels slots in the
+#: slot → shard map instead of rehashing the key space (DESIGN.md §12).
+DEFAULT_NUM_SLOTS = 256
 
-def shard_assignment(num_keys: int, num_shards: int) -> np.ndarray:
-    """Deterministic key → shard map for a dense id space.
+
+def key_slots(
+    num_keys: int, num_slots: int = DEFAULT_NUM_SLOTS
+) -> np.ndarray:
+    """Deterministic key → virtual-slot map for a dense id space.
 
     Returns an ``(num_keys,)`` int64 array with entries in
-    ``[0, num_shards)``.  The map is a pure function of its arguments —
+    ``[0, num_slots)``.  The map is a pure function of its arguments —
     every participant (coordinator, workers, tests) derives the same
-    partition without communicating.
+    hash without communicating — and never changes during a session:
+    elasticity lives entirely in the slot → shard map.
     """
     if num_keys < 1:
         raise ExecutionError(f"num_keys must be >= 1, got {num_keys}")
-    if num_shards < 1:
-        raise ExecutionError(f"num_shards must be >= 1, got {num_shards}")
+    if num_slots < 1:
+        raise ExecutionError(f"num_slots must be >= 1, got {num_slots}")
     keys = np.arange(num_keys, dtype=np.uint64)
     with np.errstate(over="ignore"):
         hashed = (keys * _FIB_MIX) >> np.uint64(32)
-    return (hashed % np.uint64(num_shards)).astype(np.int64)
+    return (hashed % np.uint64(num_slots)).astype(np.int64)
+
+
+def default_slot_map(
+    num_slots: int, num_shards: int
+) -> np.ndarray:
+    """Round-robin slot → shard map: slot ``s`` starts on shard
+    ``s % num_shards``.  Composed with :func:`key_slots` this is the
+    layout every fresh :class:`KeyPartitioner` boots with."""
+    if num_slots < 1:
+        raise ExecutionError(f"num_slots must be >= 1, got {num_slots}")
+    if num_shards < 1:
+        raise ExecutionError(f"num_shards must be >= 1, got {num_shards}")
+    return (np.arange(num_slots, dtype=np.int64) % num_shards)
+
+
+def shard_assignment(
+    num_keys: int,
+    num_shards: int,
+    num_slots: int = DEFAULT_NUM_SLOTS,
+) -> np.ndarray:
+    """Deterministic key → shard map for a dense id space.
+
+    Returns an ``(num_keys,)`` int64 array with entries in
+    ``[0, num_shards)``: the composition of :func:`key_slots` with the
+    :func:`default_slot_map` — i.e. the slot layout before any
+    migration has relabelled a slot.
+    """
+    return default_slot_map(num_slots, num_shards)[
+        key_slots(num_keys, num_slots)
+    ]
 
 
 @dataclass(frozen=True)
@@ -210,11 +248,20 @@ class BatchShard:
 class KeyPartitioner:
     """Vectorized key-space partitioner shared by all sharding layers.
 
-    Precomputes, for a dense global key space and a shard count, the
-    key → shard map, each shard's owned-key list, and the global → local
-    dense re-encoding.  Partitioning preserves the batch invariants:
-    column slices stay timestamp-sorted (stable mask selection), the
-    horizon is inherited unchanged, and local key ids are dense.
+    Keys hash once into a fixed pool of virtual slots
+    (:func:`key_slots`); a mutable slot → shard map assigns slots to
+    shards.  The partitioner precomputes the composed key → shard map,
+    each shard's owned-key list, and the global → local dense
+    re-encoding.  Partitioning preserves the batch invariants: column
+    slices stay timestamp-sorted (stable mask selection), the horizon
+    is inherited unchanged, and local key ids are dense.
+
+    Elasticity: :meth:`with_slot_map` derives a sibling partitioner for
+    a relabelled slot map (a migration / split / merge) without
+    rehashing keys — the key → slot hash is immutable for the life of
+    the stream.  A legacy explicit ``assignment`` (key → shard) is
+    still accepted for tests; such a partitioner carries no slot
+    structure and cannot migrate.
     """
 
     def __init__(
@@ -222,21 +269,44 @@ class KeyPartitioner:
         num_keys: int,
         num_shards: int,
         assignment: "np.ndarray | None" = None,
+        slot_map: "np.ndarray | None" = None,
+        num_slots: int = DEFAULT_NUM_SLOTS,
     ):
+        if assignment is not None and slot_map is not None:
+            raise ExecutionError(
+                "pass either assignment (key → shard) or slot_map "
+                "(slot → shard), not both"
+            )
         if assignment is None:
-            assignment = shard_assignment(num_keys, num_shards)
-        assignment = np.asarray(assignment, dtype=np.int64)
-        if assignment.shape != (num_keys,):
-            raise ExecutionError(
-                f"assignment must have shape ({num_keys},), "
-                f"got {assignment.shape}"
-            )
-        if num_keys and (
-            assignment.min() < 0 or assignment.max() >= num_shards
-        ):
-            raise ExecutionError(
-                f"assignment entries must lie in [0, {num_shards})"
-            )
+            if slot_map is None:
+                slot_map = default_slot_map(num_slots, num_shards)
+            slot_map = np.asarray(slot_map, dtype=np.int64)
+            if slot_map.ndim != 1 or slot_map.size < 1:
+                raise ExecutionError("slot_map must be a 1-d array")
+            if slot_map.min() < 0 or slot_map.max() >= num_shards:
+                raise ExecutionError(
+                    f"slot_map entries must lie in [0, {num_shards})"
+                )
+            self.num_slots = int(slot_map.size)
+            self.slot_map = slot_map
+            self.slot_of_key = key_slots(num_keys, self.num_slots)
+            assignment = slot_map[self.slot_of_key]
+        else:
+            assignment = np.asarray(assignment, dtype=np.int64)
+            if assignment.shape != (num_keys,):
+                raise ExecutionError(
+                    f"assignment must have shape ({num_keys},), "
+                    f"got {assignment.shape}"
+                )
+            if num_keys and (
+                assignment.min() < 0 or assignment.max() >= num_shards
+            ):
+                raise ExecutionError(
+                    f"assignment entries must lie in [0, {num_shards})"
+                )
+            self.num_slots = 0
+            self.slot_map = None
+            self.slot_of_key = None
         self.num_keys = num_keys
         self.num_shards = num_shards
         self.shard_of = assignment
@@ -251,6 +321,34 @@ class KeyPartitioner:
     def local_num_keys(self, shard: int) -> int:
         """Local dense-id space size (>= 1 even for empty shards)."""
         return max(1, int(self.owned[shard].size))
+
+    def keys_in_slots(self, slots: "Sequence[int]") -> np.ndarray:
+        """Global key ids hashing into any of ``slots`` (ascending)."""
+        if self.slot_of_key is None:
+            raise ExecutionError(
+                "partitioner built from an explicit assignment has no "
+                "slot structure"
+            )
+        return np.flatnonzero(
+            np.isin(self.slot_of_key, np.asarray(slots, dtype=np.int64))
+        )
+
+    def with_slot_map(
+        self, slot_map: np.ndarray, num_shards: "int | None" = None
+    ) -> "KeyPartitioner":
+        """Sibling partitioner for a relabelled slot map (same keys,
+        same key → slot hash).  ``num_shards`` may grow or shrink for
+        splits/merges."""
+        if self.slot_of_key is None:
+            raise ExecutionError(
+                "partitioner built from an explicit assignment has no "
+                "slot structure"
+            )
+        return KeyPartitioner(
+            self.num_keys,
+            self.num_shards if num_shards is None else num_shards,
+            slot_map=np.asarray(slot_map, dtype=np.int64),
+        )
 
     def split_arrays(
         self, ts: np.ndarray, keys: np.ndarray, values: np.ndarray

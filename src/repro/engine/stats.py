@@ -44,6 +44,11 @@ class ExecutionStats:
     events_binned: int = 0
     bytes_copied: int = 0
     copies_elided: int = 0
+    #: Decayed per-shard load report ``{shard: {"events", "bytes",
+    #: "slots", "keys"}}`` — attached by the sharded coordinator only
+    #: (``None`` on single-core stats; excluded from :meth:`merge`, as
+    #: it describes a layout, not additive work).
+    shard_loads: "dict[int, dict[str, float]] | None" = None
 
     def record_pairs(
         self, window: Window, pairs: int, physical: "int | None" = None

@@ -54,6 +54,41 @@ EmitSink = Callable[[Window, int, int, np.ndarray], None]
 PartialSink = Callable[[Window, int, int, tuple], None]
 
 
+def _pad_columns(buf: np.ndarray, width: int, ident: float) -> np.ndarray:
+    """Extend ``buf`` to ``width`` columns with identity fill.
+
+    Pane spans are data-dependent (a chunk of far-future events grows
+    the buffer), so two lockstep cores can retain different widths for
+    the same operator; identity columns are exactly what
+    ``_ensure_panes`` would have materialized, so padding is free of
+    observable effect.
+    """
+    missing = width - buf.shape[1]
+    if missing <= 0:
+        return buf
+    pad = np.full((buf.shape[0], missing), ident, dtype=np.float64)
+    return np.concatenate((buf, pad), axis=1)
+
+
+def _splice_rows(
+    buf: np.ndarray, rows: np.ndarray, positions: np.ndarray, num_keys: int
+) -> np.ndarray:
+    """Insert ``rows`` at ``positions`` of a ``num_keys``-row result.
+
+    Surviving rows of ``buf`` keep their relative order; ``positions``
+    are the destination-local ids of the incoming keys after the key
+    renumbering a migration implies (local id = rank in the sorted
+    owned-key set).
+    """
+    out = np.empty((num_keys, buf.shape[1]), dtype=buf.dtype)
+    keep = np.setdiff1d(
+        np.arange(num_keys, dtype=np.int64), positions, assume_unique=True
+    )
+    out[keep] = buf
+    out[positions] = rows
+    return out
+
+
 class _StreamingWindowOperator:
     """Shared machinery: open-instance state and watermark-driven close."""
 
@@ -404,6 +439,54 @@ class _ChunkedOperator:
         self.start_instance = state["start_instance"]
         self.max_retained = state["max_retained"]
 
+    # ------------------------------------------------------------------
+    # Elastic-shard protocol: per-key state transplant (DESIGN.md §12)
+    # ------------------------------------------------------------------
+    @property
+    def transplant_key(self) -> tuple:
+        """Cross-core identity checked when migrating keys at a barrier.
+
+        Unlike :attr:`handoff_key` it excludes ``num_keys`` (source and
+        destination cores own different key counts by construction) and
+        includes the close cursor: at a watermark barrier every lockstep
+        core has driven the same mutation/watermark history, so two
+        cores' instances of the same operator must agree on all of
+        these or the migration would splice misaligned state.
+        """
+        provider = getattr(self, "provider", None)
+        return (
+            type(self).__name__,
+            self.window,
+            self.aggregate.name,
+            provider,
+            self.start_instance,
+            self.next_close,
+            self.num_instances,
+        )
+
+    def extract_keys(self, local_ids: np.ndarray) -> dict:
+        """Slice out (and remove) the rows of ``local_ids`` (sorted).
+
+        Only valid at a watermark barrier with no buffered chunk in
+        flight, so the operator buffers are exactly the per-key state.
+        Remaining keys renumber down to close the gap (local id = rank
+        in the sorted owned set).
+        """
+        self.num_keys -= int(local_ids.size)
+        return {"key": self.transplant_key}
+
+    def absorb_keys(
+        self, state: dict, positions: np.ndarray, num_keys: int
+    ) -> None:
+        """Splice an extracted bundle in at ``positions`` of the new
+        ``num_keys``-row local key space."""
+        if state["key"] != self.transplant_key:
+            raise ExecutionError(
+                f"cannot absorb keys across incompatible operators: "
+                f"{state['key']} -> {self.transplant_key}"
+            )
+        self.num_keys = num_keys
+
 
 class _ChunkedRawOperator(_ChunkedOperator):
     """Raw mergeable reads via a rolling per-(key, pane) buffer.
@@ -522,6 +605,40 @@ class _ChunkedRawOperator(_ChunkedOperator):
         self.pane_offset = state["pane_offset"]
         self._panes = state["panes"]
 
+    def extract_keys(self, local_ids: np.ndarray) -> dict:
+        state = super().extract_keys(local_ids)
+        state["pane_offset"] = self.pane_offset
+        state["rows"] = [buf[local_ids] for buf in self._panes]
+        self._panes = [np.delete(buf, local_ids, axis=0) for buf in self._panes]
+        return state
+
+    def absorb_keys(
+        self, state: dict, positions: np.ndarray, num_keys: int
+    ) -> None:
+        super().absorb_keys(state, positions, num_keys)
+        if state["pane_offset"] != self.pane_offset:
+            # The pane cursor is a pure function of the watermark
+            # history (always next_close * stride at a barrier), so
+            # lockstep cores can never disagree here.
+            raise ExecutionError(
+                f"{self.window}: pane offset mismatch on key absorb — "
+                f"{state['pane_offset']} vs {self.pane_offset}"
+            )
+        width = max(self._panes[0].shape[1], state["rows"][0].shape[1])
+        self._panes = [
+            _splice_rows(
+                _pad_columns(buf, width, ident),
+                _pad_columns(rows, width, ident),
+                positions,
+                num_keys,
+            )
+            for buf, rows, ident in zip(
+                self._panes,
+                state["rows"],
+                self.aggregate.identity_components,
+            )
+        ]
+
     @property
     def retained_state(self) -> int:
         return self._panes[0].shape[1]
@@ -607,6 +724,36 @@ class _ChunkedHolisticOperator(_ChunkedOperator):
         self._ts = state["ts"]
         self._keys = state["keys"]
         self._values = state["values"]
+
+    def extract_keys(self, local_ids: np.ndarray) -> dict:
+        state = super().extract_keys(local_ids)
+        mask = np.isin(self._keys, local_ids)
+        # Keys travel as ranks into ``local_ids`` so the destination can
+        # relabel them with its own local ids; per-key event order is
+        # preserved (and the holistic close is order-insensitive — it
+        # computes over the per-(key, instance) value multiset).
+        state["ts"] = self._ts[mask]
+        state["kidx"] = np.searchsorted(local_ids, self._keys[mask])
+        state["values"] = self._values[mask]
+        keep = ~mask
+        kept = self._keys[keep]
+        self._ts = self._ts[keep]
+        self._values = self._values[keep]
+        self._keys = kept - np.searchsorted(local_ids, kept, side="left")
+        return state
+
+    def absorb_keys(
+        self, state: dict, positions: np.ndarray, num_keys: int
+    ) -> None:
+        super().absorb_keys(state, positions, num_keys)
+        survivors = np.setdiff1d(
+            np.arange(num_keys, dtype=np.int64), positions, assume_unique=True
+        )
+        if self._keys.size:
+            self._keys = survivors[self._keys]
+        self._ts = np.concatenate((self._ts, state["ts"]))
+        self._keys = np.concatenate((self._keys, positions[state["kidx"]]))
+        self._values = np.concatenate((self._values, state["values"]))
 
     @property
     def retained_state(self) -> int:
@@ -697,6 +844,33 @@ class _ChunkedSubAggOperator(_ChunkedOperator):
         super().adopt(state)
         self.offset = state["offset"]
         self._partials = state["partials"]
+
+    def extract_keys(self, local_ids: np.ndarray) -> dict:
+        state = super().extract_keys(local_ids)
+        state["offset"] = self.offset
+        state["rows"] = [buf[local_ids] for buf in self._partials]
+        self._partials = [
+            np.delete(buf, local_ids, axis=0) for buf in self._partials
+        ]
+        return state
+
+    def absorb_keys(
+        self, state: dict, positions: np.ndarray, num_keys: int
+    ) -> None:
+        super().absorb_keys(state, positions, num_keys)
+        span = self._partials[0].shape[1]
+        if state["offset"] != self.offset or state["rows"][0].shape[1] != span:
+            # Both are pure functions of the provider emission history,
+            # which is watermark-driven and identical across cores.
+            raise ExecutionError(
+                f"{self.window}: provider-partial cursor mismatch on key "
+                f"absorb — [{state['offset']}, +{state['rows'][0].shape[1]}) "
+                f"vs [{self.offset}, +{span})"
+            )
+        self._partials = [
+            _splice_rows(buf, rows, positions, num_keys)
+            for buf, rows in zip(self._partials, state["rows"])
+        ]
 
     @property
     def retained_state(self) -> int:

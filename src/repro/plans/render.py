@@ -70,6 +70,40 @@ def shard_merge_description(aggregate) -> str:
     return "per-key rows concatenate; global partials combine"
 
 
+def resolve_shards(shards):
+    """Normalize a ``shards=`` annotation argument.
+
+    Accepts the historical plain fan-out count, or a live
+    :class:`~repro.runtime.ShardedSession` (anything exposing
+    ``num_shards`` and ``shard_loads()``), in which case the session's
+    decayed per-shard load counters ride along for rendering.
+    Returns ``(count, loads_or_None)``.
+    """
+    if shards is None or isinstance(shards, int):
+        return shards, None
+    return shards.num_shards, shards.shard_loads()
+
+
+def shard_load_lines(loads: dict, indent: str = "  ") -> list[str]:
+    """Render decayed per-shard load counters (DESIGN.md §12).
+
+    One line per shard: decayed event/byte load, the slot count it
+    owns, and its key count — the same numbers ``rebalance()`` greedily
+    balances, so a skewed table here is the signal to migrate.
+    """
+    total = sum(entry["events"] for entry in loads.values())
+    lines = []
+    for shard in sorted(loads):
+        entry = loads[shard]
+        share = entry["events"] / total if total else 0.0
+        lines.append(
+            f"{indent}shard {shard}: load {entry['events']:.1f} ev"
+            f" ({share:.0%}), {entry['bytes']:.0f} B, "
+            f"{int(entry['slots'])} slots, {int(entry['keys'])} keys"
+        )
+    return lines
+
+
 def shard_fanout(plan: LogicalPlan, shards: int) -> str:
     """One-line description of how ``plan`` fans out over key shards.
 
@@ -174,16 +208,20 @@ def _render_expression(plan: LogicalPlan, style: str) -> str:
 def to_tree(
     plan: LogicalPlan,
     engine: "str | None" = None,
-    shards: "int | None" = None,
+    shards: "int | object | None" = None,
 ) -> str:
     """ASCII tree of the plan, root at the top (Figure 2(a) style).
 
     With ``engine`` given, each aggregate line is annotated with the
     physical execution path that engine would use (``via panes[...]``,
-    ``via subagg-gather[...]``, ...).  With ``shards`` given, the
-    header is annotated with the key-shard fan-out the sharded runtime
-    would execute the plan under (DESIGN.md §7).
+    ``via subagg-gather[...]``, ...).  With ``shards`` given — a
+    fan-out count or a live :class:`~repro.runtime.ShardedSession` —
+    the header is annotated with the key-shard fan-out the sharded
+    runtime would execute the plan under (DESIGN.md §7); a session
+    additionally contributes its decayed per-shard load counters
+    (DESIGN.md §12).
     """
+    shards, loads = resolve_shards(shards)
     header = f"[{plan.description}]"
     if engine is not None:
         header += f" engine={engine}"
@@ -192,6 +230,8 @@ def to_tree(
     lines: list[str] = [header]
     if shards is not None:
         lines.append(f"  fan-out: {shard_fanout(plan, shards)}")
+    if loads is not None:
+        lines.extend(shard_load_lines(loads))
 
     def label(node: PlanNode) -> str:
         if isinstance(node, SourceNode):

@@ -26,6 +26,7 @@ construction.
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -301,6 +302,221 @@ class SessionCore:
         """Largest per-operator buffered-state high-water mark."""
         marks = [rt.max_retained_state() for rt in self._groups.values()]
         return max(marks, default=0)
+
+    # ------------------------------------------------------------------
+    # Elastic-shard protocol: key transplant at a barrier (DESIGN.md §12)
+    # ------------------------------------------------------------------
+    def _require_barrier(self, what: str) -> None:
+        if self._buffered:
+            raise ExecutionError(
+                f"{what} requires a drained core — {self._buffered} "
+                "buffered events mean the caller is not at a watermark "
+                "barrier"
+            )
+
+    def extract_keys(self, local_ids: "np.ndarray | list[int]") -> dict:
+        """Remove and export the per-key state of ``local_ids``.
+
+        ``local_ids`` are sorted local key ids.  Only valid at a
+        watermark barrier (no buffered events): per-key state is then
+        exactly the retained operator buffers plus the
+        emitted-but-undrained subscription rows.  Remaining keys
+        renumber down to rank order in the surviving owned-key set.
+        The bundle is plain picklable data for :meth:`absorb_keys` on a
+        lockstep sibling core.  Cross-key partial subscriptions ship
+        nothing — closed instances keep their contributions here, and
+        every instance still counts each key exactly once.
+        """
+        self._require_barrier("extract_keys")
+        local_ids = np.asarray(local_ids, dtype=np.int64)
+        if local_ids.size == 0:
+            raise ExecutionError("extract_keys needs at least one key")
+        if local_ids[0] < 0 or local_ids[-1] >= self.num_keys:
+            raise ExecutionError(
+                f"local ids outside [0, {self.num_keys})"
+            )
+        groups = [
+            (key, [op.extract_keys(local_ids) for op in rt.advance_order])
+            for key, rt in self._groups.items()
+        ]
+        subs = [
+            (slot, sub.extract_keys(local_ids))
+            for slot, sub in self._subs.items()
+        ]
+        retired = [
+            (slot, sub.extract_keys(local_ids))
+            for slot, sub in self._retired.items()
+            if isinstance(sub, Subscription)
+        ]
+        self.num_keys -= int(local_ids.size)
+        return {
+            "watermark": self._watermark,
+            "generation": self.generation,
+            "count": int(local_ids.size),
+            "groups": groups,
+            "subs": subs,
+            "retired": retired,
+        }
+
+    def absorb_keys(
+        self, bundle: dict, positions: "np.ndarray | list[int]"
+    ) -> None:
+        """Splice an extracted key bundle into this core.
+
+        ``positions`` are the incoming keys' local ids in this core's
+        *post-absorb* owned-key ranking.  Both cores must sit at the
+        same barrier (equal watermark and generation) — lockstep makes
+        their operator/subscription structure identical, which every
+        layer below re-asserts.
+        """
+        self._require_barrier("absorb_keys")
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size != bundle["count"]:
+            raise ExecutionError(
+                f"bundle carries {bundle['count']} keys but "
+                f"{positions.size} positions given"
+            )
+        if (
+            bundle["watermark"] != self._watermark
+            or bundle["generation"] != self.generation
+        ):
+            raise ExecutionError(
+                f"key absorb across barriers: bundle at "
+                f"(wm={bundle['watermark']}, gen={bundle['generation']}) "
+                f"vs core at (wm={self._watermark}, "
+                f"gen={self.generation})"
+            )
+        num_keys = self.num_keys + int(positions.size)
+        if [key for key, _ in bundle["groups"]] != list(self._groups):
+            raise ExecutionError("group structure mismatch on key absorb")
+        for key, op_states in bundle["groups"]:
+            runtime = self._groups[key]
+            if len(op_states) != len(runtime.advance_order):
+                raise ExecutionError(
+                    f"{key[0]}: operator count mismatch on key absorb"
+                )
+            for op, state in zip(runtime.advance_order, op_states):
+                op.absorb_keys(state, positions, num_keys)
+        for slots, incoming, label in (
+            (self._subs, bundle["subs"], "subscription"),
+            (
+                {
+                    slot: sub
+                    for slot, sub in self._retired.items()
+                    if isinstance(sub, Subscription)
+                },
+                bundle["retired"],
+                "retired subscription",
+            ),
+        ):
+            if [slot for slot, _ in incoming] != list(slots):
+                raise ExecutionError(
+                    f"{label} structure mismatch on key absorb"
+                )
+            for slot, state in incoming:
+                slots[slot].absorb_keys(state, positions, num_keys)
+        self.num_keys = num_keys
+
+    def spawn_sibling(self) -> "SessionCore":
+        """Clone this core into a fresh, keyless sibling (shard split).
+
+        The sibling inherits the entire workload/plan/generation
+        history — which is what keeps every barrier identity
+        (operator structure, close cursors, subscription frontiers)
+        valid — but starts empty: per-key rows stripped, cross-key
+        partial blocks neutralized to identity components, and all
+        counters zeroed so the merged logical stats across cores stay
+        equal to the unsharded run.
+        """
+        self._require_barrier("spawn_sibling")
+        twin: "SessionCore" = pickle.loads(pickle.dumps(self))
+        twin.extract_keys(np.arange(twin.num_keys, dtype=np.int64))
+        for psub in twin._psubs.values():
+            psub.neutralize()
+        for sub in twin._retired.values():
+            if isinstance(sub, PartialSubscription):
+                sub.neutralize()
+        for runtime in twin._groups.values():
+            runtime.stats.__init__()
+        twin.wall_seconds = 0.0
+        twin.bytes_copied = 0
+        twin.copies_elided = 0
+        twin.retired_results_evicted = 0
+        twin.retired_instances_evicted = 0
+        return twin
+
+    def extract_remnant(self) -> dict:
+        """Export the cross-key residue of a retiring (keyless) core.
+
+        After :meth:`extract_keys` moved every owned key out, what
+        remains is state reduced *over* keys: partial-subscription
+        blocks holding closed-instance contributions of keys this core
+        used to own, plus the logical counters.  The coordinator folds
+        the remnant into exactly one surviving core, so each instance
+        still counts every key once and merged stats stay equal to the
+        unsharded run.
+        """
+        return {
+            "watermark": self._watermark,
+            "generation": self.generation,
+            "psubs": [
+                (slot, psub.extract_remnant())
+                for slot, psub in self._psubs.items()
+            ],
+            "retired_psubs": [
+                (slot, sub.extract_remnant())
+                for slot, sub in self._retired.items()
+                if isinstance(sub, PartialSubscription)
+            ],
+            "group_stats": [
+                (key, rt.stats) for key, rt in self._groups.items()
+            ],
+            "wall_seconds": self.wall_seconds,
+            "bytes_copied": self.bytes_copied,
+            "copies_elided": self.copies_elided,
+            "retired_results_evicted": self.retired_results_evicted,
+            "retired_instances_evicted": self.retired_instances_evicted,
+        }
+
+    def absorb_remnant(self, remnant: dict) -> None:
+        """Fold a retiring core's cross-key residue into this core."""
+        self._require_barrier("absorb_remnant")
+        if (
+            remnant["watermark"] != self._watermark
+            or remnant["generation"] != self.generation
+        ):
+            raise ExecutionError(
+                "remnant absorb across barriers: "
+                f"(wm={remnant['watermark']}, gen={remnant['generation']}) "
+                f"vs (wm={self._watermark}, gen={self.generation})"
+            )
+        for slots, incoming, label in (
+            (self._psubs, remnant["psubs"], "partial subscription"),
+            (
+                {
+                    slot: sub
+                    for slot, sub in self._retired.items()
+                    if isinstance(sub, PartialSubscription)
+                },
+                remnant["retired_psubs"],
+                "retired partial subscription",
+            ),
+        ):
+            if [slot for slot, _ in incoming] != list(slots):
+                raise ExecutionError(
+                    f"{label} structure mismatch on remnant absorb"
+                )
+            for slot, state in incoming:
+                slots[slot].absorb_remnant(state)
+        if [key for key, _ in remnant["group_stats"]] != list(self._groups):
+            raise ExecutionError("group structure mismatch on remnant absorb")
+        for key, stats in remnant["group_stats"]:
+            self._groups[key].stats.merge(stats)
+        self.wall_seconds += remnant["wall_seconds"]
+        self.bytes_copied += remnant["bytes_copied"]
+        self.copies_elided += remnant["copies_elided"]
+        self.retired_results_evicted += remnant["retired_results_evicted"]
+        self.retired_instances_evicted += remnant["retired_instances_evicted"]
 
     def _next_seq(self) -> int:
         self._seq += 1

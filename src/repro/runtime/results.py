@@ -150,6 +150,53 @@ class Subscription:
         """Instances currently buffered (retention accounting)."""
         return self.frontier - self.start
 
+    # ------------------------------------------------------------------
+    # Elastic-shard protocol (DESIGN.md §12): emitted-but-undrained
+    # blocks are per-key rows and travel with their keys.
+    # ------------------------------------------------------------------
+    def extract_keys(self, local_ids: np.ndarray) -> dict:
+        """Remove and return the rows of ``local_ids`` (sorted)."""
+        rows = [block[local_ids] for block in self._blocks]
+        self._blocks = [
+            np.delete(block, local_ids, axis=0) for block in self._blocks
+        ]
+        self.num_keys -= int(local_ids.size)
+        return {"start": self.start, "frontier": self.frontier, "rows": rows}
+
+    def absorb_keys(
+        self, state: dict, positions: np.ndarray, num_keys: int
+    ) -> None:
+        """Splice extracted rows in at ``positions``.
+
+        Block boundaries are emission-driven and the coordinator drains
+        every core in the same collect, so lockstep cores always agree
+        on the block structure here.
+        """
+        if (
+            state["start"] != self.start
+            or state["frontier"] != self.frontier
+            or len(state["rows"]) != len(self._blocks)
+            or any(
+                rows.shape[1] != block.shape[1]
+                for rows, block in zip(state["rows"], self._blocks)
+            )
+        ):
+            raise ExecutionError(
+                f"{self.query}/{self.window}: subscription block "
+                "structure mismatch on key absorb"
+            )
+        keep = np.setdiff1d(
+            np.arange(num_keys, dtype=np.int64), positions, assume_unique=True
+        )
+        spliced = []
+        for block, rows in zip(self._blocks, state["rows"]):
+            out = np.empty((num_keys, block.shape[1]), dtype=block.dtype)
+            out[keep] = block
+            out[positions] = rows
+            spliced.append(out)
+        self._blocks = spliced
+        self.num_keys = num_keys
+
 
 class PartialSubscription:
     """Routes one (query, window)'s pre-finalize component blocks.
@@ -233,6 +280,51 @@ class PartialSubscription:
     @property
     def emitted_instances(self) -> int:
         return self.frontier - self.start
+
+    # ------------------------------------------------------------------
+    # Elastic-shard protocol (DESIGN.md §12).  Partials are already
+    # reduced over local keys, so a key *move* ships nothing: closed
+    # instances keep their contributions on the emitting core and every
+    # instance still counts each key exactly once.  Only shard
+    # retirement folds state — the remnant combine below — and a
+    # spawned sibling must first neutralize its inherited blocks.
+    # ------------------------------------------------------------------
+    def neutralize(self) -> None:
+        """Replace every buffered block with identity components,
+        keeping the spans (a fresh sibling core contributed nothing to
+        the instances already emitted)."""
+        identity = self.aggregate.identity_components
+        self._blocks = [
+            tuple(
+                np.full(part.shape, ident, dtype=np.float64)
+                for part, ident in zip(block, identity)
+            )
+            for block in self._blocks
+        ]
+
+    def extract_remnant(self) -> dict:
+        """Export buffered blocks for folding into a surviving core."""
+        return {
+            "start": self.start,
+            "frontier": self.frontier,
+            "blocks": self._blocks,
+        }
+
+    def absorb_remnant(self, state: dict) -> None:
+        """Elementwise-combine a retiring core's blocks into ours."""
+        if (
+            state["start"] != self.start
+            or state["frontier"] != self.frontier
+            or len(state["blocks"]) != len(self._blocks)
+        ):
+            raise ExecutionError(
+                f"{self.query}/{self.window}: partial block structure "
+                "mismatch on remnant absorb"
+            )
+        self._blocks = [
+            self.aggregate.combine(mine, theirs)
+            for mine, theirs in zip(self._blocks, state["blocks"])
+        ]
 
 
 def finalize_partials(

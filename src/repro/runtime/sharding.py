@@ -50,6 +50,7 @@ third-party implementations in ``docs/backends.md``):
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import time
 import traceback
@@ -60,7 +61,12 @@ import numpy as np
 from ..aggregates.registry import get_aggregate
 from ..core.adaptive import RateController
 from ..core.multiquery import Query
-from ..engine.events import EventBatch, KeyPartitioner
+from ..engine.events import (
+    DEFAULT_NUM_SLOTS,
+    EVENT_BYTES,
+    EventBatch,
+    KeyPartitioner,
+)
 from ..engine.outoforder import ReorderBuffer
 from ..engine.stats import ExecutionStats
 from ..errors import ExecutionError
@@ -104,6 +110,35 @@ DEFAULT_CONTROL_TIMEOUT = 60.0
 #: ``configure(control_timeout=...)`` sentinel: "leave it unchanged"
 #: must be distinguishable from an explicit ``None`` (no deadline).
 _TIMEOUT_UNSET = object()
+
+#: Per-flush exponential decay of the per-slot load counters: recent
+#: traffic dominates the rebalance policy, but a slot that was hot a
+#: few chunks ago still registers (half-life ≈ 3 flushes).
+LOAD_DECAY = 0.8
+
+
+class _MigrationDisrupted(ExecutionError):
+    """A worker died or stalled *inside* a migration plan.
+
+    Migration state transplants are not replayable commands — a bundle
+    extracted from a core that subsequently crashed and was restored
+    would be applied twice — so the normal per-command recovery path is
+    disabled during a plan.  The coordinator instead catches this,
+    rolls every shard back to the pre-migration snapshot
+    (:meth:`_WorkerShardBackend.migration_rollback`), and redoes the
+    whole plan from scratch.  Subclasses :class:`ExecutionError` so an
+    unrecoverable disruption (recovery unarmed, or a second failure)
+    surfaces through the ordinary error contract.
+    """
+
+    def __init__(self, slot: int, op: str, cause: str):
+        super().__init__(
+            f"migration op {op!r} disrupted on backend slot {slot}: "
+            f"{cause}"
+        )
+        self.slot = slot
+        self.op = op
+        self.cause = cause
 
 
 @dataclass(frozen=True)
@@ -221,6 +256,31 @@ class SerialShardBackend:
             )
         self.cores = [pickle.loads(state) for state in states]
 
+    # ------------------------------------------------------------------
+    # Elastic-shard protocol (DESIGN.md §12): direct core calls.  The
+    # worker backends speak the identical five-op vocabulary over their
+    # control pipes, so one coordinator plan drives all three.
+    # ------------------------------------------------------------------
+    @property
+    def slot_count(self) -> int:
+        return len(self.cores)
+
+    def migrate_extract(self, slot: int, local_ids) -> object:
+        return self.cores[slot].extract_keys(local_ids)
+
+    def migrate_absorb(self, slot: int, bundle, positions) -> None:
+        self.cores[slot].absorb_keys(bundle, positions)
+
+    def spawn_sibling(self, src_slot: int, config: ShardConfig) -> None:
+        del config  # the sibling clones the donor; nothing to build
+        self.cores.append(self.cores[src_slot].spawn_sibling())
+
+    def retire_shard(self, slot: int) -> object:
+        return self.cores.pop(slot).extract_remnant()
+
+    def absorb_remnant(self, slot: int, remnant) -> None:
+        self.cores[slot].absorb_remnant(remnant)
+
     def close(self) -> None:
         pass
 
@@ -240,6 +300,15 @@ _REPLY_OPS = frozenset(
         "retained",
         "snapshot",
         "restore",
+        # Elastic-shard migration vocabulary (DESIGN.md §12).  These
+        # are deliberately *not* in _LOGGED_OPS: a transplant is not
+        # replayable command-by-command — recovery instead rolls the
+        # whole migration back to its pre-plan snapshot and redoes it.
+        "extract",
+        "absorb",
+        "sibling",
+        "remnant",
+        "absorb_remnant",
     }
 )
 
@@ -290,6 +359,27 @@ def _apply_control(core, conn, msg, pending_error: "str | None") -> "str | None"
             )
         elif op == "retained":
             conn.send(("ok", core.max_retained_state()))
+        elif op == "extract":
+            # The coordinator only sends migration ops at a drained
+            # barrier (ring empty / pipe fully consumed), which the
+            # core re-asserts via _require_barrier.
+            conn.send(("ok", core.extract_keys(msg[1])))
+        elif op == "absorb":
+            conn.send(("ok", core.absorb_keys(msg[1], msg[2])))
+        elif op == "sibling":
+            conn.send(
+                (
+                    "ok",
+                    pickle.dumps(
+                        core.spawn_sibling(),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    ),
+                )
+            )
+        elif op == "remnant":
+            conn.send(("ok", core.extract_remnant()))
+        elif op == "absorb_remnant":
+            conn.send(("ok", core.absorb_remnant(msg[1])))
         elif op == "snapshot":
             # The coordinator broadcasts this after publishing all
             # pending data, so the stream position of this command IS
@@ -497,6 +587,7 @@ class _WorkerShardBackend:
         self._last_advance = 0
         self._last_acked: "list[int]" = []
         self._fatal_tracebacks: "dict[int, str]" = {}
+        self._migration_active = False
         self.recoveries = 0
 
     def configure(
@@ -725,6 +816,11 @@ class _WorkerShardBackend:
             else:  # dead or stall
                 failed.append((slot, cause))
         for slot, cause in failed:
+            if self._migration_active:
+                # Per-slot replay recovery is invalid mid-epoch: the
+                # replay base predates the (unlogged) migration ops.
+                # Escalate so the coordinator rolls the epoch back.
+                raise _MigrationDisrupted(slot, op, cause)
             if not self._retain:
                 self._raise_worker_failure(slot, cause, op)
             replies[slot] = self._recover_slot(slot, cause, inflight=msg)
@@ -804,10 +900,182 @@ class _WorkerShardBackend:
         the attempt, so recovery replays it — nothing to re-send here."""
         proc = self._procs[slot]
         dead = proc is None or not proc.is_alive()
+        if self._migration_active:  # pragma: no cover - defensive
+            raise _MigrationDisrupted(slot, op, cause)
         if self._retain and dead:
             self._recover_slot(slot, cause, inflight=None)
         else:
             self._raise_worker_failure(slot, cause, op)
+
+    # ------------------------------------------------------------------
+    # Elastic-shard protocol (DESIGN.md §12)
+    # ------------------------------------------------------------------
+    # Migration ops are single-slot, synchronous, and — unlike every
+    # other command — NOT individually recoverable: a transplant
+    # bundle extracted from a core that then crashed and was restored
+    # from its base would be applied twice.  A failure mid-plan raises
+    # :class:`_MigrationDisrupted` instead; the coordinator rolls the
+    # whole topology back to the epoch snapshot and redoes the plan.
+    @property
+    def slot_count(self) -> int:
+        return len(self._conns)
+
+    @property
+    def recovery_armed(self) -> bool:
+        return self._retain
+
+    def _migration_command(self, slot: int, msg):
+        op = msg[0]
+        try:
+            self._send_control(slot, msg)
+        except (BrokenPipeError, OSError) as exc:
+            self._migration_failure(slot, op, f"control send failed ({exc})")
+        kind, payload, cause = self._recv_reply(slot)
+        if kind == "ok":
+            self._last_acked[slot] = self._last_advance
+            return payload
+        if kind == "error":
+            raise ExecutionError(
+                f"shard {self._configs[slot].shard} rejected migration "
+                f"op {op!r}:\n{payload}"
+            )
+        self._migration_failure(slot, op, cause)
+
+    def _migration_failure(self, slot: int, op: str, cause: str) -> None:
+        if self._retain:
+            raise _MigrationDisrupted(slot, op, cause)
+        self._raise_worker_failure(slot, cause, op)
+
+    def migrate_extract(self, slot: int, local_ids) -> object:
+        return self._migration_command(slot, ("extract", local_ids))
+
+    def migrate_absorb(self, slot: int, bundle, positions) -> None:
+        self._migration_command(slot, ("absorb", bundle, positions))
+
+    def absorb_remnant(self, slot: int, remnant) -> None:
+        self._migration_command(slot, ("absorb_remnant", remnant))
+
+    def spawn_sibling(self, src_slot: int, config: ShardConfig) -> None:
+        """Shard split: clone the donor core into a fresh worker.
+
+        The donor serializes a keyless sibling (workload history and
+        barrier cursors intact, per-key state stripped, counters
+        zeroed); a new worker is spawned at the end of the slot list
+        and restores the sibling blob."""
+        blob = self._migration_command(src_slot, ("sibling",))
+        self._spawn_worker(config)
+        slot = len(self._conns) - 1
+        try:
+            self._conns[slot].send(("restore", blob))
+        except (BrokenPipeError, OSError) as exc:
+            self._migration_failure(
+                slot, "sibling", f"restore send failed ({exc})"
+            )
+        kind, payload, cause = self._recv_reply(slot)
+        if kind != "ok":
+            self._migration_failure(
+                slot,
+                "sibling",
+                cause or f"sibling restore rejected:\n{payload}",
+            )
+
+    def retire_shard(self, slot: int) -> object:
+        """Shard merge: collect the keyless core's cross-key remnant,
+        shut its worker down, and drop the slot from the topology."""
+        remnant = self._migration_command(slot, ("remnant",))
+        conn = self._conns[slot]
+        try:
+            conn.send(("close",))
+        except (BrokenPipeError, OSError):
+            pass
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        proc = self._procs[slot]
+        if proc is not None:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stubborn worker
+                proc.terminate()
+                proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stubborn worker
+                proc.kill()
+                proc.join(timeout=10.0)
+        self._drop_slot(slot)
+        return remnant
+
+    def _drop_slot(self, slot: int) -> None:
+        for seq in (
+            self._conns,
+            self._procs,
+            self._configs,
+            self._base_states,
+            self._logs,
+            self._last_acked,
+        ):
+            del seq[slot]
+        self._fatal_tracebacks = {
+            (s - 1 if s > slot else s): tb
+            for s, tb in self._fatal_tracebacks.items()
+            if s != slot
+        }
+
+    def migration_epoch_begin(self) -> None:
+        """Open a migration epoch: snapshot every core (the rollback
+        point) and remember the pre-plan topology."""
+        if not self._retain:
+            raise ExecutionError(
+                "migration epochs require worker_recovery=True"
+            )
+        self.snapshot()
+        self._epoch_configs = list(self._configs)
+        self._epoch_bases = list(self._base_states)
+        # From here until epoch_end's snapshot lands, a worker death
+        # cannot be repaired per-slot (migration ops are unlogged) —
+        # _command escalates failures to _MigrationDisrupted instead.
+        self._migration_active = True
+
+    def migration_rollback(self) -> None:
+        """Discard a half-run migration plan: tear down whatever
+        topology it left behind and rebuild the epoch's workers from
+        their pre-plan snapshots.  Counts as one recovery."""
+        for slot in range(len(self._conns)):
+            self._reap(slot)
+        self._conns, self._procs = [], []
+        self._configs = []
+        self._base_states, self._logs = [], []
+        self._last_acked = []
+        self._fatal_tracebacks = {}
+        self._release_data_plane()
+        for config, base in zip(self._epoch_configs, self._epoch_bases):
+            self._spawn_worker(config)
+            slot = len(self._conns) - 1
+            if base is None:  # pragma: no cover - defensive
+                raise ExecutionError(
+                    f"no rollback snapshot for shard {config.shard}"
+                )
+            self._conns[slot].send(("restore", base))
+            kind, payload, cause = self._recv_reply(slot)
+            if kind != "ok":
+                self._raise_worker_failure(
+                    slot,
+                    cause or f"rollback restore rejected:\n{payload}",
+                    "restore",
+                )
+            self._base_states[slot] = base
+        self.recoveries += 1
+
+    def migration_epoch_end(self) -> None:
+        """Close a migration epoch: re-snapshot the (possibly resized)
+        topology so ordinary per-worker crash recovery resumes from the
+        post-migration layout."""
+        self.snapshot()
+        self._migration_active = False
+        self._epoch_configs = []
+        self._epoch_bases = []
+
+    def _spawn_worker(self, config: ShardConfig) -> None:  # pragma: no cover
+        raise NotImplementedError
 
     # Subclass hooks -----------------------------------------------------
     def _respawn_slot(self, slot: int) -> None:  # pragma: no cover
@@ -989,6 +1257,9 @@ class ProcessShardBackend(_WorkerShardBackend):
     def _respawn_slot(self, slot: int) -> None:
         self._spawn_at(slot, _shard_worker)
 
+    def _spawn_worker(self, config: ShardConfig) -> None:
+        self._spawn(config, _shard_worker)
+
     def _replay_feed(self, slot, chunks) -> None:
         self._conns[slot].send(("feed", chunks))
 
@@ -1106,6 +1377,27 @@ class SharedMemoryShardBackend(_WorkerShardBackend):
         self._rings[slot] = ring
         untrack = self._ctx.get_start_method() != "fork"
         self._spawn_at(slot, _shm_shard_worker, (ring.spec, untrack))
+
+    def _spawn_worker(self, config: ShardConfig) -> None:
+        from .shm_ring import ShmRing
+
+        ring = ShmRing.create(
+            slot_events=self._slot_events, num_slots=self._num_slots
+        )
+        untrack = self._ctx.get_start_method() != "fork"
+        try:
+            self._spawn(config, _shm_shard_worker, (ring.spec, untrack))
+        except BaseException:  # pragma: no cover - spawn failure
+            ring.close_ring()
+            ring.close()
+            raise
+        self._rings.append(ring)
+
+    def _drop_slot(self, slot: int) -> None:
+        ring = self._rings.pop(slot)
+        ring.close_ring()
+        ring.close()
+        super()._drop_slot(slot)
 
     def _replay_feed(self, slot, chunks) -> None:
         for ts, keys, values in chunks:
@@ -1234,8 +1526,9 @@ class ShardedSession(AsyncIngestFrontDoor):
     def __init__(
         self,
         num_keys: int = 1,
-        num_shards: int = 1,
+        num_shards: "int | str" = 1,
         backend: "str | object" = "serial",
+        num_slots: int = DEFAULT_NUM_SLOTS,
         max_lateness: int = 0,
         chunk_ticks: "int | None" = None,
         event_rate: int = 1,
@@ -1255,13 +1548,29 @@ class ShardedSession(AsyncIngestFrontDoor):
     ):
         if num_keys < 1:
             raise ExecutionError(f"num_keys must be >= 1, got {num_keys}")
+        if num_shards == "auto":
+            # One shard per CPU, never more than one per slot — the
+            # elastic APIs (rebalance / split / merge) then adapt the
+            # layout to the observed load.
+            num_shards = max(1, min(os.cpu_count() or 1, num_slots))
+        elif isinstance(num_shards, str):
+            raise ExecutionError(
+                f"num_shards must be an int or 'auto', got {num_shards!r}"
+            )
         if num_shards < 1:
             raise ExecutionError(
                 f"num_shards must be >= 1, got {num_shards}"
             )
         self.num_keys = num_keys
         self.num_shards = num_shards
-        self.partitioner = KeyPartitioner(num_keys, num_shards)
+        self.partitioner = KeyPartitioner(
+            num_keys, num_shards, num_slots=num_slots
+        )
+        self.num_slots = self.partitioner.num_slots
+        # Decayed per-slot load counters (events and bytes) — the
+        # signal the rebalance policy reads (DESIGN.md §12).
+        self._slot_events = np.zeros(self.num_slots, dtype=np.float64)
+        self._slot_bytes = np.zeros(self.num_slots, dtype=np.float64)
         # Only shards that own keys get a core: a key-less core would
         # still close (dummy-key) instances forever — wasted work that
         # would also inflate the logical pair counters sharding must
@@ -1415,6 +1724,8 @@ class ShardedSession(AsyncIngestFrontDoor):
         if self._forward is not None:
             merged.merge(self._forward.stats())
         merged.wall_seconds = self.wall_seconds
+        if self.partitioner.slot_map is not None:
+            merged.shard_loads = self._shard_loads_now()
         return merged
 
     def max_retained_state(self) -> int:
@@ -1601,9 +1912,56 @@ class ShardedSession(AsyncIngestFrontDoor):
             self._on_checkpoint(snap, path)
 
     def push_many(self, events) -> None:
-        """Ingest an iterable of ``(ts, key, value)`` events."""
-        for ts, key, value in events:
-            self.push(ts, key, value)
+        """Ingest an iterable of ``(ts, key, value)`` events.
+
+        Sync mode routes the whole iterable through the vectorized
+        reorder front door (:meth:`ReorderBuffer.push_batch`): one
+        columnar heap pass and per-chunk array routing instead of
+        per-event Python dispatch, with identical results, identical
+        late-drop decisions, and identical reorder counters.  Async
+        mode enqueues per event, as before."""
+        if self._pump is not None and self._pump.accepting:
+            for ts, key, value in events:
+                self.push(ts, key, value)
+            return
+        self._push_many_now(events)
+
+    def _push_many_now(self, events) -> None:
+        self._require_open()
+        rows = events if isinstance(events, np.ndarray) else list(events)
+        if len(rows) == 0:
+            return
+        arr = np.asarray(rows, dtype=np.float64)
+        ts = arr[:, 0].astype(np.int64)
+        keys = arr[:, 1].astype(np.int64)
+        values = np.ascontiguousarray(arr[:, 2])
+        if int(keys.min()) < 0 or int(keys.max()) >= self.num_keys:
+            raise ExecutionError(
+                f"key outside dense id space [0, {self.num_keys})"
+            )
+        released = self._reorder.push_batch(ts, keys, values)
+        self._route_arrays(*released)
+        if self._rate_observer.pending_rate is not None:
+            self._apply_rate(self._rate_observer.take_pending())
+        self._maybe_auto_checkpoint()
+
+    def _route_arrays(self, ts, keys, values) -> None:
+        """Buffer a *released* (timestamp-sorted) columnar run,
+        flushing at every chunk boundary — the vectorized twin of
+        looping :meth:`_route`."""
+        n = int(ts.size)
+        pos = 0
+        while pos < n:
+            cut = int(np.searchsorted(ts, self._chunk_end, side="left"))
+            if cut >= n:
+                self._buffer_arrays(ts[pos:], keys[pos:], values[pos:])
+                break
+            cut += 1
+            self._buffer_arrays(ts[pos:cut], keys[pos:cut], values[pos:cut])
+            pos = cut
+            last = int(ts[cut - 1])
+            while last >= self._chunk_end:
+                self._flush(self._chunk_end)
 
     def push_batch(self, batch: EventBatch) -> None:
         """Vectorized sorted fast path: partition a whole columnar
@@ -1675,17 +2033,26 @@ class ShardedSession(AsyncIngestFrontDoor):
         self._maybe_auto_checkpoint()
 
     def _buffer_slice(self, batch: EventBatch, lo: int, hi: int) -> None:
-        ts = batch.timestamps[lo:hi]
-        slices = self.partitioner.split_arrays(
-            ts, batch.keys[lo:hi], batch.values[lo:hi]
+        self._buffer_arrays(
+            batch.timestamps[lo:hi], batch.keys[lo:hi], batch.values[lo:hi]
         )
+
+    def _buffer_arrays(self, ts, keys, values) -> None:
+        slices = self.partitioner.split_arrays(ts, keys, values)
         for slot, shard in enumerate(self.active_shards):
             sts, skeys, svalues, _ = slices[shard]
             if sts.size:
                 self._array_buf[slot].append((sts, skeys, svalues))
         if self._forward_names:
-            self._fwd_arrays.append((ts, batch.values[lo:hi]))
-        self._pending_events += hi - lo
+            self._fwd_arrays.append((ts, values))
+        if self.partitioner.slot_of_key is not None:
+            counts = np.bincount(
+                self.partitioner.slot_of_key[keys],
+                minlength=self.num_slots,
+            )
+            self._slot_events += counts
+            self._slot_bytes += counts * float(EVENT_BYTES)
+        self._pending_events += int(ts.size)
         last = int(ts[-1])
         if last > self._max_event_ts:
             self._max_event_ts = last
@@ -1700,6 +2067,10 @@ class ShardedSession(AsyncIngestFrontDoor):
         if self._forward_names:
             self._fwd_scalar[0].append(ts)
             self._fwd_scalar[1].append(value)
+        if self.partitioner.slot_of_key is not None:
+            vslot = int(self.partitioner.slot_of_key[key])
+            self._slot_events[vslot] += 1.0
+            self._slot_bytes[vslot] += float(EVENT_BYTES)
         self._pending_events += 1
         if ts > self._max_event_ts:
             self._max_event_ts = ts
@@ -1758,6 +2129,8 @@ class ShardedSession(AsyncIngestFrontDoor):
         self._rate_observer.observe_flush(
             to_watermark, count, self._chunk_ticks, bool(self._queries)
         )
+        self._slot_events *= LOAD_DECAY
+        self._slot_bytes *= LOAD_DECAY
 
     def _sync(self, target: int) -> None:
         """Advance every core to the same safe watermark (the
@@ -1775,6 +2148,327 @@ class ShardedSession(AsyncIngestFrontDoor):
             self._forward.set_event_rate(rate, at=at)
         self._event_rate = rate
         self._generation += 1
+
+    # ------------------------------------------------------------------
+    # Elastic sharding (DESIGN.md §12): slot migration, split, merge
+    # ------------------------------------------------------------------
+    @property
+    def slot_map(self) -> np.ndarray:
+        """The live slot → shard map (a copy)."""
+        self._require_slots()
+        return self.partitioner.slot_map.copy()
+
+    def slot_loads(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Decayed per-slot ``(events, bytes)`` load counters."""
+        return self._via_pump(
+            lambda: (self._slot_events.copy(), self._slot_bytes.copy())
+        )
+
+    def shard_loads(self) -> "dict[int, dict[str, float]]":
+        """Decayed per-shard load totals, folded over the slot map:
+        ``{shard: {"events", "bytes", "slots", "keys"}}`` — the skew
+        signal :meth:`rebalance` acts on."""
+        return self._via_pump(self._shard_loads_now)
+
+    def _shard_loads_now(self) -> "dict[int, dict[str, float]]":
+        self._require_slots()
+        slot_map = self.partitioner.slot_map
+        events = np.bincount(
+            slot_map, weights=self._slot_events, minlength=self.num_shards
+        )
+        volume = np.bincount(
+            slot_map, weights=self._slot_bytes, minlength=self.num_shards
+        )
+        slots = np.bincount(slot_map, minlength=self.num_shards)
+        return {
+            shard: {
+                "events": float(events[shard]),
+                "bytes": float(volume[shard]),
+                "slots": int(slots[shard]),
+                "keys": int(self.partitioner.owned[shard].size),
+            }
+            for shard in range(self.num_shards)
+        }
+
+    def move_slots(self, slots, dest: int) -> None:
+        """Migrate virtual slots to shard ``dest`` at a safe watermark.
+
+        ``dest`` may be ``num_shards`` to grow the shard count by one
+        (an explicit split).  The transplant runs as a stream barrier:
+        every shard drains to the same watermark, the moving slots'
+        per-key state ships core-to-core, and the slot map flips
+        atomically — results stay bit-identical to a run that never
+        moved anything (extended invariant 10)."""
+        self._via_pump(self._move_slots_now, slots, dest)
+
+    def _move_slots_now(self, slots, dest: int) -> None:
+        self._require_open()
+        slot_map = self._require_slots().copy()
+        slots = np.atleast_1d(np.asarray(slots, dtype=np.int64))
+        if slots.size == 0:
+            return
+        if int(slots.min()) < 0 or int(slots.max()) >= self.num_slots:
+            raise ExecutionError(
+                f"slot ids must lie in [0, {self.num_slots})"
+            )
+        if not 0 <= dest <= self.num_shards:
+            raise ExecutionError(
+                f"destination shard {dest} outside [0, {self.num_shards}] "
+                "(num_shards grows by at most one per move)"
+            )
+        slot_map[slots] = dest
+        self._apply_slot_map(slot_map, max(self.num_shards, dest + 1))
+
+    def rebalance(self, max_moves: "int | None" = None) -> int:
+        """Greedy hot-slot migration: repeatedly move the hottest
+        movable slot of the most loaded shard to the least loaded one,
+        while that strictly shrinks the hot/cold load gap.  Returns the
+        number of slots moved (0 when already balanced — including the
+        single-hot-key case, where no slot move can help)."""
+        return self._via_pump(self._rebalance_now, max_moves)
+
+    def _rebalance_now(self, max_moves: "int | None") -> int:
+        self._require_open()
+        self._require_slots()
+        if self.num_shards < 2:
+            return 0
+        load = self._slot_events
+        new_map = self.partitioner.slot_map.copy()
+        limit = 8 if max_moves is None else int(max_moves)
+        moved = 0
+        while moved < limit:
+            shard_load = np.bincount(
+                new_map, weights=load, minlength=self.num_shards
+            )
+            hot = int(np.argmax(shard_load))
+            cold = int(np.argmin(shard_load))
+            gap = float(shard_load[hot] - shard_load[cold])
+            if gap <= 0.0:
+                break
+            candidates = np.flatnonzero(new_map == hot)
+            # Largest slot whose move strictly improves the gap: after
+            # moving s, the new gap is |gap - 2*load[s]| < gap iff
+            # 0 < load[s] < gap.
+            candidates = candidates[
+                (load[candidates] > 0.0) & (load[candidates] < gap)
+            ]
+            if candidates.size == 0:
+                break
+            order = np.argsort(-load[candidates], kind="stable")
+            new_map[int(candidates[order[0]])] = cold
+            moved += 1
+        if moved:
+            self._apply_slot_map(new_map, self.num_shards)
+        return moved
+
+    def split_shard(self, source: "int | None" = None) -> int:
+        """Grow the shard count by one: spawn a sibling worker and move
+        half of ``source``'s slots (alternating by load, so the split
+        halves the observed traffic) onto it.  ``source`` defaults to
+        the most loaded shard.  Returns the new shard id."""
+        return self._via_pump(self._split_shard_now, source)
+
+    def _split_shard_now(self, source: "int | None") -> int:
+        self._require_open()
+        slot_map = self._require_slots().copy()
+        load = self._slot_events
+        if source is None:
+            shard_load = np.bincount(
+                slot_map, weights=load, minlength=self.num_shards
+            )
+            counts = np.bincount(slot_map, minlength=self.num_shards)
+            source = max(
+                range(self.num_shards),
+                key=lambda s: (shard_load[s], counts[s], -s),
+            )
+        if not 0 <= source < self.num_shards:
+            raise ExecutionError(
+                f"source shard {source} outside [0, {self.num_shards})"
+            )
+        slots = np.flatnonzero(slot_map == source)
+        if slots.size < 2:
+            raise ExecutionError(
+                f"shard {source} owns {slots.size} slot(s) — nothing "
+                "to split"
+            )
+        new_shard = self.num_shards
+        order = slots[np.argsort(-load[slots], kind="stable")]
+        slot_map[order[1::2]] = new_shard
+        self._apply_slot_map(slot_map, new_shard + 1)
+        return new_shard
+
+    def merge_shard(self, shard: int, into: "int | None" = None) -> int:
+        """Shrink the live worker count: move every slot of ``shard``
+        onto ``into`` (default: the least loaded other shard) and
+        retire ``shard``'s core, folding its cross-key residue into a
+        survivor.  Merging the highest shard id also shrinks
+        ``num_shards``; merging a middle id leaves that id inactive
+        (ids are never renumbered — key hashes must stay stable).
+        Returns the absorbing shard id."""
+        return self._via_pump(self._merge_shard_now, shard, into)
+
+    def _merge_shard_now(self, shard: int, into: "int | None") -> int:
+        self._require_open()
+        slot_map = self._require_slots().copy()
+        if self.num_shards < 2:
+            raise ExecutionError("cannot merge the only shard")
+        if not 0 <= shard < self.num_shards:
+            raise ExecutionError(
+                f"shard {shard} outside [0, {self.num_shards})"
+            )
+        if into is None:
+            shard_load = np.bincount(
+                slot_map, weights=self._slot_events,
+                minlength=self.num_shards,
+            )
+            into = min(
+                (s for s in range(self.num_shards) if s != shard),
+                key=lambda s: (shard_load[s], s),
+            )
+        if not 0 <= into < self.num_shards or into == shard:
+            raise ExecutionError(
+                f"cannot merge shard {shard} into {into}"
+            )
+        slot_map[slot_map == shard] = into
+        num_shards = self.num_shards
+        while num_shards > 1 and not np.any(slot_map == num_shards - 1):
+            num_shards -= 1
+        self._apply_slot_map(slot_map, num_shards)
+        return into
+
+    def _require_slots(self) -> np.ndarray:
+        if self.partitioner.slot_map is None:
+            raise ExecutionError(
+                "this session was built with an explicit key assignment "
+                "— it has no slot layer to migrate"
+            )
+        return self.partitioner.slot_map
+
+    def _shard_config(self, shard: int, num_keys: int) -> ShardConfig:
+        return ShardConfig(
+            shard=shard,
+            num_keys=max(1, num_keys),
+            chunk_ticks=self._fixed_chunk,
+            event_rate=self._event_rate,
+            enable_factor_windows=self._enable_factor_windows,
+            max_retired_results=self._max_retired_results,
+        )
+
+    def _apply_slot_map(self, slot_map, num_shards: int) -> None:
+        """Atomically migrate to a new slot → shard map at a barrier.
+
+        The migration plan is a pure function of the (old, new)
+        partitioner pair, built from the five backend migration ops:
+        per-(source, destination) key extracts, sibling spawns for
+        newly active shards, ordered absorbs, and descending-slot
+        retires with remnant folds.  On worker backends with recovery
+        armed, the plan runs inside a migration epoch: a crash rolls
+        every worker back to the pre-plan snapshot and the whole plan
+        is redone, so a migration is all-or-nothing (invariant 12
+        meets invariant 10)."""
+        old = self.partitioner
+        self._require_slots()
+        slot_map = np.asarray(slot_map, dtype=np.int64)
+        new = old.with_slot_map(slot_map, num_shards)
+        old_active = list(self.active_shards)
+        new_active = {
+            shard for shard in range(num_shards) if new.owned[shard].size
+        }
+        survivors = [s for s in old_active if s in new_active]
+        spawned = sorted(s for s in new_active if s not in old_active)
+        retiring = [s for s in old_active if s not in new_active]
+        if np.array_equal(new.shard_of, old.shard_of) and not spawned:
+            # Pure relabel of keyless slots: no state moves, no
+            # barrier — and the ingest buffers (indexed by unchanged
+            # backend slots) stay untouched.
+            self.partitioner = new
+            self.num_shards = num_shards
+            self._slot_of_shard = np.full(num_shards, -1, dtype=np.int64)
+            for slot, shard in enumerate(self.active_shards):
+                self._slot_of_shard[shard] = slot
+            return
+        at = self._safe_watermark()
+        self._sync(at)
+
+        def plan() -> None:
+            backend = self.backend
+            slot_of = {shard: i for i, shard in enumerate(old_active)}
+            owned_now = {shard: old.owned[shard] for shard in old_active}
+            moves: "list[tuple[int, object, np.ndarray]]" = []
+            for src in old_active:
+                mine = owned_now[src]
+                outgoing = mine[new.shard_of[mine] != src]
+                if not outgoing.size:
+                    continue
+                for dst in np.unique(new.shard_of[outgoing]):
+                    dst = int(dst)
+                    keys = outgoing[new.shard_of[outgoing] == dst]
+                    local = np.searchsorted(owned_now[src], keys)
+                    bundle = backend.migrate_extract(slot_of[src], local)
+                    owned_now[src] = np.setdiff1d(
+                        owned_now[src], keys, assume_unique=True
+                    )
+                    moves.append((dst, bundle, keys))
+            # Spawn before any retire, so backend slot 0 (the donor)
+            # is always a live original.
+            next_slot = len(old_active)
+            for dst in spawned:
+                backend.spawn_sibling(
+                    0, self._shard_config(dst, int(new.owned[dst].size))
+                )
+                slot_of[dst] = next_slot
+                next_slot += 1
+                owned_now[dst] = np.empty(0, dtype=np.int64)
+            for dst, bundle, keys in moves:
+                combined = np.union1d(owned_now[dst], keys)
+                positions = np.searchsorted(combined, keys)
+                backend.migrate_absorb(slot_of[dst], bundle, positions)
+                owned_now[dst] = combined
+            # Retire emptied shards in descending backend-slot order
+            # (removals never shift a slot still to be visited), then
+            # fold their cross-key remnants into the first slot of the
+            # final layout.
+            remnants = [
+                backend.retire_shard(slot_of[src])
+                for src in sorted(retiring, key=lambda s: -slot_of[s])
+            ]
+            for remnant in remnants:
+                backend.absorb_remnant(0, remnant)
+
+        self._run_migration(plan)
+        self.partitioner = new
+        self.num_shards = num_shards
+        self.active_shards = survivors + spawned
+        self._rebuild_shard_tables()
+
+    def _rebuild_shard_tables(self) -> None:
+        self._slot_of_shard = np.full(self.num_shards, -1, dtype=np.int64)
+        for slot, shard in enumerate(self.active_shards):
+            self._slot_of_shard[shard] = slot
+        active = len(self.active_shards)
+        self._scalar_buf = [([], [], []) for _ in range(active)]
+        self._array_buf = [[] for _ in range(active)]
+
+    def _run_migration(self, plan) -> None:
+        backend = self.backend
+        if getattr(backend, "recovery_armed", False):
+            backend.migration_epoch_begin()
+            try:
+                plan()
+                # epoch_end's snapshot is inside the protected region:
+                # a worker that acked its migration op but died before
+                # this snapshot lands must roll the epoch back too —
+                # per-slot replay would resurrect its pre-plan state.
+                backend.migration_epoch_end()
+            except _MigrationDisrupted:
+                # Roll every worker back to the pre-plan snapshot and
+                # redo the plan from scratch.  A second disruption
+                # escapes as an ordinary ExecutionError.
+                backend.migration_rollback()
+                plan()
+                backend.migration_epoch_end()
+        else:
+            plan()
 
     # ------------------------------------------------------------------
     # Durability (DESIGN.md §9, invariant 12)
@@ -1837,6 +2531,17 @@ class ShardedSession(AsyncIngestFrontDoor):
             "event_rate": self._event_rate,
             "num_keys": self.num_keys,
             "num_shards": self.num_shards,
+            # The elastic layout (DESIGN.md §12): the slot map and the
+            # backend slot order are mutated by migrations, so a
+            # restore must replay them, not recompute defaults.
+            "slot_map": (
+                None
+                if self.partitioner.slot_map is None
+                else self.partitioner.slot_map.copy()
+            ),
+            "active_shards": list(self.active_shards),
+            "slot_events": self._slot_events.copy(),
+            "slot_bytes": self._slot_bytes.copy(),
             "fixed_chunk": self._fixed_chunk,
             "enable_factor_windows": self._enable_factor_windows,
             "max_retired_results": self._max_retired_results,
@@ -1892,9 +2597,12 @@ class ShardedSession(AsyncIngestFrontDoor):
         of the snapshot — invariants 10 and 11 make both
         observationally invisible, so a session snapshotted on the shm
         backend may restore on serial (handy for post-mortem
-        inspection) and vice versa.  The shard *count* is fixed by the
-        snapshot: shard cores partition the key space and cannot be
-        split or merged here.  Captured ingest-queue residue is
+        inspection) and vice versa.  The shard *layout* — slot map and
+        backend slot order, however many migrations produced it — is
+        restored bit-identically from the snapshot; use the elastic
+        APIs (:meth:`rebalance` / :meth:`split_shard` /
+        :meth:`merge_shard`) to reshape it afterwards.  Captured
+        ingest-queue residue is
         replayed through the restored front door first, so the
         restored timeline has applied exactly the events the original
         had accepted.
@@ -1915,14 +2623,34 @@ class ShardedSession(AsyncIngestFrontDoor):
         self = cls.__new__(cls)
         self.num_keys = coord["num_keys"]
         self.num_shards = coord["num_shards"]
-        # The partition is a pure function of (num_keys, num_shards) —
-        # recomputing it restores the exact same key ownership.
-        self.partitioner = KeyPartitioner(self.num_keys, self.num_shards)
-        self.active_shards = [
-            shard
-            for shard in range(self.num_shards)
-            if self.partitioner.owned[shard].size
-        ]
+        # The elastic layout travels with the checkpoint: migrations
+        # mutate the slot map and the backend slot order, so both are
+        # replayed verbatim.  (Pre-elastic snapshots carry neither —
+        # their partition was the pure default of (num_keys,
+        # num_shards), so recomputing it is exact.)
+        slot_map = coord.get("slot_map")
+        self.partitioner = (
+            KeyPartitioner(self.num_keys, self.num_shards)
+            if slot_map is None
+            else KeyPartitioner(
+                self.num_keys, self.num_shards, slot_map=slot_map
+            )
+        )
+        self.num_slots = self.partitioner.num_slots
+        self.active_shards = list(
+            coord.get("active_shards")
+            or (
+                shard
+                for shard in range(self.num_shards)
+                if self.partitioner.owned[shard].size
+            )
+        )
+        self._slot_events = coord.get(
+            "slot_events", np.zeros(self.num_slots, dtype=np.float64)
+        )
+        self._slot_bytes = coord.get(
+            "slot_bytes", np.zeros(self.num_slots, dtype=np.float64)
+        )
         self._slot_of_shard = np.full(self.num_shards, -1, dtype=np.int64)
         for slot, shard in enumerate(self.active_shards):
             self._slot_of_shard[shard] = slot

@@ -10,7 +10,12 @@ from .generators import (
     SequentialGen,
     make_generator,
 )
-from .streams import constant_rate_stream, synthetic_1m, synthetic_10m
+from .streams import (
+    constant_rate_stream,
+    synthetic_1m,
+    synthetic_10m,
+    zipf_stream,
+)
 
 __all__ = [
     "DEFAULT_MULTIPLIER",
@@ -25,4 +30,5 @@ __all__ = [
     "real_32m",
     "synthetic_10m",
     "synthetic_1m",
+    "zipf_stream",
 ]

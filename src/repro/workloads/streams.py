@@ -50,6 +50,58 @@ def constant_rate_stream(
     )
 
 
+def zipf_stream(
+    num_events: int,
+    num_keys: int,
+    s: float = 1.2,
+    rate: int = 1,
+    seed: int = 1,
+    mean: float = 20.0,
+    stddev: float = 5.0,
+    integer_values: bool = False,
+) -> EventBatch:
+    """A constant-pace stream with Zipf-skewed key popularity.
+
+    Key ``rank r`` (1-based) receives a ``1 / r**s`` share of the
+    events; ranks are shuffled over the key-id space so hot keys land
+    on arbitrary slots of the hash partition, the regime the elastic
+    runtime's hot-slot migration exists for (DESIGN.md §12).  ``s=0``
+    degenerates to uniform; larger ``s`` concentrates the stream on
+    fewer devices.
+
+    ``integer_values`` rounds the Gaussian values to whole numbers, so
+    every partial-sum merge is exact float64 arithmetic and results
+    stay bit-identical under *any* re-association — including the
+    extra flush boundaries hot-slot migration inserts mid-chunk.
+    """
+    if num_events < 1:
+        raise ExecutionError(f"num_events must be >= 1, got {num_events}")
+    if num_keys < 1:
+        raise ExecutionError(f"num_keys must be >= 1, got {num_keys}")
+    if rate < 1:
+        raise ExecutionError(f"rate must be >= 1, got {rate}")
+    if s < 0:
+        raise ExecutionError(f"Zipf exponent must be >= 0, got {s}")
+    rng = np.random.default_rng(seed)
+    weights = 1.0 / np.arange(1, num_keys + 1, dtype=np.float64) ** s
+    weights /= weights.sum()
+    rank_to_key = rng.permutation(num_keys).astype(np.int64)
+    indices = np.arange(num_events, dtype=np.int64)
+    timestamps = indices // rate
+    keys = rank_to_key[rng.choice(num_keys, size=num_events, p=weights)]
+    values = rng.normal(mean, stddev, num_events)
+    if integer_values:
+        values = np.round(values)
+    horizon = int(timestamps[-1]) + 1
+    return EventBatch(
+        timestamps=timestamps,
+        keys=keys,
+        values=values,
+        horizon=horizon,
+        num_keys=num_keys,
+    )
+
+
 def synthetic_1m(scale: float = 1.0, num_keys: int = 1, seed: int = 1) -> EventBatch:
     """The paper's *Synthetic-1M* dataset (scaled by ``scale``)."""
     return constant_rate_stream(

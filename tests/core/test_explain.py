@@ -86,3 +86,21 @@ class TestShardSection:
 
     def test_no_section_by_default(self, example7_windows):
         assert "shard fan-out" not in explain(optimize(example7_windows, MIN))
+
+    def test_live_session_contributes_load_counters(self, example7_windows):
+        from repro.core.multiquery import Query
+        from repro.runtime import ShardedSession
+
+        session = ShardedSession(num_keys=4, num_shards=2, chunk_ticks=8)
+        session.register(
+            Query("q", WindowSet([Window(8, 4)]), MIN), scope="per_key"
+        )
+        for t in range(32):
+            session.push(t, t % 4, float(t))
+        result = optimize(example7_windows, MIN)
+        text = explain(result, shards=session)
+        session.close()
+        assert "shard fan-out (x2 key-hash shards):" in text
+        assert "load (decayed, per shard):" in text
+        assert "shard 0: load" in text
+        assert "shard 1: load" in text

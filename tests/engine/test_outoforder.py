@@ -264,6 +264,67 @@ class TestPushBatch:
                     oracle_buf.stats, counter
                 ), (context, counter)
 
+    @given(
+        events=events_strategy,
+        splits=st.lists(st.integers(0, 200), max_size=3),
+        max_lateness=st.integers(0, 15),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_sharded_push_many_matches_per_event_push(
+        self, events, splits, max_lateness
+    ):
+        """``ShardedSession.push_many`` rides ``push_batch`` — results,
+        execution stats, and every reorder counter must match the
+        per-event loop exactly."""
+        from repro.aggregates.registry import SUM
+        from repro.core.multiquery import Query
+        from repro.runtime import ShardedSession
+
+        def run(batched):
+            session = ShardedSession(
+                num_keys=4,
+                num_shards=2,
+                max_lateness=max_lateness,
+                chunk_ticks=16,
+                hysteresis=None,
+            )
+            session.register(
+                Query("q", WindowSet([Window(12, 4)]), SUM), scope="per_key"
+            )
+            if batched:
+                bounds = sorted(min(s, len(events)) for s in splits)
+                for piece in np.split(np.arange(len(events)), bounds):
+                    session.push_many([events[i] for i in piece])
+            else:
+                for ts, key, value in events:
+                    session.push(ts, key, value)
+            results = session.finish()
+            stats = session.stats()
+            reorder = session.reorder_stats
+            session.close()
+            return results, stats, reorder
+
+        base_results, base_stats, base_reorder = run(batched=False)
+        many_results, many_stats, many_reorder = run(batched=True)
+        for name, by_window in base_results.items():
+            for window, res in by_window.items():
+                other = many_results[name][window]
+                assert res.start_instance == other.start_instance
+                assert res.frontier == other.frontier
+                np.testing.assert_array_equal(res.values, other.values)
+        assert many_stats.events == base_stats.events
+        assert many_stats.total_pairs == base_stats.total_pairs
+        for counter in (
+            "accepted",
+            "late_dropped",
+            "max_observed_lateness",
+            "late_events",
+            "late_events_elided",
+        ):
+            assert getattr(many_reorder, counter) == getattr(
+                base_reorder, counter
+            ), counter
+
     def test_negative_timestamp_rejected_upfront_on_both_paths(self):
         from repro import _kernels
 

@@ -133,3 +133,21 @@ class TestShardFanout:
 
     def test_tree_unannotated_without_shards(self):
         assert "shards=" not in to_tree(_factor_plan())
+
+    def test_live_session_contributes_load_counters(self):
+        from repro.aggregates.registry import MIN
+        from repro.core.multiquery import Query
+        from repro.runtime import ShardedSession
+
+        session = ShardedSession(num_keys=4, num_shards=2, chunk_ticks=8)
+        session.register(
+            Query("q", WindowSet([Window(8, 4)]), MIN), scope="per_key"
+        )
+        for t in range(32):
+            session.push(t, t % 4, float(t))
+        text = to_tree(_factor_plan(), shards=session)
+        session.close()
+        assert "shards=2" in text
+        assert "shard 0: load" in text
+        assert "shard 1: load" in text
+        assert "slots," in text and "keys" in text

@@ -81,6 +81,7 @@ def run_sharded(
     ingest_high_watermark=97,
     fault_plan=None,
     worker_recovery=False,
+    elastic_at=None,
 ):
     # The async high watermark is deliberately small and odd so the
     # pump genuinely interleaves with the producer (queueing, gate
@@ -109,6 +110,8 @@ def run_sharded(
                 if name in session.queries:
                     session.deregister(name)
                     dropped.add(name)
+            for op in (elastic_at or {}).get(i, ()):
+                op(session)
         # (registration loop above intentionally interleaves with data)
             session.push(ts, key, value)
         for queries in register_at.values():
@@ -468,3 +471,222 @@ def test_ingest_never_mutates_caller_arrays(repro_seed, backend):
     np.testing.assert_array_equal(batch.timestamps, before[0])
     np.testing.assert_array_equal(batch.keys, before[1])
     np.testing.assert_array_equal(batch.values, before[2])
+
+
+# ---------------------------------------------------------------------
+# Elastic shards (DESIGN.md §12): slot moves, splits, and merges are
+# observationally invisible — invariant 10 extended to mid-stream
+# resharding.
+# ---------------------------------------------------------------------
+
+from repro.engine.events import DEFAULT_NUM_SLOTS  # noqa: E402
+
+
+def make_elastic_ops(rng, n_events):
+    """A randomized mid-stream resharding schedule.
+
+    Guarantees at least 3 slot moves, 1 split, and 1 merge actually
+    execute (a merge finding a single-shard layout splits first —
+    deterministic across backends, since every run applies the same
+    ops in the same order to the same stream).  Returns
+    ``(ops_at, counts)`` where ``ops_at`` maps an event index to
+    callables taking the session.
+    """
+    n_moves = int(rng.integers(3, 6))
+    n_splits = int(rng.integers(1, 3))
+    n_merges = int(rng.integers(1, 3))
+    kinds = ["move"] * n_moves + ["split"] * n_splits + ["merge"] * n_merges
+    rng.shuffle(kinds)
+    ops = []
+    for kind in kinds:
+        if kind == "move":
+            slots = rng.choice(
+                DEFAULT_NUM_SLOTS,
+                size=int(rng.integers(1, 33)),
+                replace=False,
+            ).astype(np.int64)
+            pick = int(rng.integers(0, 1 << 30))
+
+            def op(session, slots=slots, pick=pick):
+                session.move_slots(slots, pick % session.num_shards)
+
+        elif kind == "split":
+
+            def op(session):
+                session.split_shard()
+
+        else:
+            pick = int(rng.integers(0, 1 << 30))
+
+            def op(session, pick=pick):
+                if session.num_shards == 1:
+                    session.split_shard()
+                session.merge_shard(pick % session.num_shards)
+
+        ops.append(op)
+    lo, hi = int(0.1 * n_events), int(0.9 * n_events)
+    indices = rng.choice(np.arange(lo, hi), size=len(ops), replace=False)
+    ops_at = {}
+    for index, op in zip(sorted(int(i) for i in indices), ops):
+        ops_at.setdefault(index, []).append(op)
+    counts = {"move": n_moves, "split": n_splits, "merge": n_merges}
+    return ops_at, counts
+
+
+@pytest.mark.parametrize("backend", ["serial", "process", "shm"])
+def test_elastic_reshard_schedules_are_layout_invariant(repro_seed, backend):
+    """Random OOO streams x random slot-move/split/merge schedules x
+    every backend: results stay bit-identical to the static 1-shard
+    serial oracle, however the layout was reshaped mid-stream."""
+    rng = np.random.default_rng((repro_seed, 1201))
+    lateness = int(rng.integers(0, 6))
+    batch = integer_stream(
+        ticks=300, num_keys=NUM_KEYS, seed=int(rng.integers(0, 1000))
+    )
+    events = scramble_batch(batch, lateness, seed=int(rng.integers(0, 100)))
+    schedule = make_schedule(rng, len(events))
+    ops_at, counts = make_elastic_ops(rng, len(events))
+    assert counts["move"] >= 3
+    assert counts["split"] >= 1 and counts["merge"] >= 1
+    context = (
+        f"seed={repro_seed} backend={backend} lateness={lateness} "
+        f"ops={counts}"
+    )
+
+    oracle, _ = run_sharded(
+        schedule, events, batch.horizon, 1, "serial", lateness
+    )
+    actual, marks = run_sharded(
+        schedule,
+        events,
+        batch.horizon,
+        int(rng.integers(2, 4)),
+        backend,
+        lateness,
+        elastic_at=ops_at,
+    )
+    assert min(marks) == max(marks), context
+    assert_results_identical(oracle, actual, context)
+
+
+@pytest.mark.parametrize("backend", ["serial", "process"])
+def test_elastic_layout_survives_checkpoint_restore(repro_seed, backend):
+    """A checkpoint taken after arbitrary resharding records the slot
+    map and backend slot order; restore resumes that exact layout and
+    the completed run still matches the static serial oracle."""
+    rng = np.random.default_rng((repro_seed, 1301))
+    batch = integer_stream(
+        ticks=300, num_keys=NUM_KEYS, seed=int(rng.integers(0, 1000))
+    )
+    events = list(batch.rows())
+    queries = [(POOL[0][0], "per_key"), (POOL[2][0], "per_key"),
+               (POOL[5][0], "global"), (POOL[4][0], "per_key")]
+    cut = int(0.55 * len(events))
+    context = f"seed={repro_seed} backend={backend}"
+
+    oracle_session = ShardedSession(
+        num_keys=NUM_KEYS, num_shards=1, hysteresis=None
+    )
+    for query, scope in queries:
+        oracle_session.register(query, scope=scope)
+    for ts, key, value in events:
+        oracle_session.push(ts, key, value)
+    oracle = oracle_session.finish(horizon=batch.horizon)
+    oracle_session.close()
+
+    session = ShardedSession(
+        num_keys=NUM_KEYS, num_shards=2, backend=backend, hysteresis=None
+    )
+    for query, scope in queries:
+        session.register(query, scope=scope)
+    for i, (ts, key, value) in enumerate(events[:cut]):
+        session.push(ts, key, value)
+        if i == int(0.2 * len(events)):
+            session.move_slots(
+                np.arange(DEFAULT_NUM_SLOTS // 2, dtype=np.int64), 1
+            )
+        if i == int(0.4 * len(events)):
+            session.split_shard()
+    snap = session.snapshot()
+    layout = (session.slot_map, list(session.active_shards))
+    session.close()
+
+    restored = ShardedSession.restore(snap, backend=backend)
+    np.testing.assert_array_equal(restored.slot_map, layout[0])
+    assert list(restored.active_shards) == layout[1], context
+    for ts, key, value in events[cut:]:
+        restored.push(ts, key, value)
+    restored.merge_shard(restored.num_shards - 1)
+    results = restored.finish(horizon=batch.horizon)
+    restored.close()
+    assert_results_identical(oracle, results, context)
+
+
+#: (migration op, backend slot it targets, backend) cells for the
+#: chaos matrix below.  The fixed schedule — every slot to shard 1,
+#: then a split, then a merge — retires shard 0 at the move, so the
+#: five migration op kinds all fire at known backend slots.
+CHAOS_MIGRATION_CELLS = [
+    ("kill", "extract", 0, "process"),
+    ("kill", "absorb", 1, "shm"),
+    ("kill", "sibling", 0, "process"),
+    ("kill", "remnant", 0, "shm"),
+    ("kill", "absorb_remnant", 0, "process"),
+    # Regression: the worker acked absorb_remnant, then died before
+    # the epoch-end snapshot landed — per-slot replay would resurrect
+    # its pre-migration state; the epoch must roll back instead.
+    ("kill_mid_op", "absorb_remnant", 0, "process"),
+]
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize(
+    "kind,op,slot,backend",
+    CHAOS_MIGRATION_CELLS,
+    ids=[f"{k}-{o}-{b}" for k, o, _, b in CHAOS_MIGRATION_CELLS],
+)
+def test_migrations_survive_worker_kill_mid_op(
+    repro_seed, kind, op, slot, backend
+):
+    """A worker killed mid-migration (on each migration op kind) rolls
+    the epoch back, redoes the plan, and still matches the serial
+    oracle bit-for-bit."""
+    from repro.runtime import Fault, FaultPlan
+
+    rng = np.random.default_rng((repro_seed, 1401))
+    lateness = int(rng.integers(0, 5))
+    batch = integer_stream(
+        ticks=300, num_keys=NUM_KEYS, seed=int(rng.integers(0, 1000))
+    )
+    events = scramble_batch(batch, lateness, seed=int(rng.integers(0, 100)))
+    schedule = make_schedule(rng, len(events))
+    n = len(events)
+    ops_at = {
+        int(0.35 * n): [
+            lambda s: s.move_slots(
+                np.arange(DEFAULT_NUM_SLOTS, dtype=np.int64), 1
+            )
+        ],
+        int(0.55 * n): [lambda s: s.split_shard()],
+        int(0.8 * n): [lambda s: s.merge_shard(s.num_shards - 1)],
+    }
+    plan = FaultPlan(Fault(kind=kind, slot=slot, op=op))
+    context = f"seed={repro_seed} {kind} on {op}@{slot} backend={backend}"
+
+    oracle, _ = run_sharded(
+        schedule, events, batch.horizon, 1, "serial", lateness
+    )
+    actual, marks = run_sharded(
+        schedule,
+        events,
+        batch.horizon,
+        2,
+        backend,
+        lateness,
+        fault_plan=plan,
+        worker_recovery=True,
+        elastic_at=ops_at,
+    )
+    assert plan.exhausted, context
+    assert min(marks) == max(marks), context
+    assert_results_identical(oracle, actual, context)
