@@ -1,0 +1,120 @@
+"""Benchmark: the committed scenario library, end to end.
+
+Runs every file under ``scenarios/`` twice — on the runtime shape it
+declares (sharded worker backends, rebalance cadence, chaos schedule)
+and on the serial-sync oracle — asserting both reproduce the
+scenario's committed digest and counters before any timing is read
+(a fast wrong run is worthless).  The machine-independent series
+(``pairs``/``physical`` per scenario — deterministic logical and
+physical work) gates the CI perf trajectory through ``bench compare
+--portable-only``; throughputs ride along as context.
+
+Scenario files fix their own event counts (the committed digests
+depend on them), so ``REPRO_BENCH_EVENTS`` deliberately does not
+apply here.
+"""
+
+import os
+import time
+from pathlib import Path
+
+from repro.bench.reporting import format_table, write_json_report
+from repro.scenarios import ScenarioRunner, load_scenario
+
+JSON_PATH = Path(
+    os.environ.get(
+        "REPRO_BENCH_JSON",
+        Path(__file__).parent / "results" / "BENCH_scenarios.json",
+    )
+)
+
+LIBRARY = Path(__file__).resolve().parents[1] / "scenarios"
+
+
+def _timed_run(runner, **overrides):
+    started = time.perf_counter()
+    report = runner.run(**overrides)
+    return report, time.perf_counter() - started
+
+
+def test_scenarios_bench_report(report_sink):
+    cpus = os.cpu_count() or 1
+    paths = sorted(LIBRARY.glob("*.yaml"))
+    assert paths, f"no committed scenarios under {LIBRARY}"
+    rows = []
+    series = []
+    for path in paths:
+        runner = ScenarioRunner(load_scenario(path))
+        expect = runner.scenario.expect
+        declared, declared_wall = _timed_run(runner)
+        oracle, oracle_wall = _timed_run(
+            runner, backend="serial", shards=1
+        )
+        # Conformance before timing: both shapes must reproduce the
+        # committed outcome exactly (invariants 9-12).
+        declared.verify(expect)
+        oracle.verify(expect)
+        assert declared.digest == oracle.digest
+        if runner.scenario.chaos is not None:
+            assert declared.faults_fired >= 1, (
+                f"{path.stem}: chaos schedule armed but never fired"
+            )
+            assert declared.worker_recoveries >= 1, (
+                f"{path.stem}: faulted workers were not recovered"
+            )
+        shape = f"{declared.backend} x{declared.shards}"
+        rows.append(
+            (
+                path.stem,
+                shape,
+                f"{declared.events:,}",
+                f"{declared.total_pairs:,}",
+                f"{declared.events / declared_wall / 1e3:,.0f}",
+                f"{oracle.events / oracle_wall / 1e3:,.0f}",
+            )
+        )
+        series.append(
+            {
+                "scenario": path.stem,
+                "backend": declared.backend,
+                "shards": declared.shards,
+                "events": declared.events,
+                # Deterministic work counters: equal on every host, so
+                # the portable gate pins them exactly.
+                "pairs": declared.total_pairs,
+                "physical": declared.total_physical,
+                "late_dropped": declared.late_dropped,
+                # Context only (machine-dependent):
+                "declared_throughput": declared.events / declared_wall,
+                "oracle_throughput": oracle.events / oracle_wall,
+            }
+        )
+
+    report_sink(
+        "scenarios",
+        format_table(
+            [
+                "scenario",
+                "declared shape",
+                "events",
+                "pairs",
+                "K ev/s",
+                "oracle K ev/s",
+            ],
+            rows,
+            title=(
+                f"Committed scenario library, declared runtime vs "
+                f"serial oracle ({cpus} CPUs)"
+            ),
+        ),
+    )
+    path = write_json_report(
+        JSON_PATH,
+        {
+            "benchmark": "scenarios",
+            "scenarios": len(series),
+            "cpus": cpus,
+            "series": series,
+        },
+    )
+    assert path.exists()

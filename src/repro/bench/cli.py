@@ -150,8 +150,24 @@ def _cmd_engines(args: argparse.Namespace) -> int:
 
 
 def _cmd_session(args: argparse.Namespace) -> int:
+    if args.replay is not None or (args.query and args.query[0] == "run"):
+        return _cmd_scenario_run(args)
+    if args.record is not None:
+        print(
+            "--record only applies to scenario mode "
+            "(session run <scenario>.yaml --record <capture>.rstream)",
+            file=sys.stderr,
+        )
+        return 2
     from ..runtime import QuerySession, ShardedSession
     from ..workloads.streams import constant_rate_stream
+
+    # Tri-state so scenario mode can tell "not given" from a real
+    # override; the classic path keeps its old defaults.
+    if args.shards is None:
+        args.shards = 1
+    if args.shard_backend is None:
+        args.shard_backend = "serial"
 
     stream = constant_rate_stream(
         args.events, num_keys=args.keys, rate=args.rate, seed=args.seed
@@ -258,6 +274,95 @@ def _cmd_session(args: argparse.Namespace) -> int:
         _print_slot_map(session)
     session.close()
     return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    """``session run <scenario>.yaml`` — the declarative front end
+    (docs/scenarios.md): compile, execute, verify, optionally record;
+    ``session run --replay <capture>.rstream`` re-feeds a capture."""
+    from ..errors import ExecutionError
+    from ..scenarios import ScenarioRunner, replay_capture
+
+    overrides = {
+        "backend": args.shard_backend,
+        "shards": args.shards,
+        "async_ingest": True if args.async_ingest else None,
+    }
+    try:
+        if args.replay is not None:
+            if [q for q in args.query if q != "run"]:
+                print(
+                    "--replay takes no scenario file — the capture "
+                    "carries the recorded stream",
+                    file=sys.stderr,
+                )
+                return 2
+            report = replay_capture(
+                args.replay, verify=not args.no_verify, **overrides
+            )
+            _print_scenario_report(report, source=str(args.replay))
+            if not args.no_verify:
+                print("replay matched the recorded outcome")
+            return 0
+        if len(args.query) != 2:
+            print(
+                "usage: factor-windows session run <scenario>.yaml "
+                "[--record <capture>.rstream]",
+                file=sys.stderr,
+            )
+            return 2
+        runner = ScenarioRunner(args.query[1])
+        report = runner.run(record=args.record, verify=False, **overrides)
+        _print_scenario_report(report, source=args.query[1])
+        if args.record is not None:
+            print(f"recorded -> {args.record}")
+        expect = runner.scenario.expect
+        has_checks = any(
+            value is not None
+            for value in (
+                expect.digest,
+                expect.accepted,
+                expect.late_dropped,
+                expect.total_pairs,
+                expect.min_throughput,
+                expect.queries,
+            )
+        )
+        if has_checks and not args.no_verify:
+            report.verify(expect)
+            print("expectations verified")
+    except ExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _print_scenario_report(report, source: str) -> None:
+    shape = f"{report.backend} x{report.shards}"
+    if report.async_ingest:
+        shape += ", async ingest"
+    print(f"scenario {report.name!r} ({source}) on {shape}")
+    print(
+        f"  events={report.events:,} accepted={report.accepted:,} "
+        f"late={report.late_dropped:,} pairs={report.total_pairs:,} "
+        f"physical={report.total_physical:,}"
+    )
+    extras = []
+    if report.slots_moved:
+        extras.append(f"{report.slots_moved} slot(s) migrated")
+    if report.worker_recoveries:
+        extras.append(f"{report.worker_recoveries} worker recovery(ies)")
+    if report.faults_fired:
+        extras.append(f"{report.faults_fired} fault(s) fired")
+    if extras:
+        print("  " + ", ".join(extras))
+    for name, instances in sorted(report.queries.items()):
+        print(f"  query {name:16s} {instances:>6,} emitted instance(s)")
+    print(
+        f"  throughput {report.throughput / 1e3:,.0f}K ev/s "
+        f"({report.wall_seconds:.2f}s)"
+    )
+    print(f"  digest {report.digest}")
 
 
 def _print_slot_map(session) -> None:
@@ -495,7 +600,10 @@ def build_parser() -> argparse.ArgumentParser:
         "session", help="run a live session, registering queries mid-stream"
     )
     p_ses.add_argument(
-        "query", nargs="+", help="queries to register one at a time"
+        "query",
+        nargs="+",
+        help="queries to register one at a time — or 'run <scenario>."
+        "yaml' to execute a declarative scenario (docs/scenarios.md)",
     )
     p_ses.add_argument("--events", type=int, default=100_000)
     p_ses.add_argument("--keys", type=int, default=4)
@@ -511,14 +619,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_ses.add_argument(
         "--shards",
         type=int,
-        default=1,
+        default=None,
         help="run on a key-sharded session with this many hash shards "
-        "(1 = single-core QuerySession; DESIGN.md §7)",
+        "(1 = single-core QuerySession; DESIGN.md §7; in scenario "
+        "mode, overrides the scenario's runtime.shards)",
     )
     p_ses.add_argument(
         "--shard-backend",
         choices=("serial", "process", "shm"),
-        default="serial",
+        default=None,
         help="where shard cores run: in-process (deterministic oracle), "
         "one worker process per shard over pipes, or one worker per "
         "shard over shared-memory rings (DESIGN.md §8)",
@@ -556,6 +665,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=5_000,
         help="checkpoint cadence in watermark ticks (default 5000; "
         "needs --checkpoint-dir)",
+    )
+    p_ses.add_argument(
+        "--record",
+        default=None,
+        metavar="CAPTURE",
+        help="scenario mode: record the exact arrival stream, op "
+        "schedule, and outcome to a .rstream capture for bit-identical "
+        "replay (docs/scenarios.md)",
+    )
+    p_ses.add_argument(
+        "--replay",
+        default=None,
+        metavar="CAPTURE",
+        help="re-feed a recorded .rstream capture bit-identically and "
+        "check the outcome against what was recorded "
+        "(session run --replay <capture>.rstream)",
+    )
+    p_ses.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="scenario mode: skip checking the run against the "
+        "scenario's expect section / the capture's recorded outcome",
     )
     p_ses.set_defaults(func=_cmd_session)
 

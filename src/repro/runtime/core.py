@@ -430,7 +430,11 @@ class SessionCore:
         """
         self._require_barrier("spawn_sibling")
         twin: "SessionCore" = pickle.loads(pickle.dumps(self))
-        twin.extract_keys(np.arange(twin.num_keys, dtype=np.int64))
+        if twin.num_keys:
+            # The donor may already be keyless: a migration plan
+            # extracts before it spawns, so a retiring slot-0 shard
+            # has had every key moved out by the time it donates.
+            twin.extract_keys(np.arange(twin.num_keys, dtype=np.int64))
         for psub in twin._psubs.values():
             psub.neutralize()
         for sub in twin._retired.values():

@@ -21,10 +21,12 @@ instead of sleeping and hoping.
 
 Configuration is a ``tenants.yaml``-shaped file parsed by
 :func:`load_tenants_config` — a dependency-free reader for the tiny
-indentation-based subset the service needs (the container bakes in no
-YAML library, and a quota file needs none): nested mappings of
-scalars, comments, and blank lines.  JSON input is accepted too (any
-text whose first non-space character is ``{``).
+indentation-based subset the repo's config files need (the container
+bakes in no YAML library, and neither a quota file nor a scenario
+file needs one): nested mappings of scalars, block sequences,
+comments, and blank lines.  JSON input is accepted too (any text
+whose first non-space character is ``{``).  The scenario loader
+(:mod:`repro.scenarios.schema`) reuses :func:`parse_simple_yaml`.
 """
 
 from __future__ import annotations
@@ -173,6 +175,14 @@ def _parse_scalar(text: str):
     text = text.strip()
     if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
         return text[1:-1]
+    if len(text) >= 2 and text[0] == "[" and text[-1] == "]":
+        inner = text[1:-1].strip()
+        if not inner:
+            return []
+        items = _split_flow_items(inner)
+        if items is not None:
+            return [_parse_scalar(item) for item in items]
+        return text
     lowered = text.lower()
     if lowered in ("null", "none", "~"):
         return None
@@ -191,13 +201,39 @@ def _parse_scalar(text: str):
     return text
 
 
-def parse_simple_yaml(text: str) -> dict:
-    """Parse the tiny YAML subset a tenants file needs.
+def _split_flow_items(inner: str) -> "list[str] | None":
+    """Split a flow-sequence body on top-level commas, honoring
+    quotes; ``None`` when the body nests (``[``/``{``) or leaves a
+    quote open — callers keep the raw text rather than guess."""
+    items, start, i, n = [], 0, 0, len(inner)
+    while i < n:
+        ch = inner[i]
+        if ch in "'\"":
+            end = inner.find(ch, i + 1)
+            if end < 0:
+                return None
+            i = end + 1
+            continue
+        if ch in "[{":
+            return None
+        if ch == ",":
+            items.append(inner[start:i])
+            start = i + 1
+        i += 1
+    items.append(inner[start:])
+    return items
 
-    Supported: arbitrarily nested mappings with scalar leaves,
-    ``#`` comments (full-line or trailing), blank lines, single- or
-    double-quoted strings, ints/floats/bools/null.  Not supported
-    (raises, never guesses): sequences, flow style, anchors,
+
+def parse_simple_yaml(text: str) -> dict:
+    """Parse the tiny YAML subset the repo's config files need.
+
+    Supported: arbitrarily nested mappings with scalar leaves, block
+    sequences (``- item`` lines holding scalars or ``key: value``
+    mappings — what a scenario file's query list needs), flat flow
+    sequences of scalars (``["300/50", "120"]``), ``#`` comments
+    (full-line or trailing), blank lines, single- or double-quoted
+    strings, ints/floats/bools/null.  Not supported (raises, never
+    guesses): flow mappings, nested flow sequences, anchors,
     multi-line scalars, tabs.  JSON is accepted as a fast path when
     the first non-space character is ``{``.
     """
@@ -205,13 +241,14 @@ def parse_simple_yaml(text: str) -> dict:
     if stripped.startswith("{"):
         return json.loads(text)
     root: dict = {}
-    # Stack of (indent, mapping) — a line's indent selects its parent.
-    stack: "list[tuple[int, dict]]" = [(-1, root)]
+    # Stack of (indent, container) — a line's indent selects its
+    # parent; containers are mappings or (for '- ' blocks) lists.
+    stack: "list[tuple[int, dict | list]]" = [(-1, root)]
     pending: "tuple[int, str] | None" = None  # key awaiting its block
     for lineno, raw in enumerate(text.splitlines(), start=1):
         if "\t" in raw:
             raise ExecutionError(
-                f"tenants config line {lineno}: tabs are not allowed "
+                f"config line {lineno}: tabs are not allowed "
                 "(indent with spaces)"
             )
         line = raw.split("#", 1)[0].rstrip()
@@ -219,28 +256,64 @@ def parse_simple_yaml(text: str) -> dict:
             continue
         indent = len(line) - len(line.lstrip(" "))
         body = line.strip()
+        if body == "-" or body.startswith("- "):
+            pending, stack = _resolve_pending(
+                pending, stack, indent, as_list=True
+            )
+            # A dash pops everything deeper, and mappings at its own
+            # indent, but never the list it appends to (which was
+            # pushed at the dash column).
+            while stack[-1][0] > indent or (
+                stack[-1][0] == indent
+                and not isinstance(stack[-1][1], list)
+            ):
+                stack.pop()
+            target = stack[-1][1]
+            if not isinstance(target, list) or stack[-1][0] != indent:
+                raise ExecutionError(
+                    f"config line {lineno}: misindented sequence item "
+                    f"{body!r} (a '- ' block must open under a bare "
+                    "'key:' line and keep one dash column)"
+                )
+            rest = body[1:].strip()
+            if not rest:
+                raise ExecutionError(
+                    f"config line {lineno}: empty sequence item "
+                    "(write the value on the dash line: '- value' or "
+                    "'- key: value')"
+                )
+            if ":" in rest and not (
+                rest[0] in "'\"" and rest[0] == rest[-1] and len(rest) >= 2
+            ):
+                # '- key: value' opens a mapping item; its remaining
+                # keys sit two columns right of the dash, so the item
+                # is pushed just past the dash column.
+                item: dict = {}
+                target.append(item)
+                stack.append((indent + 1, item))
+                key, _, value = rest.partition(":")
+                if not value.strip():
+                    pending = (indent + 2, key.strip())
+                else:
+                    item[key.strip()] = _parse_scalar(value)
+            else:
+                target.append(_parse_scalar(rest))
+            continue
         if ":" not in body:
             raise ExecutionError(
-                f"tenants config line {lineno}: expected 'key: value' "
+                f"config line {lineno}: expected 'key: value' "
                 f"or 'key:', got {body!r}"
             )
         key, _, value = body.partition(":")
         key = key.strip()
-        if pending is not None:
-            pending_indent, pending_key = pending
-            pending = None
-            if indent > pending_indent:
-                # This line is the first child: open the mapping.  The
-                # stack records the *opening key's* indent, so siblings
-                # of the key (indent <=) pop it and deeper lines don't.
-                child: dict = {}
-                stack[-1][1][pending_key] = child
-                stack.append((pending_indent, child))
-            else:
-                # 'key:' with nothing nested under it → empty mapping.
-                stack[-1][1][pending_key] = {}
+        pending, stack = _resolve_pending(pending, stack, indent)
         while indent <= stack[-1][0]:
             stack.pop()
+        if isinstance(stack[-1][1], list):
+            raise ExecutionError(
+                f"config line {lineno}: mapping key {key!r} inside a "
+                "sequence must belong to a '- key: value' item"
+            )
         if not value.strip():
             pending = (indent, key)
         else:
@@ -248,6 +321,25 @@ def parse_simple_yaml(text: str) -> dict:
     if pending is not None:
         stack[-1][1][pending[1]] = {}
     return root
+
+
+def _resolve_pending(pending, stack, indent, as_list: bool = False):
+    """Close out a ``key:`` line once its first follower arrives: a
+    deeper follower opens the key's block (mapping, or list when the
+    follower is a ``- `` item), a same-or-shallower one leaves ``{}``.
+    The stack records the *opening key's* indent for mappings (so
+    siblings of the key pop it and deeper lines don't) and the *dash
+    column* for lists (so every later dash finds its list)."""
+    if pending is None:
+        return None, stack
+    pending_indent, pending_key = pending
+    if indent > pending_indent:
+        child: "dict | list" = [] if as_list else {}
+        stack[-1][1][pending_key] = child
+        stack.append((indent if as_list else pending_indent, child))
+    else:
+        stack[-1][1][pending_key] = {}
+    return None, stack
 
 
 def load_tenants_config(source: "str | Path | dict") -> ServiceConfig:

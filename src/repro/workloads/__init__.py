@@ -1,6 +1,13 @@
 """Workload generation: window sets and event streams."""
 
 from .debs import debs_like_stream, real_32m
+from .domains import (
+    DOMAIN_STREAMS,
+    domain_stream,
+    flash_crowd_stream,
+    iot_telemetry_stream,
+    rtgs_payments_stream,
+)
 from .generators import (
     DEFAULT_MULTIPLIER,
     DEFAULT_SEED_RANGES,
@@ -10,6 +17,7 @@ from .generators import (
     SequentialGen,
     make_generator,
 )
+from .rng import seeded_pyrandom, seeded_rng
 from .streams import (
     constant_rate_stream,
     synthetic_1m,
@@ -21,13 +29,20 @@ __all__ = [
     "DEFAULT_MULTIPLIER",
     "DEFAULT_SEED_RANGES",
     "DEFAULT_SEED_SLIDES",
+    "DOMAIN_STREAMS",
     "GENERATORS",
     "RandomGen",
     "SequentialGen",
     "constant_rate_stream",
     "debs_like_stream",
+    "domain_stream",
+    "flash_crowd_stream",
+    "iot_telemetry_stream",
     "make_generator",
     "real_32m",
+    "rtgs_payments_stream",
+    "seeded_pyrandom",
+    "seeded_rng",
     "synthetic_10m",
     "synthetic_1m",
     "zipf_stream",

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..engine.events import EventBatch
 from ..errors import ExecutionError
+from .rng import seeded_rng
 
 #: Rough level of the mf01 sensor in the original trace (raw ADC-like units).
 MF01_BASE_LEVEL = 10_000.0
@@ -42,7 +43,7 @@ def debs_like_stream(
     """
     if num_events < 1:
         raise ExecutionError(f"num_events must be >= 1, got {num_events}")
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     indices = np.arange(num_events, dtype=np.int64)
     timestamps = indices.copy()
     keys = (indices % num_keys).astype(np.int64)

@@ -1,0 +1,213 @@
+"""Domain-shaped streams for the scenario library (docs/scenarios.md).
+
+Three production-shaped workloads, each a pure function of
+``(num_events, num_keys, seed)`` like every other generator in this
+package:
+
+* :func:`rtgs_payments_stream` — an RTGS-style interbank payments day
+  (after SimCash, PAPERS.md): per-account payment amounts in whole
+  cents with a heavy lognormal tail, Zipf-skewed account activity, and
+  the canonical settlement-day rate curve (morning ramp, midday
+  steady-state, end-of-day deadline spike).  Windowed SUM/COUNT per
+  account are the exposure/velocity aggregates an RTGS throttle reads.
+* :func:`iot_telemetry_stream` — bursty IoT telemetry: each device
+  reports around its own integer baseline, device popularity is
+  extremely Zipf-skewed (a few chatty gateways dominate), and the
+  arrival rate alternates quiet stretches with bursts up to 32× —
+  the hot-slot-migration regime of DESIGN.md §12.
+* :func:`flash_crowd_stream` — a flash crowd: a quiet stream that
+  jumps to a 32× rate spike concentrated on a handful of suddenly-hot
+  keys, then decays to an elevated plateau.
+
+Every value these generators emit is a whole number stored in float64:
+integer partial sums merge exactly, so results stay bit-identical
+under *any* re-association — resharding, rebalancing, worker recovery
+— which is what lets scenario files commit one expected digest for
+all backends (the ``integer_values`` discipline of
+:func:`~repro.workloads.streams.zipf_stream`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.events import EventBatch
+from ..errors import ExecutionError
+from .rng import seeded_rng
+
+__all__ = [
+    "DOMAIN_STREAMS",
+    "domain_stream",
+    "flash_crowd_stream",
+    "iot_telemetry_stream",
+    "rtgs_payments_stream",
+]
+
+
+def _phased_timestamps(
+    num_events: int, phases: "tuple[tuple[float, int], ...]"
+) -> np.ndarray:
+    """Timestamps for a piecewise-constant rate profile.
+
+    ``phases`` is ``((until_fraction, rate), ...)`` with fractions
+    strictly increasing to 1.0: the first ``until*N`` events arrive at
+    ``rate`` events/tick, and so on — each phase continues the clock
+    where the previous one stopped, so timestamps are nondecreasing.
+    """
+    bounds = [0] + [round(until * num_events) for until, _ in phases]
+    bounds[-1] = num_events
+    parts = []
+    tick = 0
+    for (_, rate), lo, hi in zip(phases, bounds[:-1], bounds[1:]):
+        count = hi - lo
+        if count <= 0:
+            continue
+        part = tick + np.arange(count, dtype=np.int64) // rate
+        parts.append(part)
+        tick = int(part[-1]) + 1
+    return np.concatenate(parts)
+
+
+def _zipf_keys(
+    rng: np.random.Generator, num_events: int, num_keys: int, s: float
+) -> np.ndarray:
+    """Zipf-skewed key draws with ranks shuffled over the id space
+    (hot keys land on arbitrary hash slots, as in ``zipf_stream``)."""
+    weights = 1.0 / np.arange(1, num_keys + 1, dtype=np.float64) ** s
+    weights /= weights.sum()
+    rank_to_key = rng.permutation(num_keys).astype(np.int64)
+    return rank_to_key[rng.choice(num_keys, size=num_events, p=weights)]
+
+
+def _require_shape(num_events: int, num_keys: int) -> None:
+    if num_events < 1:
+        raise ExecutionError(f"num_events must be >= 1, got {num_events}")
+    if num_keys < 1:
+        raise ExecutionError(f"num_keys must be >= 1, got {num_keys}")
+
+
+def rtgs_payments_stream(
+    num_events: int,
+    num_keys: int = 64,
+    seed: int = 11,
+    skew: float = 1.1,
+) -> EventBatch:
+    """One RTGS settlement day: payments between ``num_keys`` accounts.
+
+    Amounts are whole cents with a lognormal tail (most payments are
+    routine, a few are enormous — the shape gridlock studies assume);
+    account activity is Zipf(``skew``); the rate curve ramps through
+    the morning, holds through midday, and spikes 3× at the end-of-day
+    settlement deadline.
+    """
+    _require_shape(num_events, num_keys)
+    rng = seeded_rng(seed)
+    timestamps = _phased_timestamps(
+        num_events, ((0.3, 4), (0.8, 8), (1.0, 24))
+    )
+    keys = _zipf_keys(rng, num_events, num_keys, skew)
+    # Whole cents: median ~e^10 ≈ 22k cents, tail into the millions.
+    values = np.round(rng.lognormal(mean=10.0, sigma=1.0, size=num_events))
+    return EventBatch(
+        timestamps=timestamps,
+        keys=keys,
+        values=values,
+        horizon=int(timestamps[-1]) + 1,
+        num_keys=num_keys,
+    )
+
+
+def iot_telemetry_stream(
+    num_events: int,
+    num_keys: int = 256,
+    seed: int = 23,
+    skew: float = 1.6,
+) -> EventBatch:
+    """Bursty device telemetry with extreme key skew.
+
+    Each device reports integer readings around its own baseline;
+    device popularity is Zipf(``skew``) (default 1.6 — far past the
+    point where a static hash partition serializes on the hot shard),
+    and the arrival rate alternates quiet stretches with bursts up to
+    32× as gateways flush their buffers.
+    """
+    _require_shape(num_events, num_keys)
+    rng = seeded_rng(seed)
+    timestamps = _phased_timestamps(
+        num_events,
+        ((0.2, 2), (0.3, 32), (0.55, 2), (0.65, 24), (0.9, 4), (1.0, 32)),
+    )
+    keys = _zipf_keys(rng, num_events, num_keys, skew)
+    baselines = np.round(rng.normal(500.0, 100.0, num_keys))
+    noise = np.round(rng.normal(0.0, 20.0, num_events))
+    spikes = np.where(
+        rng.random(num_events) < 0.002,
+        np.round(rng.exponential(400.0, num_events)),
+        0.0,
+    )
+    values = baselines[keys] + noise + spikes
+    return EventBatch(
+        timestamps=timestamps,
+        keys=keys,
+        values=values,
+        horizon=int(timestamps[-1]) + 1,
+        num_keys=num_keys,
+    )
+
+
+def flash_crowd_stream(
+    num_events: int,
+    num_keys: int = 128,
+    seed: int = 31,
+) -> EventBatch:
+    """A flash crowd: quiet → 32× spike on a few hot keys → decay.
+
+    The spike concentrates traffic on a handful of suddenly-popular
+    keys (Zipf s jumps from 0.3 to 2.2 mid-stream), so both the rate
+    *and* the key distribution shift at once — the case rate-driven
+    replanning and hot-slot migration have to absorb together.
+    """
+    _require_shape(num_events, num_keys)
+    rng = seeded_rng(seed)
+    phases = ((0.45, 2), (0.6, 64), (1.0, 6))
+    skews = (0.3, 2.2, 0.8)
+    timestamps = _phased_timestamps(num_events, phases)
+    bounds = [0] + [round(until * num_events) for until, _ in phases]
+    bounds[-1] = num_events
+    key_parts = [
+        _zipf_keys(rng, hi - lo, num_keys, s)
+        for s, lo, hi in zip(skews, bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
+    keys = np.concatenate(key_parts)
+    values = np.round(rng.normal(50.0, 15.0, num_events))
+    return EventBatch(
+        timestamps=timestamps,
+        keys=keys,
+        values=values,
+        horizon=int(timestamps[-1]) + 1,
+        num_keys=num_keys,
+    )
+
+
+#: Named domain profiles a scenario's ``stream.profile`` can select.
+DOMAIN_STREAMS = {
+    "rtgs_payments": rtgs_payments_stream,
+    "iot_telemetry": iot_telemetry_stream,
+    "flash_crowd": flash_crowd_stream,
+}
+
+
+def domain_stream(
+    profile: str, num_events: int, num_keys: int, seed: int
+) -> EventBatch:
+    """Build a named domain stream (the scenario loader's dispatch)."""
+    try:
+        build = DOMAIN_STREAMS[profile]
+    except KeyError:
+        known = ", ".join(sorted(DOMAIN_STREAMS))
+        raise ExecutionError(
+            f"unknown stream profile {profile!r}; known domain "
+            f"profiles: {known} (or 'synthetic')"
+        ) from None
+    return build(num_events, num_keys=num_keys, seed=seed)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from ..errors import InvalidWindowError
 from ..windows.window import Window, WindowSet
+from .rng import seeded_pyrandom
 
 #: Paper defaults (Section V-B): seeds and multiplier bound.
 DEFAULT_SEED_SLIDES = (5, 10, 20)
@@ -45,7 +46,7 @@ class RandomGen:
         """Generate a duplicate-free window set of ``size`` windows."""
         if size < 1:
             raise InvalidWindowError(f"window-set size must be >= 1, got {size}")
-        rng = random.Random(seed)
+        rng = seeded_pyrandom(seed)
         windows = WindowSet()
         attempts = 0
         while len(windows) < size:
@@ -87,7 +88,7 @@ class SequentialGen:
         """Windows with multipliers ``2, 3, ..., size + 1`` on one seed."""
         if size < 1:
             raise InvalidWindowError(f"window-set size must be >= 1, got {size}")
-        rng = random.Random(seed)
+        rng = seeded_pyrandom(seed)
         limit = self.kr if tumbling else self.ks
         if size + 1 > limit:
             raise InvalidWindowError(

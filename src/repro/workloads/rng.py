@@ -1,0 +1,48 @@
+"""Shared seeded-RNG plumbing for every workload generator.
+
+Every stream and window-set generator in :mod:`repro.workloads` is a
+pure function of its arguments — the whole invariant matrix (9–13)
+compares runs of *the same stream*, so a generator that read hidden
+module-level RNG state would silently break bit-identity between the
+oracle run and the run under test.  This module is the single place
+that turns a seed into generator state, so the rule ("an explicit
+seed, no global state, ever") is enforced once and pinned by
+``tests/workloads/test_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+__all__ = ["seeded_rng", "seeded_pyrandom"]
+
+
+def seeded_rng(seed: "int | None") -> np.random.Generator:
+    """A fresh, isolated NumPy generator for ``seed``.
+
+    ``None`` raises instead of falling back to OS entropy: a workload
+    without a pinned seed cannot anchor a digest, a baseline, or a
+    property test, so an unseeded generator is always a caller bug.
+    """
+    if seed is None:
+        raise ExecutionError(
+            "workload generators need an explicit seed (got None); "
+            "an unseeded stream cannot reproduce"
+        )
+    return np.random.default_rng(int(seed))
+
+
+def seeded_pyrandom(seed: "int | None") -> random.Random:
+    """A fresh stdlib :class:`random.Random` for ``seed`` — the
+    window-set generators' RNG (their draws predate NumPy use and the
+    committed paper tables depend on the stdlib sequence)."""
+    if seed is None:
+        raise ExecutionError(
+            "workload generators need an explicit seed (got None); "
+            "an unseeded window set cannot reproduce"
+        )
+    return random.Random(int(seed))

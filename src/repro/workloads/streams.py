@@ -16,6 +16,7 @@ import numpy as np
 
 from ..engine.events import EventBatch
 from ..errors import ExecutionError
+from .rng import seeded_rng
 
 
 def constant_rate_stream(
@@ -35,7 +36,7 @@ def constant_rate_stream(
         raise ExecutionError(f"num_events must be >= 1, got {num_events}")
     if rate < 1:
         raise ExecutionError(f"rate must be >= 1, got {rate}")
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     indices = np.arange(num_events, dtype=np.int64)
     timestamps = indices // rate
     keys = (indices % num_keys).astype(np.int64)
@@ -82,7 +83,7 @@ def zipf_stream(
         raise ExecutionError(f"rate must be >= 1, got {rate}")
     if s < 0:
         raise ExecutionError(f"Zipf exponent must be >= 0, got {s}")
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     weights = 1.0 / np.arange(1, num_keys + 1, dtype=np.float64) ** s
     weights /= weights.sum()
     rank_to_key = rng.permutation(num_keys).astype(np.int64)

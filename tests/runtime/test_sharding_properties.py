@@ -569,6 +569,38 @@ def test_elastic_reshard_schedules_are_layout_invariant(repro_seed, backend):
     assert_results_identical(oracle, actual, context)
 
 
+@pytest.mark.parametrize("backend", ["serial", "process", "shm"])
+def test_spawn_from_emptied_donor_shard(backend):
+    """A single migration plan can retire the shard behind backend
+    slot 0 (every one of its keys extracted away) while spawning a
+    fresh shard — and extracts run before spawns, so by donation time
+    the donor core is already keyless.  Regression: the sibling spawn
+    used to die with ``extract_keys needs at least one key``."""
+    batch = integer_stream(ticks=240, num_keys=NUM_KEYS, seed=7)
+    events = list(batch.rows())
+    cut = len(events) // 2
+    schedule = ({0: [POOL[0], POOL[5]]}, {})
+
+    oracle, _ = run_sharded(schedule, events, batch.horizon, 1, "serial")
+
+    def evacuate(session):
+        assert session.partitioner.owned[0].size > 0
+        slot_map = session.partitioner.slot_map
+        mine = np.where(slot_map == 0)[0].astype(np.int64)
+        # One plan, two structural changes: shard 0 retires (all its
+        # slots leave) and shard 2 spawns to receive them.
+        session.move_slots(mine, 2)
+        assert 0 not in session.active_shards
+        assert 2 in session.active_shards
+
+    actual, marks = run_sharded(
+        schedule, events, batch.horizon, 2, backend,
+        elastic_at={cut: [evacuate]},
+    )
+    assert min(marks) == max(marks)
+    assert_results_identical(oracle, actual, f"backend={backend}")
+
+
 @pytest.mark.parametrize("backend", ["serial", "process"])
 def test_elastic_layout_survives_checkpoint_restore(repro_seed, backend):
     """A checkpoint taken after arbitrary resharding records the slot

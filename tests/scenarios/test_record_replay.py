@@ -1,0 +1,163 @@
+"""Record/replay round trips and capture integrity.
+
+A recorded chaos run — seeded worker kills plus slot migration
+mid-stream — must replay bit-identically from its ``.rstream``
+capture: same digest, same logical counters, on any backend.  And a
+damaged capture must refuse loudly; a partial replay would silently
+bless wrong results.
+"""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.scenarios import (
+    RSTREAM_MAGIC,
+    ScenarioRunner,
+    load_scenario,
+    read_rstream,
+    replay_capture,
+)
+
+CHAOS_TEXT = """
+name: rr_chaos
+stream:
+  events: 3000
+  keys: 48
+  seed: 9
+  skew: 1.1
+  rate: 4
+  out_of_order:
+    lateness: 24
+    seed: 3
+workload:
+  queries:
+    - name: s
+      aggregate: sum
+      windows: ["200/40"]
+    - name: late
+      aggregate: max
+      windows: ["150"]
+      register_at: 300
+runtime:
+  shards: 3
+  backend: process
+  slots: 24
+  rebalance_every: 700
+  worker_recovery: true
+chaos:
+  faults:
+    - kind: kill
+      slot: 1
+      at_watermark: 200
+    - kind: kill_mid_op
+      slot: 5
+      op: rebalance
+"""
+
+
+@pytest.fixture(scope="module")
+def chaos_capture(tmp_path_factory):
+    """Record the chaos scenario once; reuse the capture + report."""
+    path = tmp_path_factory.mktemp("rstream") / "rr_chaos.rstream"
+    runner = ScenarioRunner(load_scenario(CHAOS_TEXT))
+    report = runner.run(record=path)
+    return path, report
+
+
+@pytest.mark.scenarios
+@pytest.mark.chaos
+class TestRecordReplay:
+    def test_recording_run_really_faulted(self, chaos_capture):
+        _, report = chaos_capture
+        assert report.faults_fired >= 1
+        assert report.worker_recoveries >= 1
+        assert report.slots_moved >= 1
+
+    @pytest.mark.parametrize(
+        "backend,shards",
+        [("serial", 1), ("serial", 3), ("process", 3), ("shm", 2)],
+    )
+    def test_replay_bit_identical(self, chaos_capture, backend, shards):
+        path, recorded = chaos_capture
+        replayed = replay_capture(path, backend=backend, shards=shards)
+        # verify=True already asserted outcome identity inside; check
+        # the full logical surface explicitly anyway.
+        assert replayed.outcome() == recorded.outcome()
+
+    def test_capture_carries_the_outcome(self, chaos_capture):
+        path, recorded = chaos_capture
+        capture = read_rstream(path)
+        assert capture.outcome == recorded.outcome()
+        assert capture.meta["chaos"] is True
+        assert capture.num_events == recorded.events
+        kinds = {kind for _, kind, _ in capture.ops}
+        assert kinds == {"register", "rebalance"}
+
+    def test_divergence_is_loud(self, chaos_capture, tmp_path):
+        """A capture whose recorded outcome disagrees with what the
+        stream actually produces must fail replay, not shrug."""
+        from repro.scenarios.rstream import write_rstream
+
+        path, _ = chaos_capture
+        capture = read_rstream(path)
+        capture.outcome["total_pairs"] += 1
+        forged = tmp_path / "forged.rstream"
+        write_rstream(capture, forged)
+        with pytest.raises(ExecutionError, match="diverged"):
+            replay_capture(forged)
+
+
+@pytest.mark.scenarios
+class TestCaptureIntegrity:
+    def test_flipped_body_byte_is_rejected(self, chaos_capture, tmp_path):
+        path, _ = chaos_capture
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        bad = tmp_path / "flipped.rstream"
+        bad.write_bytes(bytes(blob))
+        with pytest.raises(ExecutionError, match="checksum mismatch"):
+            read_rstream(bad)
+
+    def test_truncation_is_rejected(self, chaos_capture, tmp_path):
+        path, _ = chaos_capture
+        blob = path.read_bytes()
+        bad = tmp_path / "truncated.rstream"
+        bad.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(ExecutionError):
+            read_rstream(bad)
+
+    def test_foreign_file_is_rejected(self, tmp_path):
+        bad = tmp_path / "notes.rstream"
+        bad.write_bytes(b"this is not a capture")
+        with pytest.raises(ExecutionError, match="not a factor-windows"):
+            read_rstream(bad)
+
+    def test_wrong_version_is_rejected(self, chaos_capture, tmp_path):
+        import hashlib
+        import struct
+
+        path, _ = chaos_capture
+        blob = bytearray(path.read_bytes())
+        struct.pack_into("<H", blob, len(RSTREAM_MAGIC), 99)
+        bad = tmp_path / "future.rstream"
+        bad.write_bytes(bytes(blob))
+        with pytest.raises(ExecutionError, match="v99 is not supported"):
+            read_rstream(bad)
+        # and a re-checksummed v99 body still refuses on version
+        body = bytes(blob[len(RSTREAM_MAGIC) + 2 + 32 :])
+        blob[len(RSTREAM_MAGIC) + 2 : len(RSTREAM_MAGIC) + 2 + 32] = (
+            hashlib.sha256(body).digest()
+        )
+        bad.write_bytes(bytes(blob))
+        with pytest.raises(ExecutionError, match="v99 is not supported"):
+            read_rstream(bad)
+
+    def test_never_partial_replays(self, chaos_capture, tmp_path):
+        """A corrupt capture must not produce a report at all."""
+        path, _ = chaos_capture
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        bad = tmp_path / "torn.rstream"
+        bad.write_bytes(bytes(blob))
+        with pytest.raises(ExecutionError):
+            replay_capture(bad)

@@ -1,0 +1,169 @@
+"""Property: any scenario the schema admits runs bit-identically on
+every session shape.
+
+Hypothesis builds random scenarios (skew, rate schedule, disorder,
+mid-stream registration/deregistration, rebalance cadence); each one
+is compiled once, hand-driven through a bare serial-sync
+:class:`QuerySession` **without the runner** (the oracle — a second,
+independent implementation of the op schedule), and then executed by
+the runner on {serial, process, shm} x {sync, async}.  Digest and
+logical counters must match the oracle everywhere (invariants 9-11).
+
+Examples are deliberately small (a few hundred events) — the point is
+the combinatorics of shapes, not volume; ``REPRO_TEST_SEED`` pins the
+whole run via the ``repro`` hypothesis profile.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.registry import get_aggregate
+from repro.core.multiquery import Query
+from repro.runtime import QuerySession
+from repro.scenarios import (
+    QuerySpec,
+    ScenarioRunner,
+    compile_scenario,
+    parse_scenario,
+    results_digest,
+)
+
+#: The conformance matrix every scenario must agree across.
+MATRIX = (
+    ("serial", 4, False),
+    ("process", 2, False),
+    ("shm", 2, False),
+    ("process", 2, True),
+)
+
+WINDOW_POOL = ("60/20", "80/40", "100", "120/30")
+AGGREGATE_POOL = ("sum", "count", "max", "min")
+
+
+@st.composite
+def scenarios(draw):
+    events = draw(st.integers(min_value=120, max_value=400))
+    lateness = draw(st.sampled_from((0, 8, 24)))
+    queries = [
+        {
+            "name": "q0",
+            "aggregate": draw(st.sampled_from(AGGREGATE_POOL)),
+            "windows": [draw(st.sampled_from(WINDOW_POOL))],
+        }
+    ]
+    if draw(st.booleans()):
+        queries.append(
+            {
+                "name": "q1",
+                "aggregate": draw(st.sampled_from(AGGREGATE_POOL)),
+                "windows": [draw(st.sampled_from(WINDOW_POOL))],
+                "scope": draw(st.sampled_from(("per_key", "global"))),
+                "register_at": draw(st.integers(0, events // 4)),
+            }
+        )
+    if draw(st.booleans()):
+        queries.append(
+            {
+                "name": "q2",
+                "aggregate": "sum",
+                "windows": ["90/30"],
+                "register_at": 5,
+                "deregister_at": draw(st.integers(20, events // 2)),
+            }
+        )
+    data = {
+        "name": "prop",
+        "stream": {
+            "events": events,
+            "keys": draw(st.integers(2, 24)),
+            "seed": draw(st.integers(0, 2**20)),
+            "skew": draw(st.sampled_from((0.0, 0.7, 1.5))),
+            "rate": draw(st.integers(1, 6)),
+            "out_of_order": {
+                "lateness": lateness,
+                "seed": draw(st.integers(0, 2**20)),
+            },
+            "values": {
+                "distribution": draw(
+                    st.sampled_from(("gaussian", "uniform", "exponential"))
+                ),
+                "round": True,
+            },
+        },
+        "workload": {"queries": queries},
+        "runtime": {
+            "shards": draw(st.integers(2, 4)),
+            "slots": 16,
+            "rebalance_every": draw(st.sampled_from((0, 50, 128))),
+        },
+    }
+    return parse_scenario(data)
+
+
+def oracle_run(compiled):
+    """Drive the compiled stream through a bare serial-sync
+    QuerySession by hand — no runner code on this path."""
+    session = QuerySession(
+        num_keys=compiled.num_keys,
+        max_lateness=compiled.max_lateness,
+        hysteresis=None,
+    )
+    try:
+        schedule = list(compiled.ops) + [(compiled.num_events, None, None)]
+        cursor = 0
+        for index, kind, payload in schedule:
+            index = min(index, compiled.num_events)
+            for i in range(cursor, index):
+                session.push(
+                    int(compiled.timestamps[i]),
+                    int(compiled.keys[i]),
+                    float(compiled.values[i]),
+                )
+            cursor = max(cursor, index)
+            if kind == "register":
+                spec = QuerySpec(**dict(payload))
+                session.register(
+                    Query(
+                        name=spec.name,
+                        windows=spec.window_set(),
+                        aggregate=get_aggregate(spec.aggregate),
+                    ),
+                    scope=spec.scope,
+                )
+            elif kind == "deregister":
+                session.deregister(str(payload))
+            # rebalance is a no-op on a single-core oracle
+        results = session.finish(horizon=compiled.horizon)
+        reorder = session.reorder_stats
+        stats = session.stats()
+    finally:
+        session.close()
+    return {
+        "digest": results_digest(results),
+        "accepted": reorder.accepted,
+        "late_dropped": reorder.late_dropped,
+        "total_pairs": stats.total_pairs,
+    }
+
+
+@pytest.mark.scenarios
+@settings(max_examples=5, deadline=None)
+@given(scenario=scenarios())
+def test_random_scenarios_match_serial_sync_oracle(scenario):
+    runner = ScenarioRunner(scenario)
+    expected = oracle_run(compile_scenario(scenario))
+    for backend, shards, async_ingest in MATRIX:
+        report = runner.run(
+            backend=backend, shards=shards, async_ingest=async_ingest
+        )
+        got = {
+            "digest": report.digest,
+            "accepted": report.accepted,
+            "late_dropped": report.late_dropped,
+            "total_pairs": report.total_pairs,
+        }
+        assert got == expected, (
+            f"{backend} x{shards}{'/async' if async_ingest else ''} "
+            f"diverged from the hand-driven serial-sync oracle"
+        )

@@ -13,9 +13,12 @@ everything under ``docs/``.
   would run it.  Blocks that are illustrative rather than runnable
   should use a different info string (``pycon``, ``text``, ``bash``).
 * **YAML** — every fenced ```` ```yaml ```` block must load through
-  the service's tenants-config loader
-  (:func:`repro.service.load_tenants_config`), so a documented
-  ``tenants.yaml`` example can always be pasted into ``--config``.
+  the dialect it documents: blocks with scenario sections go through
+  the scenario loader (:func:`repro.scenarios.load_scenario`),
+  everything else through the service's tenants-config loader
+  (:func:`repro.service.load_tenants_config`) — so a documented
+  example can always be pasted into ``session run`` / ``--config``
+  unchanged.
 
 Run from anywhere: ``python tools/check_docs.py``.  Exits non-zero on
 the first category of failure, printing every offender.  CI runs this
@@ -109,23 +112,36 @@ def check_snippets() -> list[str]:
 
 
 def check_yaml_blocks() -> list[str]:
-    """Every ```yaml block must be a loadable tenants config — the
-    only YAML dialect this repo documents."""
+    """Every ```yaml block must load through the dialect it documents:
+    scenario files (top-level scenario sections) through the scenario
+    loader, everything else through the service's tenants-config
+    loader — so any documented YAML can be pasted into the matching
+    command unchanged."""
     problems = []
     src = str(REPO / "src")
     if src not in sys.path:
         sys.path.insert(0, src)
+    from repro.scenarios import load_scenario
+    from repro.scenarios.schema import _SECTIONS
     from repro.service import load_tenants_config
+    from repro.service.quotas import parse_simple_yaml
 
+    scenario_keys = {"name", "description", *_SECTIONS}
     for doc in DOC_FILES:
         for line, source in iter_fenced_blocks(doc.read_text(), "yaml"):
             where = f"{doc.relative_to(REPO)}:{line}"
             try:
-                load_tenants_config(source)
+                data = parse_simple_yaml(source)
+                if isinstance(data, dict) and data.keys() & scenario_keys:
+                    load_scenario(dict(data))
+                    dialect = "scenario"
+                else:
+                    load_tenants_config(source)
+                    dialect = "tenants config"
             except Exception as exc:  # noqa: BLE001 - reported
                 problems.append(f"{where}: yaml block failed: {exc}")
             else:
-                print(f"ok {where} (tenants config)")
+                print(f"ok {where} ({dialect})")
     return problems
 
 
